@@ -1,0 +1,78 @@
+// Ablation: ABR algorithm for 360° streaming — BBA (the paper's choice)
+// vs classic rate-based adaptation, over identical driving link traces.
+#include "apps/video.hpp"
+#include "bench_common.hpp"
+#include "geo/drive_trace.hpp"
+#include "geo/scaled_route.hpp"
+#include "net/latency.hpp"
+#include "ran/session.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+int main() {
+  banner(std::cout, "Ablation", "ABR algorithm: BBA vs rate-based over the "
+                                "same driving links (the paper customises "
+                                "Puffer to run BBA, Appendix D)");
+
+  const auto cfg = campaign::config_from_env(0.25);
+  const geo::Route route = geo::Route::cross_country();
+  const geo::ScaledRoute view{route, cfg.scale};
+  const net::ServerFleet fleet = net::ServerFleet::standard(route);
+  Rng root{cfg.seed + 4};
+
+  radio::Deployment dep{view, radio::Carrier::TMobile, root.fork("deploy")};
+  ran::RadioSession session{dep, ran::TrafficProfile::Interactive,
+                            root.fork("session")};
+  net::RttProcess rtt{radio::Carrier::TMobile, root.fork("rtt")};
+
+  // Collect 3-minute link traces along the trip, then run both ABRs over
+  // the *identical* traces.
+  std::vector<apps::LinkTrace> sessions_traces;
+  apps::LinkTrace current;
+  geo::DriveTraceConfig tc;
+  tc.scale = cfg.scale;
+  geo::DriveTraceGenerator gen{route, tc, root.fork("trace")};
+  while (auto s = gen.next()) {
+    const ran::RadioTick tick = session.tick(*s, 500.0);
+    apps::LinkTick lt;
+    lt.cap_dl = tick.kpis.capacity_dl;
+    lt.cap_ul = tick.kpis.capacity_ul;
+    lt.rtt = rtt.sample(tick.tech, fleet.cloud_for(s->tz), s->pos, s->speed,
+                        0.0, 0.0);
+    lt.tech = tick.tech;
+    current.push_back(lt);
+    if (current.size() == 360) {
+      sessions_traces.push_back(std::move(current));
+      current.clear();
+    }
+  }
+
+  Table t({"ABR", "runs", "QoE p50", "QoE<0 runs", "rebuffer p50",
+           "bitrate p50"});
+  for (const apps::AbrKind abr :
+       {apps::AbrKind::BufferBased, apps::AbrKind::RateBased}) {
+    apps::VideoConfig vc;
+    vc.abr = abr;
+    const apps::VideoApp app{vc};
+    std::vector<double> qoe, rebuf, rate;
+    for (const auto& trace : sessions_traces) {
+      const auto run = app.run(trace);
+      qoe.push_back(run.avg_qoe);
+      rebuf.push_back(run.rebuffer_fraction);
+      rate.push_back(run.avg_bitrate);
+    }
+    const Cdf qc{qoe};
+    t.add_row({std::string(apps::abr_kind_name(abr)),
+               std::to_string(qc.size()), fmt(qc.quantile(0.5), 1),
+               fmt_pct(qc.fraction_below(0.0)), fmt_pct(median_of(rebuf)),
+               fmt(median_of(rate), 1) + " Mbps"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n  Expected shape: BBA rides the buffer up to high rungs "
+               "and wins on QoE\n  and bitrate, paying with slightly more "
+               "rebuffering; the conservative\n  throughput predictor "
+               "under-utilises the link after every dip.\n";
+  return 0;
+}

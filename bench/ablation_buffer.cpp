@@ -1,0 +1,59 @@
+// Ablation: bottleneck buffer sizing (bufferbloat).
+//
+// The paper observes driving RTTs of up to 2-3 s under load — cellular
+// bufferbloat. This sweep shows the throughput/latency tradeoff behind that
+// observation: deep buffers protect goodput across capacity dips but inflate
+// queueing delay by orders of magnitude.
+#include "bench_common.hpp"
+#include "transport/tcp_flow.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+int main() {
+  banner(std::cout, "Ablation", "Bottleneck buffer depth: goodput vs "
+                                "queueing delay");
+
+  Table t({"buffer (xBDP)", "goodput Mbps", "queue delay p50 ms",
+           "queue delay p90 ms", "loaded RTT p90 ms"});
+
+
+  for (const double bdp_factor : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    transport::TcpFlowConfig cfg;
+    cfg.buffer_bdp_factor = bdp_factor;
+    // Disable the cellular deep-buffer floor so the sweep isolates the
+    // BDP-multiple dimension.
+    cfg.min_buffer_bytes = 16.0 * 1024.0;
+    transport::TcpBulkFlow flow{60.0, Rng{77}, cfg};
+
+    // A dipping link: 40 Mbps with periodic 2 Mbps outages, like a drive.
+    Rng rng{78};
+    double delivered = 0.0;
+    std::vector<double> qdelay;
+    int outage_left = 0;
+    constexpr int kTicks = 600;
+    for (int i = 0; i < kTicks; ++i) {
+      if (outage_left == 0 && rng.bernoulli(0.06)) {
+        outage_left = rng.uniform_int(2, 10);
+      }
+      const Mbps cap = outage_left > 0 ? 2.0 : 40.0;
+      if (outage_left > 0) --outage_left;
+      delivered += flow.advance(cap, 500.0);
+      qdelay.push_back(flow.queue_delay());
+    }
+    const Cdf qc{qdelay};
+    t.add_row({fmt(bdp_factor, 1),
+               fmt(delivered * 8.0 / 1e6 / (kTicks * 0.5), 1),
+               fmt(qc.quantile(0.5), 0), fmt(qc.quantile(0.9), 0),
+               fmt(60.0 + qc.quantile(0.9), 0)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n  Expected shape: on a dipping link goodput keeps "
+               "improving with buffer depth\n  (queued bytes ride out the "
+               "outages) — exactly why cellular schedulers buffer\n  "
+               "deeply — while p90 queueing delay grows roughly linearly. "
+               "The paper's\n  multi-second loaded RTT tail (Fig. 3b) is "
+               "the price of that choice.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: congestion control — CUBIC (the paper's default) vs a BBR-style
+// model-based sender over the same driving-like link.
+//
+// The paper's multi-second loaded RTTs (Fig. 3b) are CUBIC filling deep
+// cellular buffers. A pacing sender that models the bottleneck keeps the
+// standing queue near one BDP: this quantifies how much of the latency tail
+// is congestion-control choice rather than radio.
+#include "bench_common.hpp"
+#include "transport/tcp_flow.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+namespace {
+
+struct Outcome {
+  double goodput_mbps;
+  Cdf queue_delay;
+};
+
+Outcome run(transport::CcAlgo algo, double dip_rate) {
+  transport::TcpFlowConfig cfg;
+  cfg.algo = algo;
+  transport::TcpBulkFlow flow{60.0, Rng{99}, cfg};
+  Rng rng{100};
+  double delivered = 0.0;
+  std::vector<double> qdelay;
+  int outage_left = 0;
+  constexpr int kTicks = 1'200;
+  for (int i = 0; i < kTicks; ++i) {
+    if (outage_left == 0 && rng.bernoulli(dip_rate)) {
+      outage_left = rng.uniform_int(2, 8);
+    }
+    const Mbps cap = outage_left > 0 ? 2.0 : 50.0;
+    if (outage_left > 0) --outage_left;
+    delivered += flow.advance(cap, 500.0);
+    qdelay.push_back(flow.queue_delay());
+  }
+  return {delivered * 8.0 / 1e6 / (kTicks * 0.5), Cdf{std::move(qdelay)}};
+}
+
+}  // namespace
+
+int main() {
+  banner(std::cout, "Ablation",
+         "Congestion control on a driving-like link: CUBIC (paper default) "
+         "vs BBR-style pacing");
+
+  Table t({"link", "cc", "goodput Mbps", "queue p50 ms", "queue p90 ms",
+           "queue max ms"});
+  for (const double dip : {0.0, 0.06}) {
+    const std::string link = dip == 0.0 ? "stable 50 Mbps" : "dipping 50/2";
+    for (const auto algo : {transport::CcAlgo::Cubic, transport::CcAlgo::Bbr}) {
+      const Outcome o = run(algo, dip);
+      t.add_row({link, std::string(transport::cc_algo_name(algo)),
+                 fmt(o.goodput_mbps, 1), fmt(o.queue_delay.quantile(0.5), 0),
+                 fmt(o.queue_delay.quantile(0.9), 0),
+                 fmt(o.queue_delay.max(), 0)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\n  Expected shape: comparable goodput, but BBR's standing "
+               "queue stays near one\n  BDP while CUBIC rides the full "
+               "buffer — most of the paper's loaded-RTT tail\n  is the "
+               "sender's choice, not the radio's.\n";
+  return 0;
+}

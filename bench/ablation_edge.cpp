@@ -1,0 +1,108 @@
+// Ablation: edge computing everywhere vs cloud only.
+//
+// The paper's recommendation (3): operators and cloud providers should
+// deploy more in-network edge services. In the measured campaign only
+// Verizon had Wavelength edges in five cities. This ablation runs the AR app
+// over identical radio links but three server policies: cloud-only,
+// paper-like (edge in 5 cities, Verizon semantics) and edge-everywhere.
+#include "apps/offload.hpp"
+#include "bench_common.hpp"
+#include "geo/drive_trace.hpp"
+#include "geo/scaled_route.hpp"
+#include "net/latency.hpp"
+#include "ran/session.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+namespace {
+
+enum class ServerPolicy { CloudOnly, FiveCities, Everywhere };
+
+}  // namespace
+
+int main() {
+  banner(std::cout, "Ablation", "Edge deployment density vs AR app QoE "
+                                "(paper recommendation 3)");
+
+  const auto cfg = campaign::config_from_env(0.25);
+  const geo::Route route = geo::Route::cross_country();
+  const geo::ScaledRoute view{route, cfg.scale};
+  const net::ServerFleet fleet = net::ServerFleet::standard(route);
+  Rng root{cfg.seed + 3};
+
+  radio::Deployment dep{view, radio::Carrier::Verizon, root.fork("deploy")};
+  const apps::OffloadApp app{apps::ar_config()};
+
+  Table t({"server policy", "runs", "E2E p50 ms", "E2E p90 ms", "FPS p50",
+           "mAP p50"});
+  for (const ServerPolicy policy :
+       {ServerPolicy::CloudOnly, ServerPolicy::FiveCities,
+        ServerPolicy::Everywhere}) {
+    // Fresh identical randomness per policy: same radio, different servers.
+    Rng rng = root.fork("run");
+    ran::RadioSession session{dep, ran::TrafficProfile::Interactive,
+                              rng.fork("session")};
+    net::RttProcess rtt{radio::Carrier::Verizon, rng.fork("rtt")};
+
+    std::vector<double> e2e, fps, map;
+    geo::DriveTraceConfig tc;
+    tc.scale = cfg.scale;
+    geo::DriveTraceGenerator gen{route, tc, rng.fork("trace")};
+    apps::LinkTrace trace;
+    while (auto s = gen.next()) {
+      const geo::RoutePoint pt = view.at_physical(s->km);
+      const net::Server* edge = fleet.edge_near(route, route.at(pt.km));
+      const net::Server* server = nullptr;
+      switch (policy) {
+        case ServerPolicy::CloudOnly:
+          server = &fleet.cloud_for(s->tz);
+          break;
+        case ServerPolicy::FiveCities:
+          server = edge != nullptr ? edge : &fleet.cloud_for(s->tz);
+          break;
+        case ServerPolicy::Everywhere: {
+          // A hypothetical Wavelength zone in every metro: 2 ms wired RTT.
+          static const net::Server ubiquitous{
+              "edge-everywhere", net::ServerKind::Edge, {0, 0}, 0};
+          server = &ubiquitous;
+          break;
+        }
+      }
+      const ran::RadioTick tick = session.tick(*s, 500.0);
+      apps::LinkTick lt;
+      lt.cap_dl = tick.kpis.capacity_dl;
+      lt.cap_ul = tick.kpis.capacity_ul;
+      lt.rtt = rtt.sample(tick.tech, *server, s->pos, s->speed, 0.0, 0.0);
+      lt.interruption = tick.interruption;
+      lt.handovers = static_cast<int>(tick.handovers.size());
+      lt.tech = tick.tech;
+      trace.push_back(lt);
+
+      if (trace.size() == 40) {  // one 20 s AR run
+        const auto run = app.run(trace, /*compressed=*/true);
+        if (!run.frames.empty()) {
+          e2e.push_back(run.median_e2e);
+          fps.push_back(run.offload_fps);
+          map.push_back(run.map_percent);
+        }
+        trace.clear();
+      }
+    }
+    const Cdf ec{e2e};
+    const char* name = policy == ServerPolicy::CloudOnly ? "cloud only"
+                       : policy == ServerPolicy::FiveCities
+                           ? "edge in 5 cities (paper)"
+                           : "edge everywhere";
+    t.add_row({name, std::to_string(ec.size()), fmt(ec.quantile(0.5), 0),
+               fmt(ec.quantile(0.9), 0), fmt(median_of(fps), 1),
+               fmt(median_of(map), 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n  Expected shape: the five-city deployment barely moves "
+               "the country-wide\n  median (edges cover a sliver of the "
+               "route); ubiquitous edge cuts E2E\n  by the wired RTT and "
+               "lifts mAP — but the radio link still dominates.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation: the paper's recommendation (2) — multi-operator aggregation.
+//
+// §5.4 shows operator performance at the same place/time is highly diverse
+// and suggests multipath across operators. Here we drive the three carriers'
+// links simultaneously (as the paper's van did) and compare single-operator
+// bulk TCP against MultipathFlow with each scheduler.
+#include <array>
+
+#include "bench_common.hpp"
+#include "geo/drive_trace.hpp"
+#include "geo/scaled_route.hpp"
+#include "net/latency.hpp"
+#include "ran/session.hpp"
+#include "transport/multipath.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+int main() {
+  banner(std::cout, "Ablation", "Multi-operator aggregation (paper §5.4 "
+                                "recommendation 2)");
+
+  const auto cfg = campaign::config_from_env(0.25);
+  const geo::Route route = geo::Route::cross_country();
+  const geo::ScaledRoute view{route, cfg.scale};
+  Rng root{cfg.seed + 1};
+
+  // One deployment + backlogged-DL session per carrier.
+  std::array<std::unique_ptr<radio::Deployment>, 3> deps;
+  std::array<std::unique_ptr<ran::RadioSession>, 3> sessions;
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const auto ci = static_cast<std::size_t>(c);
+    deps[ci] = std::make_unique<radio::Deployment>(
+        view, c, root.fork(radio::carrier_name(c)));
+    sessions[ci] = std::make_unique<ran::RadioSession>(
+        *deps[ci], ran::TrafficProfile::BackloggedDownlink,
+        root.fork("session", ci));
+  }
+
+  // Flows under test: three single-operator baselines + three schedulers.
+  std::array<transport::TcpBulkFlow, 3> singles{
+      transport::TcpBulkFlow{70.0, root.fork("s0")},
+      transport::TcpBulkFlow{70.0, root.fork("s1")},
+      transport::TcpBulkFlow{70.0, root.fork("s2")}};
+  const std::vector<Millis> rtts{70.0, 80.0, 80.0};
+  transport::MultipathFlow minrtt{rtts, transport::MultipathScheduler::MinRtt,
+                                  root.fork("mp0")};
+  transport::MultipathFlow redundant{
+      rtts, transport::MultipathScheduler::Redundant, root.fork("mp1")};
+  transport::MultipathFlow rr{rtts, transport::MultipathScheduler::RoundRobin,
+                              root.fork("mp2")};
+
+  std::array<std::vector<double>, 3> single_samples;
+  std::vector<double> minrtt_samples, redundant_samples, rr_samples;
+
+  geo::DriveTraceConfig tc;
+  tc.scale = cfg.scale;
+  geo::DriveTraceGenerator gen{route, tc, root.fork("trace")};
+  while (auto s = gen.next()) {
+    std::array<Mbps, 3> caps{};
+    for (std::size_t ci = 0; ci < 3; ++ci) {
+      caps[ci] = sessions[ci]->tick(*s, 500.0).kpis.capacity_dl;
+      single_samples[ci].push_back(singles[ci].advance(caps[ci], 500.0) *
+                                   8.0 / 1e6 / 0.5);
+    }
+    minrtt_samples.push_back(minrtt.advance(caps, 500.0) * 8.0 / 1e6 / 0.5);
+    redundant_samples.push_back(redundant.advance(caps, 500.0) * 8.0 / 1e6 /
+                                0.5);
+    rr_samples.push_back(rr.advance(caps, 500.0) * 8.0 / 1e6 / 0.5);
+  }
+
+  Table t({"flow", "p10 Mbps", "p50 Mbps", "p90 Mbps", "below 5 Mbps"});
+  auto row = [&](const std::string& name, std::vector<double> xs) {
+    const Cdf cdf{std::move(xs)};
+    t.add_row({name, fmt(cdf.quantile(0.10)), fmt(cdf.quantile(0.50)),
+               fmt(cdf.quantile(0.90)), fmt_pct(cdf.fraction_below(5.0))});
+  };
+  for (radio::Carrier c : radio::kAllCarriers) {
+    row("single: " + bench::carrier_str(c),
+        std::move(single_samples[static_cast<std::size_t>(c)]));
+  }
+  row("multipath: min-rtt", std::move(minrtt_samples));
+  row("multipath: redundant", std::move(redundant_samples));
+  row("multipath: round-robin", std::move(rr_samples));
+  t.print(std::cout);
+
+  std::cout << "\n  Expected shape: min-rtt aggregation lifts the median and "
+               "slashes the\n  below-5-Mbps tail (operator dips rarely "
+               "coincide); redundant trades\n  capacity for tail latency; "
+               "round-robin is hurt by path heterogeneity.\n";
+  return 0;
+}

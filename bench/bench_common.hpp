@@ -1,0 +1,47 @@
+// Shared plumbing for the experiment binaries.
+//
+// Each bench binary regenerates one table/figure of the paper from a
+// simulated campaign. WHEELS_SCALE (default 1.0 — the full 5,711 km trip,
+// ~5 s to simulate) and WHEELS_SEED control
+// the campaign; the same (scale, seed) produces byte-identical databases, so
+// every binary in one run reports from the same virtual road trip.
+#pragma once
+
+#include <iostream>
+
+#include "analysis/coverage.hpp"
+#include "analysis/queries.hpp"
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "campaign/campaign.hpp"
+#include "measure/records.hpp"
+
+namespace wheels::bench {
+
+inline const measure::ConsolidatedDb& shared_db() {
+  static const measure::ConsolidatedDb db = [] {
+    const campaign::CampaignConfig cfg = campaign::config_from_env(1.0);
+    std::cerr << "[bench] simulating campaign: scale=" << cfg.scale
+              << " seed=" << cfg.seed << " ...\n";
+    measure::ConsolidatedDb out = campaign::DriveCampaign{cfg}.run();
+    std::cerr << "[bench] done: " << out.tests.size() << " tests, "
+              << out.kpis.size() << " kpi rows, " << out.rtts.size()
+              << " rtt samples, " << out.app_runs.size() << " app runs\n";
+    return out;
+  }();
+  return db;
+}
+
+inline double campaign_scale() {
+  return campaign::config_from_env(1.0).scale;
+}
+
+inline std::string carrier_str(radio::Carrier c) {
+  return std::string(radio::carrier_name(c));
+}
+
+inline std::string tech_str(radio::Technology t) {
+  return std::string(radio::technology_name(t));
+}
+
+}  // namespace wheels::bench

@@ -1,0 +1,69 @@
+// Extension: future-buildout what-if.
+//
+// The paper closes noting that 5G coverage under driving is "disappointingly
+// low and highly fragmented". This experiment asks the obvious next
+// question: how much of the measured pain is deployment density (fixable by
+// buildout) vs physics/policy? We re-run the campaign with the 2022
+// deployment, a 2025-style midband densification (~2x midband zones, +50%
+// low-band), and a saturated buildout, and compare the headline metrics.
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  radio::DeploymentOverrides overrides;
+};
+
+}  // namespace
+
+int main() {
+  banner(std::cout, "Extension",
+         "Deployment buildout what-if: 2022 (paper) vs densified futures");
+
+  const Scenario scenarios[] = {
+      {"2022 (paper)", {1.0, 1.0, 1.0}},
+      {"2025 midband buildout", {1.5, 2.2, 1.5}},
+      {"saturated buildout", {10.0, 10.0, 3.0}},
+  };
+
+  Table t({"scenario", "carrier", "5G share", "hi-speed share",
+           "DL p50 Mbps", "DL <5 Mbps", "video QoE p50"});
+
+  for (const Scenario& sc : scenarios) {
+    campaign::CampaignConfig cfg = campaign::config_from_env(0.12);
+    cfg.deployment = sc.overrides;
+    const measure::ConsolidatedDb db = campaign::DriveCampaign{cfg}.run();
+
+    for (radio::Carrier c : radio::kAllCarriers) {
+      const auto shares = coverage_from_kpis(
+          db, [&](const measure::KpiRecord& k) { return k.carrier == c; });
+      KpiFilter f;
+      f.carrier = c;
+      f.direction = radio::Direction::Downlink;
+      f.is_static = false;
+      const Cdf dl{throughput_samples(db, f)};
+      std::vector<double> qoe;
+      for (const auto* r :
+           app_runs(db, measure::AppKind::Video, c, false)) {
+        qoe.push_back(r->qoe);
+      }
+      t.add_row({sc.name, bench::carrier_str(c),
+                 fmt_pct(five_g_share(shares)),
+                 fmt_pct(high_speed_share(shares)), fmt(dl.quantile(0.5), 1),
+                 fmt_pct(dl.fraction_below(5.0)), fmt(median_of(qoe), 1)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\n  Reading: buildout lifts coverage and the DL median — but "
+               "the below-5-Mbps\n  tail shrinks far more slowly, because a "
+               "good share of it is cell-edge physics,\n  load and outages, "
+               "not absent towers. Coverage is necessary, not sufficient\n  "
+               "(the paper's 'poor performance even with full 5G coverage' "
+               "in reverse).\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fig. 2: Technology coverage — (a) overall per operator, (b) by traffic
+// direction, (c) by timezone, (d) by speed bin.
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+namespace {
+
+void print_share_rows(Table& t, const std::string& label,
+                      const TechShares& s) {
+  std::vector<std::string> row{label};
+  for (radio::Technology tech : radio::kAllTechnologies) {
+    row.push_back(fmt_pct(share_of(s, tech)));
+  }
+  row.push_back(fmt_pct(five_g_share(s)));
+  row.push_back(fmt_pct(high_speed_share(s)));
+  t.add_row(std::move(row));
+}
+
+std::vector<std::string> header() {
+  return {"slice",  "LTE",       "LTE-A",    "5G-low",
+          "5G-mid", "5G-mmWave", "5G total", "hi-speed 5G"};
+}
+
+}  // namespace
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 2a", "Technology coverage, % of miles, per "
+                               "operator (paper: 5G total 68% T / ~20% V / "
+                               "~20% A; high-speed 38% T ... 3% A)");
+  {
+    Table t{header()};
+    for (radio::Carrier c : radio::kAllCarriers) {
+      print_share_rows(t, bench::carrier_str(c),
+                       coverage_from_kpis(db, [&](const measure::KpiRecord& k) {
+                         return k.carrier == c;
+                       }));
+    }
+    t.print(std::cout);
+  }
+
+  banner(std::cout, "Fig. 2b", "Coverage by traffic direction (paper: "
+                               "high-speed 5G share higher for DL than UL "
+                               "for all carriers)");
+  {
+    Table t{header()};
+    for (radio::Carrier c : radio::kAllCarriers) {
+      for (radio::Direction d :
+           {radio::Direction::Downlink, radio::Direction::Uplink}) {
+        print_share_rows(
+            t,
+            bench::carrier_str(c) + " " +
+                std::string(radio::direction_name(d)),
+            coverage_from_kpis(db, [&](const measure::KpiRecord& k) {
+              return k.carrier == c && k.direction == d;
+            }));
+      }
+    }
+    t.print(std::cout);
+  }
+
+  banner(std::cout, "Fig. 2c", "Coverage by timezone (paper: T-Mobile "
+                               "midband strongest Pacific; AT&T 5G weak in "
+                               "Mountain/Central; Verizon 5G stronger in the "
+                               "east)");
+  {
+    Table t{header()};
+    for (radio::Carrier c : radio::kAllCarriers) {
+      for (int tz = 0; tz < geo::kTimezoneCount; ++tz) {
+        const auto zone = static_cast<geo::Timezone>(tz);
+        print_share_rows(
+            t,
+            bench::carrier_str(c) + " " +
+                std::string(geo::timezone_name(zone)),
+            coverage_from_kpis(db, [&](const measure::KpiRecord& k) {
+              return k.carrier == c && k.tz == zone;
+            }));
+      }
+    }
+    t.print(std::cout);
+  }
+
+  banner(std::cout, "Fig. 2d", "Coverage by speed bin (paper: high-speed 5G "
+                               "share falls from low to high speed; Verizon "
+                               "~43% -> ~13%; T-Mobile keeps midband on "
+                               "highways)");
+  {
+    Table t{header()};
+    for (radio::Carrier c : radio::kAllCarriers) {
+      for (int b = 0; b < geo::kSpeedBinCount; ++b) {
+        const auto bin = static_cast<geo::SpeedBin>(b);
+        print_share_rows(
+            t,
+            bench::carrier_str(c) + " " +
+                std::string(geo::speed_bin_name(bin)),
+            coverage_from_kpis(db, [&](const measure::KpiRecord& k) {
+              return k.carrier == c && geo::speed_bin(k.speed) == bin;
+            }));
+      }
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 3: Overall throughput and RTT, static city baselines vs driving.
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+namespace {
+
+struct PaperRef {
+  double static_dl_med, static_ul_med, drive_rtt_med;
+};
+
+PaperRef paper_ref(radio::Carrier c) {
+  switch (c) {
+    case radio::Carrier::Verizon: return {1511.0, 167.0, 64.0};
+    case radio::Carrier::TMobile: return {311.0, 39.0, 82.0};
+    case radio::Carrier::Att: return {710.0, 62.0, 81.0};
+  }
+  return {};
+}
+
+}  // namespace
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 3", "Static vs driving performance");
+  Table t({"carrier", "metric", "mode", "paper median", "measured CDF"});
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const PaperRef ref = paper_ref(c);
+    for (const bool is_static : {true, false}) {
+      KpiFilter f;
+      f.carrier = c;
+      f.is_static = is_static;
+      f.direction = radio::Direction::Downlink;
+      const Cdf dl{throughput_samples(db, f)};
+      f.direction = radio::Direction::Uplink;
+      const Cdf ul{throughput_samples(db, f)};
+      RttFilter rf;
+      rf.carrier = c;
+      rf.is_static = is_static;
+      const Cdf rtt{rtt_samples(db, rf)};
+
+      const std::string mode = is_static ? "static" : "driving";
+      t.add_row({bench::carrier_str(c), "DL Mbps", mode,
+                 is_static ? fmt(ref.static_dl_med, 0) : "6-34 (range)",
+                 cdf_row(dl)});
+      t.add_row({bench::carrier_str(c), "UL Mbps", mode,
+                 is_static ? fmt(ref.static_ul_med, 0) : "6-9 (range)",
+                 cdf_row(ul)});
+      t.add_row({bench::carrier_str(c), "RTT ms", mode,
+                 is_static ? "-" : fmt(ref.drive_rtt_med, 0), cdf_row(rtt)});
+    }
+  }
+  t.print(std::cout);
+
+  // The paper's headline: ~35% of driving throughput samples below 5 Mbps.
+  KpiFilter f;
+  f.is_static = false;
+  const Cdf all_drive{throughput_samples(db, f)};
+  compare_line(std::cout, "driving samples below 5 Mbps (both directions)",
+               0.35, all_drive.fraction_below(5.0), "fraction");
+
+  std::cout << "  Shape check: driving medians collapse to a few percent of "
+               "static;\n  static DL can exceed 1 Gbps (Verizon mmWave); "
+               "driving RTT tails reach seconds.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 4: Driving throughput/RTT per technology, and edge vs cloud for
+// Verizon.
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 4", "Per-technology driving performance");
+  for (radio::Carrier c : radio::kAllCarriers) {
+    std::cout << "\n  -- " << bench::carrier_str(c) << " --\n";
+    Table t({"tech", "DL Mbps CDF", "UL Mbps CDF", "RTT ms CDF"});
+    for (radio::Technology tech : radio::kAllTechnologies) {
+      KpiFilter f;
+      f.carrier = c;
+      f.tech = tech;
+      f.is_static = false;
+      f.direction = radio::Direction::Downlink;
+      const Cdf dl{throughput_samples(db, f)};
+      f.direction = radio::Direction::Uplink;
+      const Cdf ul{throughput_samples(db, f)};
+      RttFilter rf;
+      rf.carrier = c;
+      rf.tech = tech;
+      rf.is_static = false;
+      const Cdf rtt{rtt_samples(db, rf)};
+      t.add_row({bench::tech_str(tech), cdf_row(dl), cdf_row(ul),
+                 cdf_row(rtt)});
+    }
+    t.print(std::cout);
+  }
+
+  banner(std::cout, "Fig. 4 (dashed)", "Verizon: edge vs cloud server");
+  Table t({"server", "DL Mbps CDF", "UL Mbps CDF", "RTT ms CDF"});
+  for (const net::ServerKind kind :
+       {net::ServerKind::Edge, net::ServerKind::Cloud}) {
+    KpiFilter f;
+    f.carrier = radio::Carrier::Verizon;
+    f.server = kind;
+    f.is_static = false;
+    f.direction = radio::Direction::Downlink;
+    const Cdf dl{throughput_samples(db, f)};
+    f.direction = radio::Direction::Uplink;
+    const Cdf ul{throughput_samples(db, f)};
+    RttFilter rf;
+    rf.carrier = radio::Carrier::Verizon;
+    rf.server = kind;
+    rf.is_static = false;
+    const Cdf rtt{rtt_samples(db, rf)};
+    t.add_row({std::string(net::server_kind_name(kind)), cdf_row(dl),
+               cdf_row(ul), cdf_row(rtt)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n  Shape check (paper §5.2): 5G > 4G in throughput but with "
+               "huge variance;\n  T-Mobile midband reaches ~760 Mbps DL yet "
+               "~40% of its samples sit below\n  2 Mbps; edge server lowers "
+               "RTT sharply (mmWave+edge median ~18 ms).\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig. 5: Driving throughput CDFs per timezone.
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 5", "Throughput by timezone (paper: Pacific "
+                              "strongest for all carriers except AT&T DL "
+                              "which peaks Eastern; Mountain weak for all; "
+                              "Verizon worst in Eastern)");
+  for (radio::Direction d :
+       {radio::Direction::Downlink, radio::Direction::Uplink}) {
+    std::cout << "\n  -- " << radio::direction_name(d) << " --\n";
+    Table t({"carrier", "timezone", "Mbps CDF"});
+    for (radio::Carrier c : radio::kAllCarriers) {
+      for (int tz = 0; tz < geo::kTimezoneCount; ++tz) {
+        const auto zone = static_cast<geo::Timezone>(tz);
+        KpiFilter f;
+        f.carrier = c;
+        f.direction = d;
+        f.tz = zone;
+        f.is_static = false;
+        const Cdf cdf{throughput_samples(db, f)};
+        t.add_row({bench::carrier_str(c),
+                   std::string(geo::timezone_name(zone)), cdf_row(cdf)});
+      }
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 6: Operator diversity — concurrent throughput differences between
+// operator pairs, and their HT/LT technology-class breakdown.
+#include "analysis/pairing.hpp"
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 6a",
+         "Throughput difference between concurrently measured operator "
+         "pairs (first minus second, Mbps)");
+  for (radio::Direction d :
+       {radio::Direction::Downlink, radio::Direction::Uplink}) {
+    std::cout << "\n  -- " << radio::direction_name(d) << " --\n";
+    Table t({"pair", "n", "p10", "p25", "p50", "p75", "p90",
+             "first wins"});
+    for (const auto& [a, b] : canonical_pairs()) {
+      const OperatorPairAnalysis pa = pair_operators(db, a, b, d);
+      const Cdf cdf{pa.diffs()};
+      if (cdf.empty()) continue;
+      t.add_row({bench::carrier_str(a) + " - " + bench::carrier_str(b),
+                 std::to_string(cdf.size()), fmt(cdf.quantile(0.10)),
+                 fmt(cdf.quantile(0.25)), fmt(cdf.quantile(0.50)),
+                 fmt(cdf.quantile(0.75)), fmt(cdf.quantile(0.90)),
+                 fmt_pct(1.0 - cdf.fraction_below(0.0))});
+    }
+    t.print(std::cout);
+  }
+
+  banner(std::cout, "Fig. 6b", "Technology-class (HT=mid/mmWave, LT=rest) "
+                               "bin shares per pair");
+  {
+    Table t({"pair", "direction", "HT-HT", "HT-LT", "LT-HT", "LT-LT"});
+    for (radio::Direction d :
+         {radio::Direction::Downlink, radio::Direction::Uplink}) {
+      for (const auto& [a, b] : canonical_pairs()) {
+        const auto shares = pair_operators(db, a, b, d).class_shares();
+        t.add_row({bench::carrier_str(a) + " - " + bench::carrier_str(b),
+                   std::string(radio::direction_name(d)),
+                   fmt_pct(shares[0]), fmt_pct(shares[1]),
+                   fmt_pct(shares[2]), fmt_pct(shares[3])});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  banner(std::cout, "Fig. 6c/6d", "Per-class difference CDFs (does HT always "
+                                  "beat LT? paper: no — LT wins ~20% of "
+                                  "HT-vs-LT samples)");
+  for (radio::Direction d :
+       {radio::Direction::Downlink, radio::Direction::Uplink}) {
+    std::cout << "\n  -- " << radio::direction_name(d) << " --\n";
+    Table t({"pair", "class", "n", "p25", "p50", "p75", "first wins"});
+    for (const auto& [a, b] : canonical_pairs()) {
+      const OperatorPairAnalysis pa = pair_operators(db, a, b, d);
+      for (int cls = 0; cls < kTechClassPairCount; ++cls) {
+        const auto tcp = static_cast<TechClassPair>(cls);
+        const Cdf cdf{pa.diffs(tcp)};
+        if (cdf.size() < 10) continue;
+        t.add_row({bench::carrier_str(a) + " - " + bench::carrier_str(b),
+                   std::string(tech_class_pair_name(tcp)),
+                   std::to_string(cdf.size()), fmt(cdf.quantile(0.25)),
+                   fmt(cdf.quantile(0.50)), fmt(cdf.quantile(0.75)),
+                   fmt_pct(1.0 - cdf.fraction_below(0.0))});
+      }
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 7: Technology-wise throughput as a function of vehicle speed.
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 7", "Throughput vs speed (paper: mmWave only at "
+                              "low speed; mid-speed suburban dip for "
+                              "Verizon/AT&T; plenty of low samples in every "
+                              "bin -> weak speed correlation)");
+  for (radio::Direction d :
+       {radio::Direction::Downlink, radio::Direction::Uplink}) {
+    std::cout << "\n  -- " << radio::direction_name(d) << " --\n";
+    Table t({"carrier", "speed bin", "tech", "n", "p50 Mbps", "p90 Mbps",
+             "max Mbps"});
+    for (radio::Carrier c : radio::kAllCarriers) {
+      for (int b = 0; b < geo::kSpeedBinCount; ++b) {
+        const auto bin = static_cast<geo::SpeedBin>(b);
+        for (radio::Technology tech : radio::kAllTechnologies) {
+          KpiFilter f;
+          f.carrier = c;
+          f.direction = d;
+          f.speed_bin = bin;
+          f.tech = tech;
+          f.is_static = false;
+          const Cdf cdf{throughput_samples(db, f)};
+          if (cdf.size() < 5) continue;
+          t.add_row({bench::carrier_str(c),
+                     std::string(geo::speed_bin_name(bin)),
+                     bench::tech_str(tech), std::to_string(cdf.size()),
+                     fmt(cdf.quantile(0.5)), fmt(cdf.quantile(0.9)),
+                     fmt(cdf.max())});
+        }
+      }
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 8: Technology-wise RTT as a function of vehicle speed.
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 8", "RTT vs speed (paper: RTT grows with speed "
+                              "for Verizon & T-Mobile but not AT&T; mmWave "
+                              "RTT samples only at near-zero speed; AT&T "
+                              "4G RTT uniformly high)");
+  Table t({"carrier", "speed bin", "tech", "n", "p50 ms", "p90 ms"});
+  for (radio::Carrier c : radio::kAllCarriers) {
+    for (int b = 0; b < geo::kSpeedBinCount; ++b) {
+      const auto bin = static_cast<geo::SpeedBin>(b);
+      for (radio::Technology tech : radio::kAllTechnologies) {
+        RttFilter f;
+        f.carrier = c;
+        f.speed_bin = bin;
+        f.tech = tech;
+        f.is_static = false;
+        const Cdf cdf{rtt_samples(db, f)};
+        if (cdf.size() < 5) continue;
+        t.add_row({bench::carrier_str(c),
+                   std::string(geo::speed_bin_name(bin)),
+                   bench::tech_str(tech), std::to_string(cdf.size()),
+                   fmt(cdf.quantile(0.5)), fmt(cdf.quantile(0.9))});
+      }
+    }
+  }
+  t.print(std::cout);
+
+  // Per-carrier speed sensitivity summary (median low-bin vs high-bin).
+  std::cout << '\n';
+  for (radio::Carrier c : radio::kAllCarriers) {
+    RttFilter lo, hi;
+    lo.carrier = hi.carrier = c;
+    lo.is_static = hi.is_static = false;
+    lo.speed_bin = geo::SpeedBin::Low;
+    hi.speed_bin = geo::SpeedBin::High;
+    const Cdf l{rtt_samples(db, lo)}, h{rtt_samples(db, hi)};
+    std::cout << "  " << bench::carrier_str(c)
+              << ": median RTT low-speed " << fmt(l.quantile(0.5))
+              << " ms vs high-speed " << fmt(h.quantile(0.5)) << " ms\n";
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 9: Per-test (30 s / 20 s) mean and variability of throughput/RTT.
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+namespace {
+
+Cdf means(const std::vector<PerTestStat>& stats) {
+  std::vector<double> xs;
+  for (const auto& s : stats) xs.push_back(s.mean);
+  return Cdf{std::move(xs)};
+}
+
+Cdf stddev_pcts(const std::vector<PerTestStat>& stats) {
+  std::vector<double> xs;
+  for (const auto& s : stats) xs.push_back(s.stddev_pct);
+  return Cdf{std::move(xs)};
+}
+
+}  // namespace
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 9 (top)", "Per-test means (paper medians: DL "
+                                    "30/37/48, UL 13/14/10 Mbps, RTT "
+                                    "64/82/81 ms for V/T/A)");
+  Table t({"carrier", "metric", "paper p50", "measured CDF"});
+  const double paper_dl[] = {30.0, 37.0, 48.0};
+  const double paper_ul[] = {13.0, 14.0, 10.0};
+  const double paper_rtt[] = {64.0, 82.0, 81.0};
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const std::size_t ci = measure::carrier_index(c);
+    const Cdf dl = means(
+        per_test_throughput(db, c, radio::Direction::Downlink));
+    const Cdf ul = means(per_test_throughput(db, c, radio::Direction::Uplink));
+    const Cdf rtt = means(per_test_rtt(db, c));
+    t.add_row({bench::carrier_str(c), "DL mean Mbps", fmt(paper_dl[ci], 0),
+               cdf_row(dl)});
+    t.add_row({bench::carrier_str(c), "UL mean Mbps", fmt(paper_ul[ci], 0),
+               cdf_row(ul)});
+    t.add_row({bench::carrier_str(c), "RTT mean ms", fmt(paper_rtt[ci], 0),
+               cdf_row(rtt)});
+  }
+  t.print(std::cout);
+
+  banner(std::cout, "Fig. 9 (bottom)",
+         "Within-test variability, stddev as % of mean (paper medians: DL "
+         "70/48/52%, UL 45/52/44%, RTT 18/29/19%)");
+  Table v({"carrier", "metric", "paper p50", "measured CDF"});
+  const double paper_dl_sd[] = {70.0, 48.0, 52.0};
+  const double paper_ul_sd[] = {45.0, 52.0, 44.0};
+  const double paper_rtt_sd[] = {18.0, 29.0, 19.0};
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const std::size_t ci = measure::carrier_index(c);
+    v.add_row({bench::carrier_str(c), "DL stddev %", fmt(paper_dl_sd[ci], 0),
+               cdf_row(stddev_pcts(
+                   per_test_throughput(db, c, radio::Direction::Downlink)))});
+    v.add_row({bench::carrier_str(c), "UL stddev %", fmt(paper_ul_sd[ci], 0),
+               cdf_row(stddev_pcts(
+                   per_test_throughput(db, c, radio::Direction::Uplink)))});
+    v.add_row({bench::carrier_str(c), "RTT stddev %", fmt(paper_rtt_sd[ci], 0),
+               cdf_row(stddev_pcts(per_test_rtt(db, c)))});
+  }
+  v.print(std::cout);
+  return 0;
+}

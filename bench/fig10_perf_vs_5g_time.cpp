@@ -1,0 +1,77 @@
+// Fig. 10: Per-test performance vs fraction of the test spent on
+// high-speed 5G.
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+namespace {
+
+void bucket_report(Table& t, const std::string& label,
+                   const std::vector<PerTestStat>& stats) {
+  struct Bucket {
+    double lo, hi;
+    const char* name;
+  };
+  const Bucket buckets[] = {{-0.01, 0.001, "0%"},
+                            {0.001, 0.5, "(0,50%]"},
+                            {0.5, 0.999, "(50%,100%)"},
+                            {0.999, 1.01, "100%"}};
+  for (const auto& b : buckets) {
+    std::vector<double> xs;
+    for (const auto& s : stats) {
+      if (s.high_speed_5g_fraction > b.lo &&
+          s.high_speed_5g_fraction <= b.hi) {
+        xs.push_back(s.mean);
+      }
+    }
+    const Cdf cdf{std::move(xs)};
+    if (cdf.empty()) continue;
+    t.add_row({label, b.name, std::to_string(cdf.size()),
+               fmt(cdf.quantile(0.5)), fmt(cdf.quantile(0.9))});
+  }
+}
+
+double hs_correlation(const std::vector<PerTestStat>& stats) {
+  std::vector<double> x, y;
+  for (const auto& s : stats) {
+    x.push_back(s.high_speed_5g_fraction);
+    y.push_back(s.mean);
+  }
+  return pearson(x, y);
+}
+
+}  // namespace
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 10",
+         "Per-test performance vs % time on high-speed 5G (paper: only "
+         "T-Mobile DL improves substantially with 5G time; RTT barely "
+         "moves)");
+  Table t({"slice", "hi-speed-5G time", "n", "p50", "p90"});
+  for (radio::Carrier c : radio::kAllCarriers) {
+    bucket_report(t, bench::carrier_str(c) + " DL Mbps",
+                  per_test_throughput(db, c, radio::Direction::Downlink));
+    bucket_report(t, bench::carrier_str(c) + " UL Mbps",
+                  per_test_throughput(db, c, radio::Direction::Uplink));
+    bucket_report(t, bench::carrier_str(c) + " RTT ms", per_test_rtt(db, c));
+  }
+  t.print(std::cout);
+
+  std::cout << '\n';
+  for (radio::Carrier c : radio::kAllCarriers) {
+    std::cout << "  " << bench::carrier_str(c)
+              << ": corr(DL mean, hi-speed-5G time) = "
+              << fmt(hs_correlation(
+                     per_test_throughput(db, c, radio::Direction::Downlink)),
+                     2)
+              << ", UL = "
+              << fmt(hs_correlation(
+                     per_test_throughput(db, c, radio::Direction::Uplink)),
+                     2)
+              << '\n';
+  }
+  return 0;
+}

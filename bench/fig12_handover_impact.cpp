@@ -1,0 +1,47 @@
+// Fig. 12: Throughput impact of handovers — ΔT1 (dip during HO) and
+// ΔT2 (post-HO minus pre-HO), overall and per HO type.
+#include "analysis/handover_impact.hpp"
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 12",
+         "Handover impact on throughput (paper: ΔT1<0 ~80% of the time but "
+         "small; ΔT2>0 ~55-60% of the time; 5G->4G worst, 4G->5G best)");
+  for (radio::Direction dir :
+       {radio::Direction::Downlink, radio::Direction::Uplink}) {
+    std::cout << "\n  -- " << radio::direction_name(dir) << " --\n";
+    Table t({"carrier", "HO type", "n", "ΔT1 p50", "ΔT1<0", "ΔT2 p50",
+             "ΔT2>0"});
+    for (radio::Carrier c : radio::kAllCarriers) {
+      const auto deltas = handover_deltas(db, c, dir);
+      // Overall row first, then per type.
+      const Cdf d1_all{delta_values(deltas, true)};
+      const Cdf d2_all{delta_values(deltas, false)};
+      if (d1_all.empty()) continue;
+      t.add_row({bench::carrier_str(c), "all",
+                 std::to_string(d1_all.size()), fmt(d1_all.quantile(0.5)),
+                 fmt_pct(d1_all.fraction_below(0.0)),
+                 fmt(d2_all.quantile(0.5)),
+                 fmt_pct(1.0 - d2_all.fraction_below(0.0))});
+      for (const auto type :
+           {ran::HandoverType::FourToFour, ran::HandoverType::FourToFive,
+            ran::HandoverType::FiveToFour, ran::HandoverType::FiveToFive}) {
+        const Cdf d1{delta_values(deltas, true, type)};
+        const Cdf d2{delta_values(deltas, false, type)};
+        if (d1.size() < 8) continue;
+        t.add_row({bench::carrier_str(c),
+                   std::string(ran::handover_type_name(type)),
+                   std::to_string(d1.size()), fmt(d1.quantile(0.5)),
+                   fmt_pct(d1.fraction_below(0.0)), fmt(d2.quantile(0.5)),
+                   fmt_pct(1.0 - d2.fraction_below(0.0))});
+      }
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 14: the CAV app — E2E latency of LIDAR point-cloud offloading.
+#include "apps/offload.hpp"
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 14",
+         "CAV app (paper: driving median 269 ms with compression; minimum "
+         "across the whole trip 148 ms — the 100 ms target is out of reach; "
+         "compression cuts E2E ~8x; T-Mobile best without compression)");
+
+  Table t({"carrier", "mode", "compressed", "n", "E2E p50 ms", "E2E min ms",
+           "FPS p50"});
+  for (radio::Carrier c : radio::kAllCarriers) {
+    for (const bool is_static : {true, false}) {
+      for (const bool compressed : {false, true}) {
+        const auto runs =
+            app_runs(db, measure::AppKind::Cav, c, is_static, compressed);
+        if (runs.empty()) continue;
+        std::vector<double> e2e, fps;
+        for (const auto* r : runs) {
+          e2e.push_back(r->median_e2e);
+          fps.push_back(r->offload_fps);
+        }
+        const Cdf ec{std::move(e2e)};
+        const Cdf fc{std::move(fps)};
+        t.add_row({bench::carrier_str(c), is_static ? "static" : "driving",
+                   compressed ? "yes" : "no", std::to_string(runs.size()),
+                   fmt(ec.quantile(0.5), 0), fmt(ec.min(), 0),
+                   fmt(fc.quantile(0.5), 1)});
+      }
+    }
+  }
+  t.print(std::cout);
+
+  // The no-correlation findings.
+  std::vector<double> hos, e2es, hs;
+  for (const auto* r :
+       app_runs(db, measure::AppKind::Cav, std::nullopt, false)) {
+    hos.push_back(r->handovers);
+    e2es.push_back(r->median_e2e);
+    hs.push_back(r->high_speed_5g_fraction);
+  }
+  std::cout << "  corr(E2E, #handovers) = " << fmt(pearson(e2es, hos), 2)
+            << "   corr(E2E, hi-speed-5G time) = "
+            << fmt(pearson(e2es, hs), 2) << '\n';
+
+  // Compression benefit factor (driving, all carriers).
+  auto med = [&](bool comp) {
+    std::vector<double> xs;
+    for (const auto* r :
+         app_runs(db, measure::AppKind::Cav, std::nullopt, false, comp)) {
+      xs.push_back(r->median_e2e);
+    }
+    return median_of(xs);
+  };
+  const double no_comp = med(false), with_comp = med(true);
+  compare_line(std::cout, "compression speedup (paper ~8x)", 8.0,
+               with_comp > 0 ? no_comp / with_comp : 0.0, "x");
+  return 0;
+}

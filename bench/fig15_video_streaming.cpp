@@ -1,0 +1,72 @@
+// Fig. 15 (and Fig. 21): 360° video streaming QoE.
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 15 (+21)",
+         "360-degree video streaming (paper: driving median QoE -53.75 vs "
+         "best static 96.29; ~40% of driving runs negative; rebuffering up "
+         "to 87% of playback; high-speed-5G runs mostly positive)");
+
+  Table t({"carrier", "mode", "n", "QoE p50", "QoE<0", "rebuffer p50",
+           "bitrate p50"});
+  for (radio::Carrier c : radio::kAllCarriers) {
+    for (const bool is_static : {true, false}) {
+      const auto runs = app_runs(db, measure::AppKind::Video, c, is_static);
+      if (runs.empty()) continue;
+      std::vector<double> qoe, rebuf, rate;
+      for (const auto* r : runs) {
+        qoe.push_back(r->qoe);
+        rebuf.push_back(r->rebuffer_fraction);
+        rate.push_back(r->avg_bitrate);
+      }
+      const Cdf qc{qoe};
+      t.add_row({bench::carrier_str(c), is_static ? "static" : "driving",
+                 std::to_string(runs.size()), fmt(qc.quantile(0.5), 1),
+                 fmt_pct(qc.fraction_below(0.0)),
+                 fmt_pct(median_of(rebuf)),
+                 fmt(median_of(rate), 1) + " Mbps"});
+    }
+  }
+  t.print(std::cout);
+
+  // QoE vs high-speed-5G time and vs handovers (Fig. 15b/c).
+  std::vector<double> qoe_all, hs, hos;
+  std::vector<double> qoe_full_hs;
+  for (const auto* r :
+       app_runs(db, measure::AppKind::Video, std::nullopt, false)) {
+    qoe_all.push_back(r->qoe);
+    hs.push_back(r->high_speed_5g_fraction);
+    hos.push_back(r->handovers);
+    if (r->high_speed_5g_fraction > 0.999) qoe_full_hs.push_back(r->qoe);
+  }
+  std::cout << "  corr(QoE, hi-speed-5G time) = "
+            << fmt(pearson(qoe_all, hs), 2)
+            << "   corr(QoE, #handovers) = " << fmt(pearson(qoe_all, hos), 2)
+            << '\n';
+  if (!qoe_full_hs.empty()) {
+    const Cdf full{qoe_full_hs};
+    std::cout << "  runs with 100% hi-speed 5G: " << full.size()
+              << ", QoE>0 share " << fmt_pct(1.0 - full.fraction_below(0.0))
+              << " (paper: mostly positive)\n";
+  }
+
+  // Edge vs cloud (Fig. 15b right).
+  for (const auto kind : {net::ServerKind::Edge, net::ServerKind::Cloud}) {
+    std::vector<double> q;
+    for (const auto* r : app_runs(db, measure::AppKind::Video,
+                                  radio::Carrier::Verizon, false)) {
+      if (r->server == kind) q.push_back(r->qoe);
+    }
+    if (!q.empty()) {
+      std::cout << "  Verizon via " << net::server_kind_name(kind)
+                << ": median QoE " << fmt(median_of(q), 1) << " (n=" << q.size()
+                << ")\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 16 (and Fig. 22): cloud gaming over Steam Remote Play.
+#include "bench_common.hpp"
+
+using namespace wheels;
+using namespace wheels::analysis;
+
+int main() {
+  const auto& db = bench::shared_db();
+
+  banner(std::cout, "Fig. 16 (+22)",
+         "Cloud gaming (paper: driving median bitrate ~17.5-21 Mbps vs "
+         "98.5 static; latency >200 ms for ~20% of runs; frame drops median "
+         "~1.6%, max 13-25%; adapter protects frame rate at latency's "
+         "expense)");
+
+  Table t({"carrier", "mode", "n", "bitrate p50", "latency p50",
+           "latency p90", "drop p50", "drop max"});
+  for (radio::Carrier c : radio::kAllCarriers) {
+    for (const bool is_static : {true, false}) {
+      const auto runs = app_runs(db, measure::AppKind::Gaming, c, is_static);
+      if (runs.empty()) continue;
+      std::vector<double> rate, lat, drop;
+      double max_drop = 0.0;
+      for (const auto* r : runs) {
+        rate.push_back(r->gaming_bitrate);
+        lat.push_back(r->gaming_latency);
+        drop.push_back(r->gaming_frame_drop);
+        max_drop = std::max(max_drop, r->gaming_max_frame_drop);
+      }
+      const Cdf lc{lat};
+      t.add_row({bench::carrier_str(c), is_static ? "static" : "driving",
+                 std::to_string(runs.size()),
+                 fmt(median_of(rate), 1) + " Mbps",
+                 fmt(lc.quantile(0.5), 0) + " ms",
+                 fmt(lc.quantile(0.9), 0) + " ms",
+                 fmt_pct(median_of(drop)), fmt_pct(max_drop)});
+    }
+  }
+  t.print(std::cout);
+
+  std::vector<double> rates, hos, hs;
+  for (const auto* r :
+       app_runs(db, measure::AppKind::Gaming, std::nullopt, false)) {
+    rates.push_back(r->gaming_bitrate);
+    hos.push_back(r->handovers);
+    hs.push_back(r->high_speed_5g_fraction);
+  }
+  std::cout << "  corr(bitrate, #handovers) = " << fmt(pearson(rates, hos), 2)
+            << "   corr(bitrate, hi-speed-5G time) = "
+            << fmt(pearson(rates, hs), 2) << '\n';
+  return 0;
+}

@@ -1,0 +1,37 @@
+// google-benchmark: end-to-end campaign simulation cost. The full-scale
+// (5,711 km) campaign must stay laptop-fast; this tracks the per-km cost.
+#include <benchmark/benchmark.h>
+
+#include "campaign/campaign.hpp"
+
+namespace {
+
+using namespace wheels;
+
+void BM_CampaignTiny(benchmark::State& state) {
+  campaign::CampaignConfig cfg;
+  cfg.scale = 0.01;  // ~57 km
+  cfg.seed = 1;
+  for (auto _ : state) {
+    const auto db = campaign::DriveCampaign{cfg}.run();
+    benchmark::DoNotOptimize(db.kpis.size());
+  }
+}
+BENCHMARK(BM_CampaignTiny)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignNoApps(benchmark::State& state) {
+  campaign::CampaignConfig cfg;
+  cfg.scale = 0.01;
+  cfg.seed = 1;
+  cfg.run_apps = false;
+  cfg.run_static = false;
+  for (auto _ : state) {
+    const auto db = campaign::DriveCampaign{cfg}.run();
+    benchmark::DoNotOptimize(db.kpis.size());
+  }
+}
+BENCHMARK(BM_CampaignNoApps)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

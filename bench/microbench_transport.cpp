@@ -1,0 +1,46 @@
+// google-benchmark microbenchmarks for the transport hot path. The fluid
+// TCP step runs ~10 times per radio tick per phone for the entire campaign,
+// so its cost bounds full-scale simulation time.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "transport/cubic.hpp"
+#include "transport/tcp_flow.hpp"
+
+namespace {
+
+using namespace wheels;
+
+void BM_TcpFlowAdvanceTick(benchmark::State& state) {
+  transport::TcpBulkFlow flow{60.0, Rng{1}};
+  const double cap = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.advance(cap, 500.0));
+  }
+}
+BENCHMARK(BM_TcpFlowAdvanceTick)->Arg(5)->Arg(100)->Arg(1500);
+
+void BM_CubicAckLoop(benchmark::State& state) {
+  transport::Cubic cubic;
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 50.0;
+    cubic.on_ack(cubic.cwnd_segments(), 50.0, now);
+    if (cubic.cwnd_segments() > 10'000.0) cubic.on_loss(now);
+    benchmark::DoNotOptimize(cubic.cwnd_segments());
+  }
+}
+BENCHMARK(BM_CubicAckLoop);
+
+void BM_RngFork(benchmark::State& state) {
+  Rng root{7};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(root.fork("bench", i++).next_u64());
+  }
+}
+BENCHMARK(BM_RngFork);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Table 1: Driving dataset statistics.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wheels;
+  using namespace wheels::analysis;
+  const auto& db = bench::shared_db();
+  const double scale = bench::campaign_scale();
+
+  banner(std::cout, "Table 1", "Driving dataset statistics");
+  std::cout << "  (campaign scale " << fmt(scale, 2)
+            << "; 'scaled to full trip' divides by the scale)\n\n";
+
+  compare_line(std::cout, "distance travelled (km)", 5711.0,
+               db.driven_km / scale, "km-of-route");
+
+  Table t({"metric", "paper (V/T/A)", "measured", "scaled to full trip"});
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const std::size_t ci = measure::carrier_index(c);
+    const double paper_cells = c == radio::Carrier::Verizon   ? 3020
+                               : c == radio::Carrier::TMobile ? 4038
+                                                              : 3150;
+    // Unique cells connected: union of active-test and passive-logger cells.
+    std::set<std::uint32_t> cells = db.active_cells[ci];
+    cells.insert(db.passive[ci].cells.begin(), db.passive[ci].cells.end());
+    t.add_row({"unique cells (" + bench::carrier_str(c) + ")",
+               fmt(paper_cells, 0), std::to_string(cells.size()),
+               fmt(static_cast<double>(cells.size()) / scale, 0)});
+  }
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const std::size_t ci = measure::carrier_index(c);
+    const double paper_hos = c == radio::Carrier::Verizon   ? 2657
+                             : c == radio::Carrier::TMobile ? 4119
+                                                            : 2494;
+    std::int64_t hos = db.passive[ci].handovers;
+    t.add_row({"handovers, passive logger (" + bench::carrier_str(c) + ")",
+               fmt(paper_hos, 0), std::to_string(hos),
+               fmt(static_cast<double>(hos) / scale, 0)});
+  }
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const std::size_t ci = measure::carrier_index(c);
+    const double paper_min = c == radio::Carrier::Verizon   ? 5561
+                             : c == radio::Carrier::TMobile ? 4595
+                                                            : 4541;
+    const double minutes = db.experiment_runtime[ci] / 60'000.0;
+    t.add_row({"experiment runtime, minutes (" + bench::carrier_str(c) + ")",
+               fmt(paper_min, 0), fmt(minutes, 0), fmt(minutes / scale, 0)});
+  }
+  t.add_row({"cellular data Rx (GB)", "777+", fmt(db.rx_bytes / 1e9, 1),
+             fmt(db.rx_bytes / 1e9 / scale, 1)});
+  t.add_row({"cellular data Tx (GB)", "83+", fmt(db.tx_bytes / 1e9, 1),
+             fmt(db.tx_bytes / 1e9 / scale, 1)});
+  t.print(std::cout);
+
+  std::cout << "\n  Shape check: T-Mobile sees the most unique cells and the"
+               "\n  most handovers; Rx volume is ~10x Tx volume.\n";
+  return 0;
+}

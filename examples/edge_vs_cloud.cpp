@@ -1,0 +1,89 @@
+// Edge vs cloud for a latency-critical app: drives the AR offloading app
+// through downtown Denver (a Wavelength edge city) over Verizon, once
+// against the in-network edge and once against the remote EC2 cloud —
+// the §7 comparison in miniature.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "apps/offload.hpp"
+#include "geo/route.hpp"
+#include "geo/scaled_route.hpp"
+#include "net/latency.hpp"
+#include "ran/session.hpp"
+
+int main() {
+  using namespace wheels;
+
+  const geo::Route route = geo::Route::cross_country();
+  const geo::ScaledRoute view{route, 1.0};
+  const net::ServerFleet fleet = net::ServerFleet::standard(route);
+  Rng root{2022};
+
+  const radio::Deployment deployment{view, radio::Carrier::Verizon,
+                                     root.fork("deploy")};
+
+  // Denver is waypoint 3; start the run a few km before downtown.
+  const Km denver = route.city_km(3);
+  const geo::RoutePoint pt = route.at(denver);
+  const net::Server* edge = fleet.edge_near(route, pt);
+  const net::Server& cloud = fleet.cloud_for(pt.tz);
+  if (edge == nullptr) {
+    std::cerr << "no edge server near Denver?!\n";
+    return 1;
+  }
+
+  std::cout << "AR app through downtown Denver over Verizon\n"
+            << "  edge:  " << edge->name << "\n  cloud: " << cloud.name
+            << " (~" << analysis::fmt(
+                   geo::haversine_km(cloud.pos, pt.pos), 0)
+            << " km away)\n\n";
+
+  const apps::OffloadApp app{apps::ar_config()};
+  analysis::Table table({"server", "compressed", "E2E median ms",
+                         "offloaded FPS", "mAP %"});
+
+  for (const net::Server* server : {edge, &cloud}) {
+    // Same radio conditions for both servers: identical seeds.
+    Rng rng = root.fork("denver-run");
+    ran::RadioSession session{deployment, ran::TrafficProfile::Interactive,
+                              rng.fork("session")};
+    net::RttProcess rtt{radio::Carrier::Verizon, rng.fork("rtt")};
+
+    // 20 s of urban driving at ~15 mph through downtown.
+    apps::LinkTrace trace;
+    geo::DriveSample s;
+    s.km = denver - 0.2;
+    s.tz = pt.tz;
+    s.region = geo::RegionType::Urban;
+    s.pos = pt.pos;
+    for (int i = 0; i < 40; ++i) {
+      s.t = i * 500;
+      s.speed = 15.0;
+      s.km += km_per_ms_from_mph(s.speed) * 500.0;
+      const ran::RadioTick tick = session.tick(s, 500.0);
+      apps::LinkTick lt;
+      lt.cap_dl = tick.kpis.capacity_dl;
+      lt.cap_ul = tick.kpis.capacity_ul;
+      lt.rtt = rtt.sample(tick.tech, *server, s.pos, s.speed, 0.0, 0.0);
+      lt.interruption = tick.interruption;
+      lt.handovers = static_cast<int>(tick.handovers.size());
+      lt.tech = tick.tech;
+      trace.push_back(lt);
+    }
+
+    for (const bool compressed : {false, true}) {
+      const apps::OffloadRunResult run = app.run(trace, compressed);
+      table.add_row({server->kind == net::ServerKind::Edge ? "edge" : "cloud",
+                     compressed ? "yes" : "no",
+                     analysis::fmt(run.median_e2e, 0),
+                     analysis::fmt(run.offload_fps, 1),
+                     analysis::fmt(run.map_percent, 1)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEdge + compression is the winning combination (§7.1), but "
+               "even then the\nAR pipeline stays far from the static-lab "
+               "68 ms / 12.5 FPS experience.\n";
+  return 0;
+}

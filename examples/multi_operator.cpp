@@ -1,0 +1,105 @@
+// Multi-operator aggregation what-if: the paper's recommendation (2).
+//
+// Drives a stretch of I-80 with all three carriers' modems active and shows,
+// minute by minute, which operator wins — and what an MPTCP-style min-RTT
+// aggregate would have delivered instead.
+#include <array>
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "geo/drive_trace.hpp"
+#include "geo/scaled_route.hpp"
+#include "ran/session.hpp"
+#include "transport/multipath.hpp"
+
+int main() {
+  using namespace wheels;
+
+  constexpr double kScale = 0.08;
+  const geo::Route route = geo::Route::cross_country();
+  const geo::ScaledRoute view{route, kScale};
+  Rng root{42};
+
+  std::array<std::unique_ptr<radio::Deployment>, 3> deps;
+  std::array<std::unique_ptr<ran::RadioSession>, 3> sessions;
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const auto ci = static_cast<std::size_t>(c);
+    deps[ci] = std::make_unique<radio::Deployment>(
+        view, c, root.fork(radio::carrier_name(c)));
+    sessions[ci] = std::make_unique<ran::RadioSession>(
+        *deps[ci], ran::TrafficProfile::BackloggedDownlink,
+        root.fork("session", ci));
+  }
+
+  transport::MultipathFlow aggregate{{70.0, 80.0, 80.0},
+                                     transport::MultipathScheduler::MinRtt,
+                                     root.fork("mptcp")};
+  std::array<transport::TcpBulkFlow, 3> singles{
+      transport::TcpBulkFlow{70.0, root.fork("f0")},
+      transport::TcpBulkFlow{80.0, root.fork("f1")},
+      transport::TcpBulkFlow{80.0, root.fork("f2")}};
+
+  geo::DriveTraceConfig tc;
+  tc.scale = kScale;
+  geo::DriveTraceGenerator gen{route, tc, root.fork("trace")};
+
+  std::array<double, 3> minute_bytes{};
+  double minute_agg = 0.0;
+  std::array<int, 3> wins{};
+  std::array<std::vector<double>, 3> single_rates;
+  std::vector<double> agg_rates;
+  int tick = 0, minutes_printed = 0;
+
+  std::cout << "minute-by-minute winner on the road (DL Mbps)\n\n";
+  analysis::Table table(
+      {"minute", "Verizon", "T-Mobile", "AT&T", "winner", "min-RTT MPTCP"});
+
+  while (auto s = gen.next()) {
+    std::array<Mbps, 3> caps{};
+    for (std::size_t ci = 0; ci < 3; ++ci) {
+      caps[ci] = sessions[ci]->tick(*s, 500.0).kpis.capacity_dl;
+      minute_bytes[ci] += singles[ci].advance(caps[ci], 500.0);
+    }
+    minute_agg += aggregate.advance(caps, 500.0);
+
+    if (++tick % 120 == 0) {  // one minute of driving
+      std::array<double, 3> mbps{};
+      std::size_t best = 0;
+      for (std::size_t ci = 0; ci < 3; ++ci) {
+        mbps[ci] = minute_bytes[ci] * 8.0 / 1e6 / 60.0;
+        single_rates[ci].push_back(mbps[ci]);
+        if (mbps[ci] > mbps[best]) best = ci;
+        minute_bytes[ci] = 0.0;
+      }
+      const double agg_mbps = minute_agg * 8.0 / 1e6 / 60.0;
+      agg_rates.push_back(agg_mbps);
+      minute_agg = 0.0;
+      ++wins[best];
+      if (minutes_printed < 15) {  // print the first quarter hour
+        table.add_row(
+            {std::to_string(tick / 120), analysis::fmt(mbps[0], 1),
+             analysis::fmt(mbps[1], 1), analysis::fmt(mbps[2], 1),
+             std::string(radio::carrier_name(
+                 static_cast<radio::Carrier>(best))),
+             analysis::fmt(agg_mbps, 1)});
+        ++minutes_printed;
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nwhole-drive summary\n";
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const auto ci = static_cast<std::size_t>(c);
+    std::cout << "  " << radio::carrier_name(c) << ": median "
+              << analysis::fmt(analysis::median_of(single_rates[ci]), 1)
+              << " Mbps, best-operator minutes: " << wins[ci] << '\n';
+  }
+  std::cout << "  min-RTT aggregate: median "
+            << analysis::fmt(analysis::median_of(agg_rates), 1)
+            << " Mbps\n\nNo single operator wins everywhere (§5.4) — the "
+               "winner changes along the\nroad, which is precisely why "
+               "aggregating all three pays off.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "analysis/correlations.hpp"
+
+#include "analysis/stats.hpp"
+
+namespace wheels::analysis {
+
+std::string_view kpi_factor_name(KpiFactor f) {
+  switch (f) {
+    case KpiFactor::Rsrp: return "RSRP";
+    case KpiFactor::Mcs: return "MCS";
+    case KpiFactor::Ca: return "CA";
+    case KpiFactor::Bler: return "BLER";
+    case KpiFactor::Speed: return "Speed";
+    case KpiFactor::Handovers: return "HO";
+  }
+  return "?";
+}
+
+double throughput_correlation(const measure::ConsolidatedDb& db,
+                              radio::Carrier carrier, radio::Direction dir,
+                              KpiFactor factor) {
+  std::vector<double> tput, col;
+  for (const auto& k : db.kpis) {
+    if (k.carrier != carrier || k.direction != dir || k.is_static) continue;
+    tput.push_back(k.throughput);
+    switch (factor) {
+      case KpiFactor::Rsrp: col.push_back(k.rsrp); break;
+      case KpiFactor::Mcs: col.push_back(k.mcs); break;
+      case KpiFactor::Ca: col.push_back(k.ca); break;
+      case KpiFactor::Bler: col.push_back(k.bler); break;
+      case KpiFactor::Speed: col.push_back(k.speed); break;
+      case KpiFactor::Handovers: col.push_back(k.handovers); break;
+    }
+  }
+  return pearson(tput, col);
+}
+
+CorrelationTable correlation_table(const measure::ConsolidatedDb& db) {
+  CorrelationTable table{};
+  for (radio::Carrier c : radio::kAllCarriers) {
+    for (std::size_t f = 0; f < kAllKpiFactors.size(); ++f) {
+      table[measure::carrier_index(c)][f][0] = throughput_correlation(
+          db, c, radio::Direction::Downlink, kAllKpiFactors[f]);
+      table[measure::carrier_index(c)][f][1] = throughput_correlation(
+          db, c, radio::Direction::Uplink, kAllKpiFactors[f]);
+    }
+  }
+  return table;
+}
+
+}  // namespace wheels::analysis

@@ -1,0 +1,33 @@
+// Table 2: Pearson correlation of throughput with lower-layer KPIs, speed
+// and handovers, per (carrier, direction).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "measure/records.hpp"
+
+namespace wheels::analysis {
+
+enum class KpiFactor { Rsrp, Mcs, Ca, Bler, Speed, Handovers };
+inline constexpr int kKpiFactorCount = 6;
+inline constexpr std::array<KpiFactor, kKpiFactorCount> kAllKpiFactors{
+    KpiFactor::Rsrp, KpiFactor::Mcs,  KpiFactor::Ca,
+    KpiFactor::Bler, KpiFactor::Speed, KpiFactor::Handovers};
+
+std::string_view kpi_factor_name(KpiFactor f);
+
+/// Pearson r between the 500 ms throughput samples and the factor's column,
+/// over driving bulk tests of (carrier, dir).
+double throughput_correlation(const measure::ConsolidatedDb& db,
+                              radio::Carrier carrier, radio::Direction dir,
+                              KpiFactor factor);
+
+/// The whole Table 2: [carrier][factor][direction].
+using CorrelationTable =
+    std::array<std::array<std::array<double, 2>, kKpiFactorCount>,
+               radio::kCarrierCount>;
+
+CorrelationTable correlation_table(const measure::ConsolidatedDb& db);
+
+}  // namespace wheels::analysis

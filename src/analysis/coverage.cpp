@@ -1,0 +1,71 @@
+#include "analysis/coverage.hpp"
+
+#include <algorithm>
+
+namespace wheels::analysis {
+
+double share_of(const TechShares& shares, radio::Technology t) {
+  return shares[static_cast<std::size_t>(t)];
+}
+
+double five_g_share(const TechShares& shares) {
+  return share_of(shares, radio::Technology::NrLow) +
+         share_of(shares, radio::Technology::NrMid) +
+         share_of(shares, radio::Technology::NrMmWave);
+}
+
+double high_speed_share(const TechShares& shares) {
+  return share_of(shares, radio::Technology::NrMid) +
+         share_of(shares, radio::Technology::NrMmWave);
+}
+
+TechShares coverage_from_segments(
+    const std::vector<measure::CoverageSegment>& segments) {
+  TechShares shares{};
+  double total = 0.0;
+  for (const auto& seg : segments) {
+    const Km len = seg.length();
+    if (len <= 0.0) continue;
+    shares[static_cast<std::size_t>(seg.tech)] += len;
+    total += len;
+  }
+  if (total > 0.0) {
+    for (double& s : shares) s /= total;
+  }
+  return shares;
+}
+
+std::string coverage_strip(
+    const std::vector<measure::CoverageSegment>& segments, Km route_km,
+    int width) {
+  std::string strip(static_cast<std::size_t>(width), ' ');
+  auto glyph = [](radio::Technology t) {
+    switch (t) {
+      case radio::Technology::Lte: return '.';
+      case radio::Technology::LteA: return ':';
+      case radio::Technology::NrLow: return 'l';
+      case radio::Technology::NrMid: return 'M';
+      case radio::Technology::NrMmWave: return 'W';
+    }
+    return '?';
+  };
+  // Highest tier seen in a bin wins the glyph so thin mmWave pockets stay
+  // visible at map resolution.
+  std::vector<int> tier(static_cast<std::size_t>(width), -1);
+  for (const auto& seg : segments) {
+    const int lo = std::clamp(
+        static_cast<int>(seg.map_km_start / route_km * width), 0, width - 1);
+    const int hi = std::clamp(
+        static_cast<int>(seg.map_km_end / route_km * width), lo, width - 1);
+    for (int i = lo; i <= hi; ++i) {
+      const int t = radio::technology_tier(seg.tech);
+      if (t > tier[static_cast<std::size_t>(i)]) {
+        tier[static_cast<std::size_t>(i)] = t;
+        strip[static_cast<std::size_t>(i)] = glyph(seg.tech);
+      }
+    }
+  }
+  return strip;
+}
+
+}  // namespace wheels::analysis

@@ -1,0 +1,48 @@
+// Coverage accounting (Figs. 1 and 2).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "measure/records.hpp"
+
+namespace wheels::analysis {
+
+/// Per-technology share of miles, summing to 1 (0 if no data).
+using TechShares = std::array<double, radio::kTechnologyCount>;
+
+double share_of(const TechShares& shares, radio::Technology t);
+
+/// 5G share (low+mid+mmWave) and high-speed-5G share (mid+mmWave).
+double five_g_share(const TechShares& shares);
+double high_speed_share(const TechShares& shares);
+
+/// Shares of route miles per technology from merged coverage segments
+/// (the Fig. 1 maps / Fig. 2a view).
+TechShares coverage_from_segments(
+    const std::vector<measure::CoverageSegment>& segments);
+
+/// Distance-weighted technology shares from KPI rows (each 500 ms row
+/// weighted by the km driven in it). `filter` rows with the predicate.
+template <typename Pred>
+TechShares coverage_from_kpis(const measure::ConsolidatedDb& db, Pred pred) {
+  TechShares shares{};
+  double total = 0.0;
+  for (const auto& k : db.kpis) {
+    if (k.is_static || !pred(k)) continue;
+    const double km = kmh_from_mph(k.speed) * (0.5 / 3600.0);
+    shares[static_cast<std::size_t>(k.tech)] += km;
+    total += km;
+  }
+  if (total > 0.0) {
+    for (double& s : shares) s /= total;
+  }
+  return shares;
+}
+
+/// ASCII coverage strip along the route (the Fig. 1 map, one char per bin):
+/// '.'=LTE, ':'=LTE-A, 'l'=5G-low, 'M'=5G-mid, 'W'=5G-mmWave, ' '=no data.
+std::string coverage_strip(const std::vector<measure::CoverageSegment>& segments,
+                           Km route_km, int width);
+
+}  // namespace wheels::analysis

@@ -1,0 +1,107 @@
+#include "analysis/handover_impact.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace wheels::analysis {
+
+namespace {
+
+bool is_bulk(measure::TestType t) {
+  return t == measure::TestType::DownlinkBulk ||
+         t == measure::TestType::UplinkBulk;
+}
+
+}  // namespace
+
+std::vector<double> handovers_per_mile(const measure::ConsolidatedDb& db,
+                                       radio::Carrier carrier,
+                                       radio::Direction dir) {
+  std::map<std::uint32_t, int> ho_count;
+  for (const auto& h : db.handovers) {
+    if (h.carrier == carrier && h.direction == dir) ++ho_count[h.test_id];
+  }
+  std::vector<double> out;
+  for (const auto& t : db.tests) {
+    if (t.carrier != carrier || t.direction != dir || t.is_static ||
+        !is_bulk(t.type)) {
+      continue;
+    }
+    const double miles = (t.end_km - t.start_km) * kMilesPerKm;
+    // Tests run while (almost) parked make HOs-per-mile degenerate; the
+    // paper normalises over moving tests.
+    if (miles < 0.05) continue;
+    const auto it = ho_count.find(t.id);
+    const int hos = it == ho_count.end() ? 0 : it->second;
+    out.push_back(hos / miles);
+  }
+  return out;
+}
+
+std::vector<double> handover_durations(const measure::ConsolidatedDb& db,
+                                       radio::Carrier carrier,
+                                       radio::Direction dir) {
+  std::vector<double> out;
+  for (const auto& h : db.handovers) {
+    if (h.carrier != carrier || h.direction != dir) continue;
+    const auto* test = db.find_test(h.test_id);
+    if (test == nullptr || !is_bulk(test->type)) continue;
+    out.push_back(h.event.duration);
+  }
+  return out;
+}
+
+std::vector<HandoverDelta> handover_deltas(const measure::ConsolidatedDb& db,
+                                           radio::Carrier carrier,
+                                           radio::Direction dir) {
+  // Gather throughput series per bulk test, ordered by time.
+  struct Series {
+    std::vector<SimMillis> t;
+    std::vector<double> tput;
+    std::vector<int> hos;
+  };
+  std::map<std::uint32_t, Series> by_test;
+  for (const auto& k : db.kpis) {
+    if (k.carrier != carrier || k.direction != dir || k.is_static) continue;
+    Series& s = by_test[k.test_id];
+    s.t.push_back(k.t);
+    s.tput.push_back(k.throughput);
+    s.hos.push_back(k.handovers);
+  }
+
+  std::vector<HandoverDelta> out;
+  for (const auto& h : db.handovers) {
+    if (h.carrier != carrier || h.direction != dir) continue;
+    const auto it = by_test.find(h.test_id);
+    if (it == by_test.end()) continue;
+    const Series& s = it->second;
+    // Locate the interval containing the HO timestamp: the last interval
+    // whose start is <= the event time (events are stamped with the start
+    // of the tick they occur in, so upper_bound, not lower_bound).
+    const auto pos = std::upper_bound(s.t.begin(), s.t.end(), h.event.t);
+    std::size_t i = pos == s.t.begin()
+                        ? 0
+                        : static_cast<std::size_t>(pos - s.t.begin()) - 1;
+    if (i < 2 || i + 2 >= s.tput.size()) continue;  // need context
+    HandoverDelta d;
+    d.type = h.event.type;
+    d.dt1 = s.tput[i] - (s.tput[i - 1] + s.tput[i + 1]) / 2.0;
+    d.dt2 = (s.tput[i + 1] + s.tput[i + 2]) / 2.0 -
+            (s.tput[i - 2] + s.tput[i - 1]) / 2.0;
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<double> delta_values(const std::vector<HandoverDelta>& deltas,
+                                 bool dt1,
+                                 std::optional<ran::HandoverType> type) {
+  std::vector<double> out;
+  for (const auto& d : deltas) {
+    if (type && *type != d.type) continue;
+    out.push_back(dt1 ? d.dt1 : d.dt2);
+  }
+  return out;
+}
+
+}  // namespace wheels::analysis

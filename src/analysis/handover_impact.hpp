@@ -1,0 +1,43 @@
+// Handover statistics and throughput impact (§6, Figs. 11 & 12).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "measure/records.hpp"
+#include "ran/handover.hpp"
+
+namespace wheels::analysis {
+
+/// Handovers per mile for each bulk test of (carrier, direction) — Fig. 11a.
+std::vector<double> handovers_per_mile(const measure::ConsolidatedDb& db,
+                                       radio::Carrier carrier,
+                                       radio::Direction dir);
+
+/// Handover durations (ms) — Fig. 11b.
+std::vector<double> handover_durations(const measure::ConsolidatedDb& db,
+                                       radio::Carrier carrier,
+                                       radio::Direction dir);
+
+/// The paper's Fig. 11c deltas around a handover at interval t3:
+///   ΔT1 = T3 − (T2 + T4)/2          (dip during the HO)
+///   ΔT2 = (T4 + T5)/2 − (T1 + T2)/2 (post- vs pre-HO level)
+struct HandoverDelta {
+  double dt1 = 0.0;
+  double dt2 = 0.0;
+  ran::HandoverType type = ran::HandoverType::FourToFour;
+};
+
+/// Compute ΔT1/ΔT2 for every handover inside bulk tests of (carrier, dir)
+/// with at least 2 intervals of context on each side.
+std::vector<HandoverDelta> handover_deltas(const measure::ConsolidatedDb& db,
+                                           radio::Carrier carrier,
+                                           radio::Direction dir);
+
+/// Filter deltas by handover type.
+std::vector<double> delta_values(const std::vector<HandoverDelta>& deltas,
+                                 bool dt1,
+                                 std::optional<ran::HandoverType> type =
+                                     std::nullopt);
+
+}  // namespace wheels::analysis

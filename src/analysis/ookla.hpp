@@ -1,0 +1,35 @@
+// Ookla SpeedTest US report, Q3 2022 (Table 3's comparison column), plus the
+// paper's own measured medians for reference in EXPERIMENTS.md.
+#pragma once
+
+#include "radio/technology.hpp"
+
+namespace wheels::analysis {
+
+struct OoklaEntry {
+  double downlink_mbps;
+  double uplink_mbps;
+  double rtt_ms;
+};
+
+/// Published Ookla Q3-2022 medians per carrier.
+constexpr OoklaEntry ookla_reference(radio::Carrier c) {
+  switch (c) {
+    case radio::Carrier::Verizon: return {58.64, 8.30, 59.0};
+    case radio::Carrier::TMobile: return {116.14, 10.91, 60.0};
+    case radio::Carrier::Att: return {57.94, 7.55, 61.0};
+  }
+  return {0, 0, 0};
+}
+
+/// The paper's own Table 3 medians ("Our Data" column).
+constexpr OoklaEntry paper_reference(radio::Carrier c) {
+  switch (c) {
+    case radio::Carrier::Verizon: return {29.62, 13.18, 63.71};
+    case radio::Carrier::TMobile: return {37.09, 13.77, 81.68};
+    case radio::Carrier::Att: return {48.40, 9.80, 80.73};
+  }
+  return {0, 0, 0};
+}
+
+}  // namespace wheels::analysis

@@ -1,0 +1,77 @@
+#include "analysis/pairing.hpp"
+
+#include <map>
+
+namespace wheels::analysis {
+
+std::string_view tech_class_pair_name(TechClassPair p) {
+  switch (p) {
+    case TechClassPair::HtHt: return "HT-HT";
+    case TechClassPair::HtLt: return "HT-LT";
+    case TechClassPair::LtHt: return "LT-HT";
+    case TechClassPair::LtLt: return "LT-LT";
+  }
+  return "?";
+}
+
+std::vector<double> OperatorPairAnalysis::diffs() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.diff);
+  return out;
+}
+
+std::vector<double> OperatorPairAnalysis::diffs(TechClassPair cls) const {
+  std::vector<double> out;
+  for (const auto& s : samples) {
+    if (s.cls == cls) out.push_back(s.diff);
+  }
+  return out;
+}
+
+std::array<double, kTechClassPairCount> OperatorPairAnalysis::class_shares()
+    const {
+  std::array<double, kTechClassPairCount> shares{};
+  if (samples.empty()) return shares;
+  for (const auto& s : samples) shares[static_cast<std::size_t>(s.cls)] += 1.0;
+  for (double& s : shares) s /= static_cast<double>(samples.size());
+  return shares;
+}
+
+OperatorPairAnalysis pair_operators(const measure::ConsolidatedDb& db,
+                                    radio::Carrier first,
+                                    radio::Carrier second,
+                                    radio::Direction dir) {
+  OperatorPairAnalysis out{first, second, {}};
+
+  // Concurrency key: the lockstep campaign stamps concurrent samples with
+  // identical sim times. (test_id differs per carrier, t does not.)
+  std::map<SimMillis, const measure::KpiRecord*> first_by_t;
+  for (const auto& k : db.kpis) {
+    if (k.is_static || k.direction != dir) continue;
+    if (k.carrier == first) first_by_t[k.t] = &k;
+  }
+  for (const auto& k : db.kpis) {
+    if (k.is_static || k.direction != dir || k.carrier != second) continue;
+    const auto it = first_by_t.find(k.t);
+    if (it == first_by_t.end()) continue;
+    const auto& f = *it->second;
+    PairedSample s;
+    s.diff = f.throughput - k.throughput;
+    const bool f_ht = radio::is_high_speed_5g(f.tech);
+    const bool s_ht = radio::is_high_speed_5g(k.tech);
+    s.cls = f_ht ? (s_ht ? TechClassPair::HtHt : TechClassPair::HtLt)
+                 : (s_ht ? TechClassPair::LtHt : TechClassPair::LtLt);
+    out.samples.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::pair<radio::Carrier, radio::Carrier>> canonical_pairs() {
+  using radio::Carrier;
+  return {{Carrier::Verizon, Carrier::TMobile},
+          {Carrier::TMobile, Carrier::Att},
+          {Carrier::Att, Carrier::Verizon}};
+}
+
+}  // namespace wheels::analysis

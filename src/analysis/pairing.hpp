@@ -1,0 +1,44 @@
+// Operator-diversity analysis (Fig. 6): throughput differences between
+// operator pairs measured concurrently (same round-robin cycle, same tick),
+// broken down by whether each operator used a high-throughput (HT: midband /
+// mmWave) or low-throughput (LT: LTE / LTE-A / 5G-low) technology.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "measure/records.hpp"
+
+namespace wheels::analysis {
+
+enum class TechClassPair { HtHt, HtLt, LtHt, LtLt };
+inline constexpr int kTechClassPairCount = 4;
+
+std::string_view tech_class_pair_name(TechClassPair p);
+
+struct PairedSample {
+  double diff = 0.0;  // throughput(first) − throughput(second), Mbps
+  TechClassPair cls = TechClassPair::LtLt;
+};
+
+struct OperatorPairAnalysis {
+  radio::Carrier first;
+  radio::Carrier second;
+  std::vector<PairedSample> samples;
+
+  std::vector<double> diffs() const;
+  std::vector<double> diffs(TechClassPair cls) const;
+  /// Share of samples in each class bin.
+  std::array<double, kTechClassPairCount> class_shares() const;
+};
+
+/// Pair concurrent 500 ms samples of the two carriers for the direction.
+OperatorPairAnalysis pair_operators(const measure::ConsolidatedDb& db,
+                                    radio::Carrier first,
+                                    radio::Carrier second,
+                                    radio::Direction dir);
+
+/// The paper's three pairs: (V,T), (T,A), (A,V).
+std::vector<std::pair<radio::Carrier, radio::Carrier>> canonical_pairs();
+
+}  // namespace wheels::analysis

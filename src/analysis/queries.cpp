@@ -1,0 +1,145 @@
+#include "analysis/queries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "analysis/stats.hpp"
+
+namespace wheels::analysis {
+
+bool KpiFilter::matches(const measure::KpiRecord& k) const {
+  if (carrier && *carrier != k.carrier) return false;
+  if (direction && *direction != k.direction) return false;
+  if (tech && *tech != k.tech) return false;
+  if (tz && *tz != k.tz) return false;
+  if (speed_bin && *speed_bin != geo::speed_bin(k.speed)) return false;
+  if (server && *server != k.server) return false;
+  if (is_static && *is_static != k.is_static) return false;
+  return true;
+}
+
+bool RttFilter::matches(const measure::RttRecord& r) const {
+  if (carrier && *carrier != r.carrier) return false;
+  if (tech && *tech != r.tech) return false;
+  if (tz && *tz != r.tz) return false;
+  if (speed_bin && *speed_bin != geo::speed_bin(r.speed)) return false;
+  if (server && *server != r.server) return false;
+  if (is_static && *is_static != r.is_static) return false;
+  return true;
+}
+
+std::vector<double> throughput_samples(const measure::ConsolidatedDb& db,
+                                       const KpiFilter& filter) {
+  std::vector<double> out;
+  for (const auto& k : db.kpis) {
+    if (filter.matches(k)) out.push_back(k.throughput);
+  }
+  return out;
+}
+
+std::vector<double> rtt_samples(const measure::ConsolidatedDb& db,
+                                const RttFilter& filter) {
+  std::vector<double> out;
+  for (const auto& r : db.rtts) {
+    if (filter.matches(r)) out.push_back(r.rtt);
+  }
+  return out;
+}
+
+std::vector<double> kpi_column(
+    const measure::ConsolidatedDb& db, const KpiFilter& filter,
+    const std::function<double(const measure::KpiRecord&)>& get) {
+  std::vector<double> out;
+  for (const auto& k : db.kpis) {
+    if (filter.matches(k)) out.push_back(get(k));
+  }
+  return out;
+}
+
+std::vector<PerTestStat> per_test_throughput(const measure::ConsolidatedDb& db,
+                                             radio::Carrier carrier,
+                                             radio::Direction dir,
+                                             bool is_static) {
+  std::map<std::uint32_t, std::vector<const measure::KpiRecord*>> by_test;
+  for (const auto& k : db.kpis) {
+    if (k.carrier != carrier || k.direction != dir ||
+        k.is_static != is_static) {
+      continue;
+    }
+    by_test[k.test_id].push_back(&k);
+  }
+
+  std::vector<PerTestStat> out;
+  for (const auto& [test_id, rows] : by_test) {
+    std::vector<double> tput;
+    int hs = 0, hos = 0;
+    for (const auto* k : rows) {
+      tput.push_back(k->throughput);
+      hs += radio::is_high_speed_5g(k->tech);
+      hos += k->handovers;
+    }
+    const Summary s = summarize(tput);
+    PerTestStat stat;
+    stat.test_id = test_id;
+    stat.mean = s.mean;
+    stat.stddev_pct = s.mean > 1e-9 ? s.stddev / s.mean * 100.0 : 0.0;
+    stat.high_speed_5g_fraction =
+        static_cast<double>(hs) / static_cast<double>(rows.size());
+    stat.handovers = hos;
+    if (const auto* test = db.find_test(test_id)) {
+      stat.distance_km = test->end_km - test->start_km;
+    }
+    out.push_back(stat);
+  }
+  return out;
+}
+
+std::vector<PerTestStat> per_test_rtt(const measure::ConsolidatedDb& db,
+                                      radio::Carrier carrier,
+                                      bool is_static) {
+  std::map<std::uint32_t, std::vector<const measure::RttRecord*>> by_test;
+  for (const auto& r : db.rtts) {
+    if (r.carrier != carrier || r.is_static != is_static) continue;
+    by_test[r.test_id].push_back(&r);
+  }
+
+  std::vector<PerTestStat> out;
+  for (const auto& [test_id, rows] : by_test) {
+    std::vector<double> rtt;
+    int hs = 0;
+    for (const auto* r : rows) {
+      rtt.push_back(r->rtt);
+      hs += radio::is_high_speed_5g(r->tech);
+    }
+    const Summary s = summarize(rtt);
+    PerTestStat stat;
+    stat.test_id = test_id;
+    stat.mean = s.mean;
+    stat.stddev_pct = s.mean > 1e-9 ? s.stddev / s.mean * 100.0 : 0.0;
+    stat.high_speed_5g_fraction =
+        static_cast<double>(hs) / static_cast<double>(rows.size());
+    if (const auto* test = db.find_test(test_id)) {
+      stat.distance_km = test->end_km - test->start_km;
+    }
+    out.push_back(stat);
+  }
+  return out;
+}
+
+std::vector<const measure::AppRunRecord*> app_runs(
+    const measure::ConsolidatedDb& db, measure::AppKind app,
+    std::optional<radio::Carrier> carrier, std::optional<bool> is_static,
+    std::optional<bool> compressed) {
+  std::vector<const measure::AppRunRecord*> out;
+  for (const auto& r : db.app_runs) {
+    if (r.app != app) continue;
+    if (carrier && *carrier != r.carrier) continue;
+    if (is_static && *is_static != r.is_static) continue;
+    if (compressed && *compressed != r.compressed) continue;
+    out.push_back(&r);
+  }
+  return out;
+}
+
+}  // namespace wheels::analysis

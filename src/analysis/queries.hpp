@@ -1,0 +1,78 @@
+// Typed filters/extractors over the ConsolidatedDb.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "measure/records.hpp"
+
+namespace wheels::analysis {
+
+/// Predicate-style filter for KPI rows; unset fields match everything.
+struct KpiFilter {
+  std::optional<radio::Carrier> carrier;
+  std::optional<radio::Direction> direction;
+  std::optional<radio::Technology> tech;
+  std::optional<geo::Timezone> tz;
+  std::optional<geo::SpeedBin> speed_bin;
+  std::optional<net::ServerKind> server;
+  std::optional<bool> is_static;
+
+  bool matches(const measure::KpiRecord& k) const;
+};
+
+struct RttFilter {
+  std::optional<radio::Carrier> carrier;
+  std::optional<radio::Technology> tech;
+  std::optional<geo::Timezone> tz;
+  std::optional<geo::SpeedBin> speed_bin;
+  std::optional<net::ServerKind> server;
+  std::optional<bool> is_static;
+
+  bool matches(const measure::RttRecord& r) const;
+};
+
+/// Throughput samples (Mbps) matching a filter.
+std::vector<double> throughput_samples(const measure::ConsolidatedDb& db,
+                                       const KpiFilter& filter);
+
+/// RTT samples (ms) matching a filter.
+std::vector<double> rtt_samples(const measure::ConsolidatedDb& db,
+                                const RttFilter& filter);
+
+/// Extract one numeric KPI column under a filter; `get` maps a record to the
+/// value.
+std::vector<double> kpi_column(
+    const measure::ConsolidatedDb& db, const KpiFilter& filter,
+    const std::function<double(const measure::KpiRecord&)>& get);
+
+/// Per-test aggregates: mean throughput of each bulk test (Fig. 9 top) and
+/// its stddev as a percentage of the mean (Fig. 9 bottom).
+struct PerTestStat {
+  std::uint32_t test_id = 0;
+  double mean = 0.0;
+  double stddev_pct = 0.0;
+  /// Fraction of the test spent on high-speed 5G (Fig. 10's x-axis).
+  double high_speed_5g_fraction = 0.0;
+  int handovers = 0;
+  Km distance_km = 0.0;
+};
+
+std::vector<PerTestStat> per_test_throughput(const measure::ConsolidatedDb& db,
+                                             radio::Carrier carrier,
+                                             radio::Direction dir,
+                                             bool is_static = false);
+
+std::vector<PerTestStat> per_test_rtt(const measure::ConsolidatedDb& db,
+                                      radio::Carrier carrier,
+                                      bool is_static = false);
+
+/// App runs matching (app, carrier, static?).
+std::vector<const measure::AppRunRecord*> app_runs(
+    const measure::ConsolidatedDb& db, measure::AppKind app,
+    std::optional<radio::Carrier> carrier,
+    std::optional<bool> is_static = std::nullopt,
+    std::optional<bool> compressed = std::nullopt);
+
+}  // namespace wheels::analysis

@@ -1,0 +1,155 @@
+#include "analysis/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wheels::analysis {
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const std::size_t n = a.size();
+  if (n == 0 || b.size() != n) {
+    throw std::invalid_argument{"solve_linear_system: bad dimensions"};
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) {
+      throw std::invalid_argument{"solve_linear_system: singular matrix"};
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= a[i][k] * x[k];
+    x[i] = sum / a[i][i];
+  }
+  return x;
+}
+
+namespace {
+
+struct Standardized {
+  std::vector<double> values;
+  bool constant = false;
+};
+
+Standardized standardize(std::span<const double> xs) {
+  Standardized out;
+  out.values.assign(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(n);
+  if (var < 1e-12) {
+    out.constant = true;
+    for (double& v : out.values) v = 0.0;
+    return out;
+  }
+  const double sd = std::sqrt(var);
+  for (double& v : out.values) v = (v - mean) / sd;
+  return out;
+}
+
+}  // namespace
+
+RegressionResult ols_standardized(std::span<const std::vector<double>> columns,
+                                  std::span<const double> y) {
+  const std::size_t p = columns.size();
+  const std::size_t n = y.size();
+  if (n < 2) throw std::invalid_argument{"ols: need at least 2 rows"};
+  for (const auto& col : columns) {
+    if (col.size() != n) throw std::invalid_argument{"ols: ragged columns"};
+  }
+
+  // Standardise everything; constant columns are dropped (beta 0).
+  std::vector<Standardized> xs;
+  xs.reserve(p);
+  for (const auto& col : columns) xs.push_back(standardize(col));
+  const Standardized ys = standardize(y);
+
+  RegressionResult result;
+  result.n = n;
+  result.beta.assign(p, 0.0);
+  if (ys.constant) return result;  // nothing to explain
+
+  std::vector<std::size_t> active;
+  for (std::size_t j = 0; j < p; ++j) {
+    if (!xs[j].constant) active.push_back(j);
+  }
+  if (active.empty()) return result;
+
+  // Normal equations on standardised data: (X'X) beta = X'y. With unit
+  // variances, X'X/n is the correlation matrix — well scaled by design.
+  const std::size_t k = active.size();
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t a = 0; a < k; ++a) {
+    const auto& xa = xs[active[a]].values;
+    for (std::size_t b = a; b < k; ++b) {
+      const auto& xb = xs[active[b]].values;
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += xa[i] * xb[i];
+      xtx[a][b] = xtx[b][a] = dot;
+    }
+    double dot = 0.0;
+    for (std::size_t i = 0; i < n; ++i) dot += xa[i] * ys.values[i];
+    xty[a] = dot;
+  }
+  // Ridge epsilon guards against perfectly collinear KPI columns.
+  for (std::size_t a = 0; a < k; ++a) xtx[a][a] += 1e-9 * static_cast<double>(n);
+
+  const std::vector<double> beta = solve_linear_system(xtx, xty);
+  for (std::size_t a = 0; a < k; ++a) result.beta[active[a]] = beta[a];
+
+  // R² = 1 − SSE / SST on standardised y (SST = n).
+  double sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double pred = 0.0;
+    for (std::size_t a = 0; a < k; ++a) {
+      pred += beta[a] * xs[active[a]].values[i];
+    }
+    const double err = ys.values[i] - pred;
+    sse += err * err;
+  }
+  result.r_squared = 1.0 - sse / static_cast<double>(n);
+  return result;
+}
+
+MultivariateReport multivariate_throughput(const measure::ConsolidatedDb& db,
+                                           radio::Carrier carrier,
+                                           radio::Direction direction) {
+  std::vector<std::vector<double>> columns(kKpiFactorCount);
+  std::vector<double> y;
+  for (const auto& k : db.kpis) {
+    if (k.carrier != carrier || k.direction != direction || k.is_static) {
+      continue;
+    }
+    y.push_back(k.throughput);
+    columns[0].push_back(k.rsrp);
+    columns[1].push_back(k.mcs);
+    columns[2].push_back(k.ca);
+    columns[3].push_back(k.bler);
+    columns[4].push_back(k.speed);
+    columns[5].push_back(k.handovers);
+  }
+  MultivariateReport report{carrier, direction, {}};
+  if (y.size() >= 2) report.fit = ols_standardized(columns, y);
+  return report;
+}
+
+}  // namespace wheels::analysis

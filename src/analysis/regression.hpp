@@ -1,0 +1,53 @@
+// Multivariate analysis of throughput vs KPIs.
+//
+// §5.5 closes with: "An in-depth understanding of the impact of multiple
+// KPIs on performance requires a multivariate analysis, which is part of
+// our future work." This module implements that analysis: ordinary least
+// squares on standardised variables, so coefficients are comparable across
+// KPIs, plus R² to quantify how much of the throughput variance the whole
+// KPI vector explains (the paper's univariate Table 2 suggests: not much).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/correlations.hpp"
+#include "measure/records.hpp"
+
+namespace wheels::analysis {
+
+struct RegressionResult {
+  /// Standardised (beta) coefficient per regressor, in input order.
+  std::vector<double> beta;
+  /// Intercept in standardised space (≈0 by construction).
+  double intercept = 0.0;
+  /// Coefficient of determination on the fitted data.
+  double r_squared = 0.0;
+  std::size_t n = 0;
+};
+
+/// OLS fit of y on X (columns = regressors). All variables are standardised
+/// internally (zero mean, unit variance); constant columns get a zero
+/// coefficient. Throws std::invalid_argument on size mismatch or n < 2.
+RegressionResult ols_standardized(std::span<const std::vector<double>> columns,
+                                  std::span<const double> y);
+
+/// The paper's future-work experiment: regress 500 ms throughput on all six
+/// Table 2 factors for one (carrier, direction).
+struct MultivariateReport {
+  radio::Carrier carrier;
+  radio::Direction direction;
+  RegressionResult fit;  // beta order follows kAllKpiFactors
+};
+
+MultivariateReport multivariate_throughput(const measure::ConsolidatedDb& db,
+                                           radio::Carrier carrier,
+                                           radio::Direction direction);
+
+/// Solve the symmetric linear system A x = b (Gaussian elimination with
+/// partial pivoting). Exposed for testing. Throws on singular A.
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+}  // namespace wheels::analysis

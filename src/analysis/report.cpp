@@ -1,0 +1,78 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace wheels::analysis {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    width[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "  ";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      for (std::size_t p = row[i].size(); p < width[i] + 2; ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::string rule;
+  for (std::size_t w : width) rule += std::string(w, '-') + "  ";
+  os << "  " << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void banner(std::ostream& os, const std::string& id,
+            const std::string& title) {
+  os << '\n'
+     << "==== " << id << ": " << title << " ====\n";
+}
+
+void compare_line(std::ostream& os, const std::string& what, double paper,
+                  double measured, const std::string& unit) {
+  os << "  " << what << ": paper " << fmt(paper) << ' ' << unit
+     << "  |  measured " << fmt(measured) << ' ' << unit << '\n';
+}
+
+std::string cdf_row(const Cdf& cdf) {
+  if (cdf.empty()) return "(no samples)";
+  std::string out;
+  out += "n=" + std::to_string(cdf.size());
+  out += "  p10=" + fmt(cdf.quantile(0.10));
+  out += "  p25=" + fmt(cdf.quantile(0.25));
+  out += "  p50=" + fmt(cdf.quantile(0.50));
+  out += "  p75=" + fmt(cdf.quantile(0.75));
+  out += "  p90=" + fmt(cdf.quantile(0.90));
+  out += "  max=" + fmt(cdf.max());
+  return out;
+}
+
+}  // namespace wheels::analysis

@@ -1,0 +1,40 @@
+// Report formatting shared by the bench binaries: fixed-width tables and
+// paper-vs-measured rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+
+namespace wheels::analysis {
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double v, int precision = 2);
+std::string fmt_pct(double fraction, int precision = 1);
+
+/// Print a section banner for an experiment.
+void banner(std::ostream& os, const std::string& id,
+            const std::string& title);
+
+/// One "paper vs measured" comparison line.
+void compare_line(std::ostream& os, const std::string& what, double paper,
+                  double measured, const std::string& unit);
+
+/// Quantile row of a CDF for figure-style output.
+std::string cdf_row(const Cdf& cdf);
+
+}  // namespace wheels::analysis

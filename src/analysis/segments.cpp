@@ -1,0 +1,88 @@
+#include "analysis/segments.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/stats.hpp"
+
+namespace wheels::analysis {
+
+std::vector<SegmentQuality> segment_quality(const measure::ConsolidatedDb& db,
+                                            Km route_km, Km segment_km) {
+  const auto n_segments =
+      static_cast<std::size_t>(std::max(1.0, route_km / segment_km));
+  std::vector<SegmentQuality> segments(n_segments);
+  std::vector<std::array<std::vector<double>, radio::kCarrierCount>> samples(
+      n_segments);
+  // Concurrent per-tick samples keyed by time, for the best-of-all view.
+  std::vector<std::map<SimMillis, std::array<double, radio::kCarrierCount>>>
+      concurrent(n_segments);
+
+  for (std::size_t i = 0; i < n_segments; ++i) {
+    segments[i].map_km_start = static_cast<double>(i) * segment_km;
+    segments[i].map_km_end =
+        std::min(route_km, segments[i].map_km_start + segment_km);
+  }
+
+  for (const auto& k : db.kpis) {
+    if (k.is_static || k.direction != radio::Direction::Downlink) continue;
+    const auto idx = std::min(
+        n_segments - 1, static_cast<std::size_t>(k.map_km / segment_km));
+    samples[idx][measure::carrier_index(k.carrier)].push_back(k.throughput);
+    auto& row = concurrent[idx]
+                    .try_emplace(k.t,
+                                 std::array<double, radio::kCarrierCount>{
+                                     -1.0, -1.0, -1.0})
+                    .first->second;
+    row[measure::carrier_index(k.carrier)] = k.throughput;
+  }
+
+  for (std::size_t i = 0; i < n_segments; ++i) {
+    for (radio::Carrier c : radio::kAllCarriers) {
+      const std::size_t ci = measure::carrier_index(c);
+      if (samples[i][ci].empty()) continue;
+      const double med = median_of(samples[i][ci]);
+      segments[i].median_dl[ci] = med;
+      if (!segments[i].best || med > segments[i].best_median) {
+        segments[i].best = c;
+        segments[i].best_median = med;
+      }
+    }
+    std::vector<double> best_ticks;
+    for (const auto& [t, row] : concurrent[i]) {
+      double best = -1.0;
+      for (double v : row) best = std::max(best, v);
+      if (best >= 0.0) best_ticks.push_back(best);
+    }
+    if (!best_ticks.empty()) {
+      segments[i].best_of_all_median = median_of(std::move(best_ticks));
+    }
+  }
+  return segments;
+}
+
+int operator_flips(const std::vector<SegmentQuality>& segments) {
+  int flips = 0;
+  std::optional<radio::Carrier> prev;
+  for (const auto& s : segments) {
+    if (!s.best) continue;
+    if (prev && *prev != *s.best) ++flips;
+    prev = s.best;
+  }
+  return flips;
+}
+
+double win_share(const std::vector<SegmentQuality>& segments,
+                 radio::Carrier carrier) {
+  int with_data = 0, wins = 0;
+  for (const auto& s : segments) {
+    if (!s.best) continue;
+    ++with_data;
+    wins += *s.best == carrier;
+  }
+  return with_data == 0 ? 0.0
+                        : static_cast<double>(wins) /
+                              static_cast<double>(with_data);
+}
+
+}  // namespace wheels::analysis

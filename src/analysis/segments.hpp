@@ -1,0 +1,44 @@
+// Route-segment quality maps.
+//
+// Summarises the campaign per stretch of road: per-carrier median downlink
+// throughput, the winning operator, and how often the winner flips along the
+// route — the spatial version of the paper's §5.4 operator-diversity
+// analysis, and the substrate for the trip-planner example.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "measure/records.hpp"
+
+namespace wheels::analysis {
+
+struct SegmentQuality {
+  Km map_km_start = 0.0;
+  Km map_km_end = 0.0;
+  /// Median driving DL throughput per carrier in this segment (Mbps);
+  /// nullopt when the segment holds no samples for that carrier.
+  std::array<std::optional<double>, radio::kCarrierCount> median_dl;
+  /// Best carrier by median DL (unset if no samples at all).
+  std::optional<radio::Carrier> best;
+  double best_median = 0.0;
+  /// Median over the per-tick max across carriers — what an ideal
+  /// multi-operator device would see.
+  std::optional<double> best_of_all_median;
+};
+
+/// Cut the route into `segment_km`-long pieces (map km) and summarise
+/// driving DL KPI samples into each.
+std::vector<SegmentQuality> segment_quality(const measure::ConsolidatedDb& db,
+                                            Km route_km, Km segment_km);
+
+/// Number of winner changes between consecutive segments that both have a
+/// winner.
+int operator_flips(const std::vector<SegmentQuality>& segments);
+
+/// Fraction of segments (with data) where `carrier` wins.
+double win_share(const std::vector<SegmentQuality>& segments,
+                 radio::Carrier carrier);
+
+}  // namespace wheels::analysis

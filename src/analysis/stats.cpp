@@ -1,0 +1,100 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wheels::analysis {
+
+namespace {
+
+double interpolated_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(s.n);
+
+  double var = 0.0;
+  for (double x : sorted) var += (x - s.mean) * (x - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(var / static_cast<double>(s.n - 1)) : 0.0;
+
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p25 = interpolated_quantile(sorted, 0.25);
+  s.median = interpolated_quantile(sorted, 0.50);
+  s.p75 = interpolated_quantile(sorted, 0.75);
+  s.p90 = interpolated_quantile(sorted, 0.90);
+  return s;
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::quantile(double q) const {
+  return interpolated_quantile(sorted_, q);
+}
+
+double Cdf::fraction_below(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+double Cdf::max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const auto mid = xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2);
+  std::nth_element(xs.begin(), mid, xs.end());
+  double m = *mid;
+  if (xs.size() % 2 == 0) {
+    const auto lower = std::max_element(xs.begin(), mid);
+    m = (m + *lower) / 2.0;
+  }
+  return m;
+}
+
+}  // namespace wheels::analysis

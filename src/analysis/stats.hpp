@@ -1,0 +1,52 @@
+// Statistics primitives used by every experiment.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wheels::analysis {
+
+/// Summary statistics of a sample set.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Empirical CDF over a sample set.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  /// Value at quantile q in [0, 1] (linear interpolation).
+  double quantile(double q) const;
+  /// Fraction of samples <= x.
+  double fraction_below(double x) const;
+  double min() const;
+  double max() const;
+
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Pearson correlation coefficient; returns 0 when either side is constant
+/// or the series are shorter than 2.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Median convenience (0 for empty).
+double median_of(std::vector<double> xs);
+
+}  // namespace wheels::analysis

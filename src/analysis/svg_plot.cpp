@@ -1,0 +1,223 @@
+#include "analysis/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wheels::analysis {
+
+namespace {
+
+constexpr int kMarginLeft = 64;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 34;
+constexpr int kMarginBottom = 46;
+
+const char* kPalette[] = {"#c23b3b", "#2b6fb3", "#3f9e4d",
+                          "#8e5bb0", "#d98b27", "#4fb0a5"};
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<double> nice_ticks(double lo, double hi, int target_count) {
+  if (!(hi > lo)) hi = lo + 1.0;
+  const double raw_step = (hi - lo) / std::max(1, target_count - 1);
+  const double mag = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = mag;
+  for (const double m : {1.0, 2.0, 2.5, 5.0, 10.0}) {
+    if (mag * m >= raw_step) {
+      step = mag * m;
+      break;
+    }
+  }
+  std::vector<double> ticks;
+  const double start = std::ceil(lo / step) * step;
+  for (double t = start; t <= hi + step * 1e-9; t += step) {
+    ticks.push_back(std::abs(t) < step * 1e-9 ? 0.0 : t);
+  }
+  return ticks;
+}
+
+SvgPlot::SvgPlot(std::string title, std::string x_label, std::string y_label,
+                 int width, int height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(width),
+      height_(height) {}
+
+void SvgPlot::add_line(std::vector<PlotPoint> points, std::string label) {
+  series_.push_back({std::move(points), std::move(label), false});
+}
+
+void SvgPlot::add_scatter(std::vector<PlotPoint> points, std::string label) {
+  series_.push_back({std::move(points), std::move(label), true});
+}
+
+void SvgPlot::add_cdf(const Cdf& cdf, std::string label, int resolution) {
+  std::vector<PlotPoint> pts;
+  if (!cdf.empty()) {
+    pts.reserve(static_cast<std::size_t>(resolution) + 1);
+    for (int i = 0; i <= resolution; ++i) {
+      const double q = static_cast<double>(i) / resolution;
+      pts.push_back({cdf.quantile(q), q});
+    }
+  }
+  add_line(std::move(pts), std::move(label));
+}
+
+std::string SvgPlot::render() const {
+  // Collect data bounds.
+  double x_lo = 1e300, x_hi = -1e300, y_lo = 1e300, y_hi = -1e300;
+  auto tx = [&](double x) { return log_x_ ? std::log10(x) : x; };
+  for (const auto& s : series_) {
+    for (const auto& p : s.points) {
+      if (log_x_ && p.x <= 0.0) continue;
+      x_lo = std::min(x_lo, tx(p.x));
+      x_hi = std::max(x_hi, tx(p.x));
+      y_lo = std::min(y_lo, p.y);
+      y_hi = std::max(y_hi, p.y);
+    }
+  }
+  if (x_lo > x_hi) {  // no data
+    x_lo = 0.0;
+    x_hi = 1.0;
+    y_lo = 0.0;
+    y_hi = 1.0;
+  }
+  if (y_lo == y_hi) y_hi = y_lo + 1.0;
+  if (x_lo == x_hi) x_hi = x_lo + 1.0;
+
+  const double plot_w = width_ - kMarginLeft - kMarginRight;
+  const double plot_h = height_ - kMarginTop - kMarginBottom;
+  auto px = [&](double x) {
+    return kMarginLeft + (tx(x) - x_lo) / (x_hi - x_lo) * plot_w;
+  };
+  auto py = [&](double y) {
+    return kMarginTop + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+      << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << ' '
+      << height_ << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg << "<text x=\"" << width_ / 2 << "\" y=\"20\" text-anchor=\"middle\" "
+         "font-family=\"sans-serif\" font-size=\"14\">"
+      << escape(title_) << "</text>\n";
+
+  // Axes frame.
+  svg << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop
+      << "\" width=\"" << plot_w << "\" height=\"" << plot_h
+      << "\" fill=\"none\" stroke=\"#444\"/>\n";
+
+  // X ticks (decades when log).
+  std::vector<double> xticks;
+  if (log_x_) {
+    for (double d = std::floor(x_lo); d <= std::ceil(x_hi); d += 1.0) {
+      if (d >= x_lo - 1e-9 && d <= x_hi + 1e-9) {
+        xticks.push_back(std::pow(10.0, d));
+      }
+    }
+  } else {
+    xticks = nice_ticks(x_lo, x_hi);
+  }
+  for (double t : xticks) {
+    const double x = px(t);
+    if (x < kMarginLeft - 1 || x > width_ - kMarginRight + 1) continue;
+    svg << "<line x1=\"" << x << "\" y1=\"" << kMarginTop + plot_h
+        << "\" x2=\"" << x << "\" y2=\"" << kMarginTop + plot_h + 5
+        << "\" stroke=\"#444\"/>\n";
+    svg << "<text x=\"" << x << "\" y=\"" << kMarginTop + plot_h + 18
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+           "font-size=\"10\">"
+        << num(t) << "</text>\n";
+  }
+  for (double t : nice_ticks(y_lo, y_hi)) {
+    const double y = py(t);
+    if (y < kMarginTop - 1 || y > kMarginTop + plot_h + 1) continue;
+    svg << "<line x1=\"" << kMarginLeft - 5 << "\" y1=\"" << y << "\" x2=\""
+        << kMarginLeft << "\" y2=\"" << y << "\" stroke=\"#444\"/>\n";
+    svg << "<text x=\"" << kMarginLeft - 8 << "\" y=\"" << y + 3
+        << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+           "font-size=\"10\">"
+        << num(t) << "</text>\n";
+  }
+
+  // Axis labels.
+  svg << "<text x=\"" << kMarginLeft + plot_w / 2 << "\" y=\""
+      << height_ - 10
+      << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+         "font-size=\"12\">"
+      << escape(x_label_) << (log_x_ ? " (log scale)" : "") << "</text>\n";
+  svg << "<text x=\"14\" y=\"" << kMarginTop + plot_h / 2
+      << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+         "font-size=\"12\" transform=\"rotate(-90 14 "
+      << kMarginTop + plot_h / 2 << ")\">" << escape(y_label_) << "</text>\n";
+
+  // Series.
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const Series& s = series_[si];
+    const char* color = kPalette[si % (sizeof(kPalette) / sizeof(*kPalette))];
+    if (s.scatter) {
+      for (const auto& p : s.points) {
+        if (log_x_ && p.x <= 0.0) continue;
+        svg << "<circle cx=\"" << px(p.x) << "\" cy=\"" << py(p.y)
+            << "\" r=\"2.2\" fill=\"" << color << "\" fill-opacity=\"0.6\"/>"
+            << '\n';
+      }
+    } else if (!s.points.empty()) {
+      svg << "<polyline fill=\"none\" stroke=\"" << color
+          << "\" stroke-width=\"1.8\" points=\"";
+      for (const auto& p : s.points) {
+        if (log_x_ && p.x <= 0.0) continue;
+        svg << px(p.x) << ',' << py(p.y) << ' ';
+      }
+      svg << "\"/>\n";
+    }
+    // Legend entry.
+    const double ly = kMarginTop + 14.0 + 16.0 * static_cast<double>(si);
+    svg << "<rect x=\"" << kMarginLeft + 10 << "\" y=\"" << ly - 8
+        << "\" width=\"12\" height=\"4\" fill=\"" << color << "\"/>\n";
+    svg << "<text x=\"" << kMarginLeft + 27 << "\" y=\"" << ly
+        << "\" font-family=\"sans-serif\" font-size=\"11\">"
+        << escape(s.label) << "</text>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void SvgPlot::save(const std::string& path) const {
+  const std::filesystem::path p{path};
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream os{p};
+  if (!os) throw std::runtime_error{"SvgPlot: cannot open " + path};
+  os << render();
+}
+
+}  // namespace wheels::analysis

@@ -1,0 +1,60 @@
+// Minimal dependency-free SVG plotting.
+//
+// The paper's results are figures; the bench binaries print their data as
+// tables, and this module draws them — CDF curves and scatter plots — as
+// standalone SVG files (see examples/render_figures). No external plotting
+// stack required.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/stats.hpp"
+
+namespace wheels::analysis {
+
+struct PlotPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class SvgPlot {
+ public:
+  SvgPlot(std::string title, std::string x_label, std::string y_label,
+          int width = 640, int height = 420);
+
+  /// Line series through the given points (sorted by the caller).
+  void add_line(std::vector<PlotPoint> points, std::string label);
+  /// Scatter series.
+  void add_scatter(std::vector<PlotPoint> points, std::string label);
+  /// Convenience: an empirical CDF as a line series (y in [0,1]).
+  void add_cdf(const Cdf& cdf, std::string label, int resolution = 128);
+
+  /// Log10 x-axis (positive xs only; non-positive points are dropped).
+  void set_log_x(bool log_x) { log_x_ = log_x; }
+
+  /// Render the full SVG document.
+  std::string render() const;
+  /// Write to a file; creates parent directories. Throws on I/O failure.
+  void save(const std::string& path) const;
+
+  std::size_t series_count() const { return series_.size(); }
+
+ private:
+  struct Series {
+    std::vector<PlotPoint> points;
+    std::string label;
+    bool scatter = false;
+  };
+
+  std::string title_, x_label_, y_label_;
+  int width_, height_;
+  bool log_x_ = false;
+  std::vector<Series> series_;
+};
+
+/// "Nice" tick positions covering [lo, hi].
+std::vector<double> nice_ticks(double lo, double hi, int target_count = 6);
+
+}  // namespace wheels::analysis

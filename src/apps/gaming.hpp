@@ -1,0 +1,54 @@
+// Cloud gaming over Steam Remote Play (paper §7.3, Appendix E).
+//
+// The server streams 4K@60FPS video whose bitrate is chosen by an adaptive
+// bitrate controller capped at 100 Mbps (the platform's maximum target). The
+// paper's observation: the adapter keeps the frame drop rate low by lowering
+// the frame rate / bitrate, trading latency instead. Metrics per run: send
+// bitrate (Mbps), network latency (ms), frame drop rate (%).
+#pragma once
+
+#include <vector>
+
+#include "apps/link_trace.hpp"
+#include "core/units.hpp"
+
+namespace wheels::apps {
+
+struct GamingConfig {
+  double fps = 60.0;
+  Mbps max_bitrate = 100.0;
+  Mbps min_bitrate = 2.0;
+  /// Fraction of estimated capacity the adapter targets.
+  double target_utilization = 0.8;
+  /// EWMA factor for capacity estimation per 500 ms interval.
+  double ewma_alpha = 0.25;
+  Millis run_duration = 60'000.0;
+};
+
+struct GamingInterval {
+  Mbps send_bitrate = 0.0;
+  Millis latency = 0.0;
+  double frame_drop_rate = 0.0;  // 0..1 within the interval
+};
+
+struct GamingRunResult {
+  std::vector<GamingInterval> intervals;
+  Mbps median_bitrate = 0.0;
+  Millis median_latency = 0.0;
+  double median_frame_drop = 0.0;  // fraction
+  double max_frame_drop = 0.0;
+};
+
+class GamingApp {
+ public:
+  explicit GamingApp(GamingConfig config = {}) : config_(config) {}
+
+  GamingRunResult run(const LinkTrace& link) const;
+
+  const GamingConfig& config() const { return config_; }
+
+ private:
+  GamingConfig config_;
+};
+
+}  // namespace wheels::apps

@@ -1,0 +1,25 @@
+#include "apps/link_trace.hpp"
+
+#include <algorithm>
+
+namespace wheels::apps {
+
+double high_speed_5g_fraction(const LinkTrace& trace) {
+  if (trace.empty()) return 0.0;
+  int hs = 0;
+  for (const LinkTick& t : trace) hs += radio::is_high_speed_5g(t.tech);
+  return static_cast<double>(hs) / static_cast<double>(trace.size());
+}
+
+int total_handovers(const LinkTrace& trace) {
+  int n = 0;
+  for (const LinkTick& t : trace) n += t.handovers;
+  return n;
+}
+
+const LinkTick& tick_at(const LinkTrace& trace, Millis t) {
+  const auto idx = static_cast<std::size_t>(std::max(0.0, t) / kLinkTickMs);
+  return trace[std::min(idx, trace.size() - 1)];
+}
+
+}  // namespace wheels::apps

@@ -1,0 +1,41 @@
+// The link-state view applications run over.
+//
+// The campaign produces one LinkTick per 500 ms of a test run (capacity in
+// both directions, path RTT, handover interruptions, serving technology).
+// Apps consume the trace at their own granularity, interpolating within
+// ticks. This mirrors the paper's methodology: apps ran over whatever the
+// radio link gave them, while XCAL logged the same 500 ms intervals.
+#pragma once
+
+#include <vector>
+
+#include "core/units.hpp"
+#include "radio/technology.hpp"
+
+namespace wheels::apps {
+
+struct LinkTick {
+  Mbps cap_dl = 0.0;
+  Mbps cap_ul = 0.0;
+  Millis rtt = 50.0;
+  /// Handover interruption within this tick.
+  Millis interruption = 0.0;
+  int handovers = 0;
+  radio::Technology tech = radio::Technology::Lte;
+};
+
+using LinkTrace = std::vector<LinkTick>;
+
+inline constexpr Millis kLinkTickMs = 500.0;
+
+/// Fraction of the run spent on high-speed 5G (midband/mmWave) — the x-axis
+/// of the paper's Fig. 13b/14b/15b app scatter plots.
+double high_speed_5g_fraction(const LinkTrace& trace);
+
+/// Total handovers across the run.
+int total_handovers(const LinkTrace& trace);
+
+/// Link state at an arbitrary millisecond offset into the run (clamped).
+const LinkTick& tick_at(const LinkTrace& trace, Millis t);
+
+}  // namespace wheels::apps

@@ -1,0 +1,120 @@
+#include "apps/offload.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace wheels::apps {
+
+OffloadConfig ar_config() {
+  return OffloadConfig{30.0, 450.0, 50.0, 6.3, 24.9, 1.0, 20'000.0, 4.0};
+}
+
+OffloadConfig cav_config() {
+  return OffloadConfig{10.0, 2000.0, 38.0, 34.8, 44.0, 19.1, 20'000.0, 8.0};
+}
+
+namespace {
+
+// Table 5 of the paper: mAP (%) per E2E-latency bin (in frame times), with
+// the Argoverse dataset, Faster R-CNN on the server and local tracking on
+// the device.
+constexpr std::array<double, 30> kMapNoCompression{
+    38.45, 37.22, 36.04, 34.65, 33.36, 32.20, 31.08, 28.03, 27.01, 25.62,
+    25.77, 23.29, 22.75, 22.48, 21.59, 20.59, 20.11, 19.53, 18.40, 18.01,
+    17.52, 16.96, 16.59, 15.41, 15.78, 15.86, 14.81, 14.70, 14.44, 14.05};
+
+constexpr std::array<double, 30> kMapWithCompression{
+    38.45, 36.14, 34.75, 33.12, 31.82, 30.50, 29.53, 26.99, 25.73, 25.21,
+    24.35, 22.44, 21.56, 21.64, 21.16, 20.35, 19.69, 18.95, 17.61, 17.85,
+    17.00, 16.55, 15.97, 15.16, 14.94, 15.37, 14.71, 13.77, 13.62, 13.70};
+
+}  // namespace
+
+double map_from_latency(Millis e2e_latency, double fps, bool compressed) {
+  const double frame_time = 1000.0 / fps;
+  const int bin = std::max(0, static_cast<int>(e2e_latency / frame_time));
+  const auto& table = compressed ? kMapWithCompression : kMapNoCompression;
+  if (bin < static_cast<int>(table.size())) {
+    return table[static_cast<std::size_t>(bin)];
+  }
+  // Past the table, local tracking keeps decaying gently toward a floor.
+  const double last = table.back();
+  return std::max(5.0, last - 0.35 * (bin - (static_cast<int>(table.size()) - 1)));
+}
+
+Millis OffloadApp::transfer_end(const LinkTrace& link, Millis start, double kb,
+                                bool uplink) const {
+  double remaining_bits = kb * 1024.0 * 8.0;
+  Millis t = start;
+  const Millis deadline = start + 15'000.0;  // give up on a dead link
+  while (remaining_bits > 0.0 && t < deadline) {
+    const LinkTick& tick = tick_at(link, t);
+    const Mbps rate = std::max(uplink ? tick.cap_ul : tick.cap_dl, 0.01);
+    const Millis tick_end =
+        (std::floor(t / kLinkTickMs) + 1.0) * kLinkTickMs;
+    const Millis window = std::min(tick_end - t, deadline - t);
+    const double can_move = rate * 1e6 / 1000.0 * window;  // bits in window
+    if (can_move >= remaining_bits) {
+      t += remaining_bits / (rate * 1e6 / 1000.0);
+      remaining_bits = 0.0;
+    } else {
+      remaining_bits -= can_move;
+      t = tick_end;
+    }
+  }
+  return t;
+}
+
+OffloadRunResult OffloadApp::run(const LinkTrace& link, bool compressed) const {
+  OffloadRunResult result;
+  result.compressed = compressed;
+  if (link.empty()) return result;
+
+  const Millis frame_period = 1000.0 / config_.fps;
+  Millis pipeline_free_at = 0.0;
+  double map_sum = 0.0;
+
+  for (Millis arrival = 0.0; arrival < config_.run_duration;
+       arrival += frame_period) {
+    if (arrival < pipeline_free_at) continue;  // local tracking handles it
+
+    Millis t = arrival;
+    if (compressed) t += config_.compression_ms;
+    const double upload_kb = compressed ? config_.compressed_kb : config_.raw_kb;
+
+    // App-protocol request overhead (half an RTT before the upload starts),
+    // half an RTT for the last byte to reach the server, half for the first
+    // response byte back: 1.5 RTT total per frame, as an HTTP-like
+    // request/response offload pipeline pays.
+    const Millis rtt = tick_at(link, t).rtt;
+    t += rtt / 2.0;
+    t = transfer_end(link, t, upload_kb, /*uplink=*/true);
+    t += rtt / 2.0;
+    t += config_.inference_ms;
+    t = transfer_end(link, t, config_.result_kb, /*uplink=*/false);
+    t += rtt / 2.0;
+    if (compressed) t += config_.decompression_ms;
+
+    OffloadFrame frame;
+    frame.offload_start = arrival;
+    frame.e2e_latency = t - arrival;
+    result.frames.push_back(frame);
+    map_sum += map_from_latency(frame.e2e_latency, config_.fps, compressed);
+    pipeline_free_at = t;
+  }
+
+  if (!result.frames.empty()) {
+    std::vector<Millis> lats;
+    lats.reserve(result.frames.size());
+    for (const auto& f : result.frames) lats.push_back(f.e2e_latency);
+    std::nth_element(lats.begin(), lats.begin() + lats.size() / 2, lats.end());
+    result.median_e2e = lats[lats.size() / 2];
+    result.offload_fps = static_cast<double>(result.frames.size()) /
+                         (config_.run_duration / 1000.0);
+    result.map_percent = map_sum / static_cast<double>(result.frames.size());
+  }
+  return result;
+}
+
+}  // namespace wheels::apps

@@ -1,0 +1,72 @@
+// Canonical edge-assisted AR / CAV offloading app (paper §7.1, Appendix C).
+//
+// An Android app offloads camera frames (AR) or LIDAR point clouds (CAV) to
+// a GPU server in a best-effort manner: while an offload is in flight,
+// incoming frames are handled by on-device local tracking and skipped. The
+// per-frame pipeline is
+//   compress → upload → server inference → download result → decompress
+// with the Table 4 constants. For the AR app, object detection accuracy
+// (mAP) is derived from the E2E latency via the paper's Table 5 lookup.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "apps/link_trace.hpp"
+#include "core/units.hpp"
+
+namespace wheels::apps {
+
+/// Table 4 of the paper.
+struct OffloadConfig {
+  double fps = 30.0;
+  double raw_kb = 450.0;
+  double compressed_kb = 50.0;
+  Millis compression_ms = 6.3;
+  Millis inference_ms = 24.9;
+  Millis decompression_ms = 1.0;
+  Millis run_duration = 20'000.0;
+  /// Server result payload (bounding boxes / fused view), KB.
+  double result_kb = 4.0;
+};
+
+OffloadConfig ar_config();
+OffloadConfig cav_config();
+
+/// Table 5: object detection accuracy (mAP, %) from E2E latency measured in
+/// frame times, with and without frame compression.
+double map_from_latency(Millis e2e_latency, double fps, bool compressed);
+
+struct OffloadFrame {
+  Millis offload_start = 0.0;
+  Millis e2e_latency = 0.0;
+};
+
+struct OffloadRunResult {
+  std::vector<OffloadFrame> frames;  // frames actually offloaded
+  Millis median_e2e = 0.0;
+  double offload_fps = 0.0;
+  /// AR only; mean Table 5 accuracy across offloaded frames.
+  double map_percent = 0.0;
+  bool compressed = false;
+};
+
+class OffloadApp {
+ public:
+  explicit OffloadApp(OffloadConfig config) : config_(config) {}
+
+  /// Run one 20 s session over the link trace.
+  OffloadRunResult run(const LinkTrace& link, bool compressed) const;
+
+  const OffloadConfig& config() const { return config_; }
+
+ private:
+  /// Time to move `kb` kilobytes starting at time `t`, walking the
+  /// tick-varying capacity; returns completion time.
+  Millis transfer_end(const LinkTrace& link, Millis start, double kb,
+                      bool uplink) const;
+
+  OffloadConfig config_;
+};
+
+}  // namespace wheels::apps

@@ -1,0 +1,126 @@
+#include "apps/video.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wheels::apps {
+
+std::string_view abr_kind_name(AbrKind k) {
+  return k == AbrKind::BufferBased ? "buffer-based (BBA)" : "rate-based";
+}
+
+Mbps VideoApp::select_bitrate(double buffer_s) const {
+  const auto& ladder = config_.ladder;  // descending
+  if (buffer_s <= config_.reservoir_s) return ladder.back();
+  if (buffer_s >= config_.cushion_s) return ladder.front();
+  // Linear map across the cushion, quantised down to a ladder rung.
+  const double t = (buffer_s - config_.reservoir_s) /
+                   (config_.cushion_s - config_.reservoir_s);
+  const Mbps target = ladder.back() + t * (ladder.front() - ladder.back());
+  for (Mbps rate : ladder) {
+    if (rate <= target) return rate;
+  }
+  return ladder.back();
+}
+
+Mbps VideoApp::select_bitrate_rate_based(Mbps estimated_throughput) const {
+  constexpr double kSafety = 0.8;
+  for (Mbps rate : config_.ladder) {  // descending
+    if (rate <= kSafety * estimated_throughput) return rate;
+  }
+  return config_.ladder.back();
+}
+
+VideoRunResult VideoApp::run(const LinkTrace& link) const {
+  VideoRunResult result;
+  if (link.empty()) return result;
+
+  double buffer_s = 0.0;
+  Millis now = 0.0;
+  Mbps prev_bitrate = 0.0;
+  bool first_chunk = true;
+  Mbps est_throughput = config_.ladder.back();  // conservative start
+
+  while (now < config_.run_duration) {
+    const Mbps bitrate = config_.abr == AbrKind::BufferBased
+                             ? select_bitrate(buffer_s)
+                             : select_bitrate_rate_based(est_throughput);
+    const double chunk_bits = bitrate * 1e6 * (config_.chunk_duration / 1000.0);
+
+    // Download the chunk across the tick-varying capacity. Each chunk is a
+    // fresh HTTP request: 1.5 RTT of request/response overhead plus a
+    // slow-start ramp before the transfer reaches line rate.
+    Millis t = now + 1.5 * tick_at(link, now).rtt;
+    const Millis transfer_start = t;
+    double remaining = chunk_bits;
+    const Millis deadline = now + 60'000.0;
+    while (remaining > 0.0 && t < deadline && t < config_.run_duration) {
+      const LinkTick& tick = tick_at(link, t);
+      const double ramp =
+          std::min(1.0, (t - transfer_start + 100.0) / (8.0 * tick.rtt));
+      const Mbps rate = std::max(tick.cap_dl * ramp, 0.01);
+      const Millis tick_end = (std::floor(t / kLinkTickMs) + 1.0) * kLinkTickMs;
+      const Millis window = std::min(tick_end - t, deadline - t);
+      const double can = rate * 1e3 * window;  // bits in `window` ms
+      if (can >= remaining) {
+        t += remaining / (rate * 1e3);
+        remaining = 0.0;
+      } else {
+        remaining -= can;
+        t = tick_end;
+      }
+    }
+    const Millis download_time = t - now;
+    if (download_time > 1.0) {
+      const Mbps measured = chunk_bits / 1e3 / download_time;  // Mbps
+      est_throughput = 0.6 * est_throughput + 0.4 * measured;
+    }
+
+    // Playback drains the buffer while downloading.
+    const double drained_s = download_time / 1000.0;
+    Millis rebuffer = 0.0;
+    if (drained_s > buffer_s) {
+      rebuffer = (drained_s - buffer_s) * 1000.0;
+      buffer_s = 0.0;
+    } else {
+      buffer_s -= drained_s;
+    }
+    buffer_s += config_.chunk_duration / 1000.0;
+
+    ChunkStat chunk;
+    chunk.bitrate = bitrate;
+    chunk.download_time = download_time;
+    chunk.rebuffer_time = rebuffer;
+    const double switch_penalty =
+        first_chunk ? 0.0 : config_.lambda * std::abs(bitrate - prev_bitrate);
+    chunk.qoe = bitrate - switch_penalty - config_.mu * (rebuffer / 1000.0);
+    result.chunks.push_back(chunk);
+
+    prev_bitrate = bitrate;
+    first_chunk = false;
+    now = t;
+
+    // Client-side pacing: if the buffer is full, wait before the next fetch.
+    if (buffer_s > config_.max_buffer_s) {
+      const double wait_s = buffer_s - config_.max_buffer_s;
+      now += wait_s * 1000.0;
+      buffer_s = config_.max_buffer_s;
+    }
+  }
+
+  if (!result.chunks.empty()) {
+    double qoe = 0.0, rate = 0.0, rebuf = 0.0;
+    for (const auto& c : result.chunks) {
+      qoe += c.qoe;
+      rate += c.bitrate;
+      rebuf += c.rebuffer_time;
+    }
+    const double n = static_cast<double>(result.chunks.size());
+    result.avg_qoe = qoe / n;
+    result.avg_bitrate = rate / n;
+    result.rebuffer_fraction = rebuf / config_.run_duration;
+  }
+  return result;
+}
+
+}  // namespace wheels::apps

@@ -1,0 +1,72 @@
+// 360° video streaming client (paper §7.2, Appendix D).
+//
+// A Puffer-style server streams 2-second chunks encoded at four quality
+// levels (100/50/10/5 Mbps). The client runs BBA — buffer-based adaptation
+// [27]: bitrate is a pure function of buffer occupancy (reservoir/cushion),
+// no capacity estimation. QoE follows [53]:
+//   QoE_k = B_k − λ·|B_k − B_{k−1}| − μ·T_k,   λ = 1, μ = 100 (per second),
+// averaged over the chunks of a 3-minute session.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "apps/link_trace.hpp"
+#include "core/units.hpp"
+
+namespace wheels::apps {
+
+/// ABR algorithm. The paper customises Puffer to run BBA; RateBased is the
+/// classic throughput-prediction alternative, kept for the ABR ablation
+/// bench (ablation_abr).
+enum class AbrKind { BufferBased, RateBased };
+
+std::string_view abr_kind_name(AbrKind k);
+
+struct VideoConfig {
+  AbrKind abr = AbrKind::BufferBased;
+  std::vector<Mbps> ladder{100.0, 50.0, 10.0, 5.0};  // descending
+  Millis chunk_duration = 2'000.0;
+  Millis run_duration = 180'000.0;
+  /// BBA reservoir / cushion (seconds of buffer).
+  double reservoir_s = 5.0;
+  double cushion_s = 15.0;
+  double lambda = 1.0;   // bitrate-switch penalty weight
+  double mu = 100.0;     // rebuffer penalty weight (per second)
+  double max_buffer_s = 30.0;
+};
+
+struct ChunkStat {
+  Mbps bitrate = 0.0;
+  Millis download_time = 0.0;
+  Millis rebuffer_time = 0.0;
+  double qoe = 0.0;
+};
+
+struct VideoRunResult {
+  std::vector<ChunkStat> chunks;
+  double avg_qoe = 0.0;
+  Mbps avg_bitrate = 0.0;
+  /// Rebuffer time as a fraction of the session duration.
+  double rebuffer_fraction = 0.0;
+};
+
+class VideoApp {
+ public:
+  explicit VideoApp(VideoConfig config = {}) : config_(config) {}
+
+  VideoRunResult run(const LinkTrace& link) const;
+
+  /// BBA bitrate choice for a buffer level (seconds).
+  Mbps select_bitrate(double buffer_s) const;
+
+  /// Rate-based choice: highest rung below `safety` x estimated throughput.
+  Mbps select_bitrate_rate_based(Mbps estimated_throughput) const;
+
+  const VideoConfig& config() const { return config_; }
+
+ private:
+  VideoConfig config_;
+};
+
+}  // namespace wheels::apps

@@ -1,0 +1,669 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apps/gaming.hpp"
+#include "apps/link_trace.hpp"
+#include "apps/offload.hpp"
+#include "apps/video.hpp"
+#include "geo/drive_trace.hpp"
+#include "geo/scaled_route.hpp"
+#include "measure/log_sync.hpp"
+#include "measure/logfile.hpp"
+#include "measure/passive_logger.hpp"
+#include "net/latency.hpp"
+#include "net/server.hpp"
+#include "ran/rrc.hpp"
+#include "ran/session.hpp"
+#include "transport/tcp_flow.hpp"
+
+namespace wheels::campaign {
+
+using apps::LinkTick;
+using apps::LinkTrace;
+using geo::DriveSample;
+using measure::AppKind;
+using measure::ConsolidatedDb;
+using measure::KpiRecord;
+using measure::TestRecord;
+using measure::TestType;
+using radio::Carrier;
+using radio::Direction;
+using ran::TrafficProfile;
+
+CampaignConfig config_from_env(double default_scale) {
+  CampaignConfig cfg;
+  cfg.scale = default_scale;
+  if (const char* s = std::getenv("WHEELS_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0 && v <= 1.0) cfg.scale = v;
+  }
+  if (const char* s = std::getenv("WHEELS_SEED")) {
+    cfg.seed = static_cast<std::uint64_t>(std::atoll(s));
+  }
+  return cfg;
+}
+
+namespace {
+
+constexpr Millis kTick = 500.0;
+
+struct CarrierContext {
+  Carrier carrier;
+  std::unique_ptr<radio::Deployment> deployment;
+  std::unique_ptr<ran::RadioSession> session;
+  std::unique_ptr<measure::PassiveLogger> passive;
+  std::unique_ptr<net::RttProcess> rtt_process;
+  std::unique_ptr<ran::RrcMachine> rrc;
+  measure::CoverageTracker active_coverage;
+  Rng rng{0};
+};
+
+class CampaignRunner {
+ public:
+  CampaignRunner(const CampaignConfig& cfg)
+      : cfg_(cfg),
+        root_(cfg.seed),
+        route_(geo::Route::cross_country()),
+        view_(route_, cfg.scale),
+        fleet_(net::ServerFleet::standard(route_)),
+        trace_gen_(route_, make_trace_config(cfg), root_.fork("trace")) {
+    for (Carrier c : radio::kAllCarriers) {
+      auto& ctx = contexts_[measure::carrier_index(c)];
+      ctx.carrier = c;
+      Rng crng = root_.fork(radio::carrier_name(c));
+      ctx.deployment = std::make_unique<radio::Deployment>(
+          view_, c, crng.fork("deployment"), cfg.deployment);
+      ctx.session = std::make_unique<ran::RadioSession>(
+          *ctx.deployment, TrafficProfile::BackloggedDownlink,
+          crng.fork("active-session"));
+      ctx.passive = std::make_unique<measure::PassiveLogger>(
+          *ctx.deployment, cfg.scale, crng.fork("passive"));
+      ctx.rtt_process = std::make_unique<net::RttProcess>(
+          c, crng.fork("rtt-process"));
+      ctx.rrc = std::make_unique<ran::RrcMachine>(crng.fork("rrc"));
+      ctx.rng = crng.fork("tests");
+    }
+    advance();  // prime the cursor
+  }
+
+  ConsolidatedDb run() {
+    while (current_.has_value()) {
+      run_cycle();
+      for (int i = 0; i < cfg_.idle_ticks_between_cycles && current_; ++i) {
+        advance();
+      }
+      ++cycle_;
+    }
+    finalize();
+    return std::move(db_);
+  }
+
+ private:
+  static geo::DriveTraceConfig make_trace_config(const CampaignConfig& cfg) {
+    geo::DriveTraceConfig tc;
+    tc.scale = cfg.scale;
+    return tc;
+  }
+
+  /// Advance the van by one tick; feeds passive loggers and triggers static
+  /// batteries on first city arrival.
+  void advance() {
+    current_ = trace_gen_.next();
+    if (!current_) return;
+    for (auto& ctx : contexts_) ctx.passive->tick(*current_);
+    db_.driven_km = current_->km;
+
+    if (cfg_.run_static) {
+      const geo::RoutePoint p = view_.at_physical(current_->km);
+      if (p.region == geo::RegionType::Urban &&
+          !visited_city_[p.nearest_city]) {
+        visited_city_[p.nearest_city] = true;
+        run_static_battery(p.nearest_city);
+      }
+    }
+  }
+
+  void run_cycle() {
+    run_bulk(Direction::Downlink);
+    run_bulk(Direction::Uplink);
+    run_rtt();
+    if (cfg_.run_apps) {
+      run_offload(AppKind::Ar);
+      run_offload(AppKind::Cav);
+      if (cycle_ % cfg_.long_app_stride == 0) {
+        run_long_app(AppKind::Video);
+        run_long_app(AppKind::Gaming);
+      }
+    }
+  }
+
+  KpiRecord make_kpi(CarrierContext& ctx, const ran::RadioTick& tick,
+                     const DriveSample& s, std::uint32_t test_id,
+                     Direction dir, net::ServerKind server,
+                     bool is_static) const {
+    KpiRecord k;
+    k.test_id = test_id;
+    k.t = s.t;
+    k.carrier = ctx.carrier;
+    k.tech = tick.tech;
+    k.cell_id = tick.cell_id;
+    // XCAL logs instantaneous modem snapshots, not 500 ms averages: the
+    // logged KPI carries measurement noise on top of the channel state (one
+    // reason the paper's KPI-vs-throughput correlations are weak, Table 2).
+    k.rsrp = tick.kpis.rsrp + ctx.rng.normal(0.0, 3.5);
+    k.mcs = std::clamp(
+        tick.kpis.mcs(dir) +
+            static_cast<int>(std::lround(ctx.rng.normal(0.0, 2.2))),
+        0, 28);
+    k.bler = std::clamp(tick.kpis.bler(dir) + ctx.rng.normal(0.0, 0.06),
+                        0.0, 1.0);
+    k.ca = tick.kpis.cc(dir);
+    k.speed = s.speed;
+    k.km = s.km;
+    k.map_km = s.km / cfg_.scale;
+    k.tz = s.tz;
+    k.region = s.region;
+    k.handovers = static_cast<int>(tick.handovers.size());
+    k.server = server;
+    k.direction = dir;
+    k.is_static = is_static;
+    return k;
+  }
+
+  TestRecord open_test(TestType type, Carrier carrier, net::ServerKind server,
+                       Direction dir, bool is_static) {
+    TestRecord t;
+    t.id = next_test_id_++;
+    t.type = type;
+    t.carrier = carrier;
+    t.is_static = is_static;
+    t.server = server;
+    t.direction = dir;
+    t.cycle = is_static ? -1 : cycle_;
+    if (current_) {
+      t.start = current_->t;
+      t.start_km = current_->km;
+      t.tz = current_->tz;
+    }
+    return t;
+  }
+
+  void close_test(TestRecord t, Millis duration) {
+    if (current_) {
+      t.end = current_->t;
+      t.end_km = current_->km;
+    } else {
+      t.end = t.start + static_cast<SimMillis>(duration);
+      t.end_km = db_.driven_km;
+    }
+    db_.experiment_runtime[measure::carrier_index(t.carrier)] += duration;
+    db_.tests.push_back(t);
+  }
+
+  /// One 30 s nuttcp bulk transfer on all three phones concurrently, routed
+  /// through the .drm + app-log + LogSynchronizer pipeline.
+  void run_bulk(Direction dir) {
+    if (!current_) return;
+    const TrafficProfile traffic = dir == Direction::Downlink
+                                       ? TrafficProfile::BackloggedDownlink
+                                       : TrafficProfile::BackloggedUplink;
+
+    struct BulkState {
+      TestRecord test;
+      const net::Server* server = nullptr;
+      std::unique_ptr<transport::TcpBulkFlow> flow;
+      measure::XcalLogger xcal;
+      measure::AppLogger applog;
+    };
+    std::array<std::optional<BulkState>, radio::kCarrierCount> states;
+
+    const geo::RoutePoint start_pt = view_.at_physical(current_->km);
+    const int local_offset = geo::utc_offset_minutes(current_->tz);
+    for (auto& ctx : contexts_) {
+      ctx.session->set_traffic(traffic);
+      const net::Server& server =
+          fleet_.select(ctx.carrier, route_, route_.at(start_pt.km));
+      BulkState st{
+          open_test(dir == Direction::Downlink ? TestType::DownlinkBulk
+                                               : TestType::UplinkBulk,
+                    ctx.carrier, server.kind, dir, false),
+          &server,
+          std::make_unique<transport::TcpBulkFlow>(
+              net::base_rtt(ctx.carrier, ctx.session->current_tech(), server,
+                            start_pt.pos),
+              ctx.rng.fork("bulk", next_test_id_)),
+          measure::XcalLogger{ctx.carrier, unix_from_sim(current_->t),
+                              local_offset},
+          measure::AppLogger{"nuttcp", measure::TimestampPolicy::Utc, 0}};
+      states[measure::carrier_index(ctx.carrier)].emplace(std::move(st));
+    }
+
+    int ticks = 0;
+    for (; ticks < cfg_.bulk_ticks && current_; ++ticks, advance()) {
+      const DriveSample& s = *current_;
+      for (auto& ctx : contexts_) {
+        BulkState& st = *states[measure::carrier_index(ctx.carrier)];
+        (void)ctx.rrc->on_traffic(s.t);
+        const ran::RadioTick tick = ctx.session->tick(s, kTick);
+        st.flow->set_base_rtt(net::base_rtt(ctx.carrier, tick.tech,
+                                            *st.server, s.pos));
+        const Mbps cap = tick.kpis.capacity(dir);
+        const double bytes = st.flow->advance(cap, kTick);
+        const Mbps mbps = bytes * 8.0 / 1e6 / (kTick / 1000.0);
+
+        const UnixMillis now = unix_from_sim(s.t);
+        st.xcal.log(now, make_kpi(ctx, tick, s, st.test.id, dir,
+                                  st.server->kind, false));
+        st.applog.log(now, mbps);
+
+        record_common(ctx, tick, s, st.test.id, dir);
+        if (dir == Direction::Downlink) {
+          db_.rx_bytes += bytes;
+        } else {
+          db_.tx_bytes += bytes;
+        }
+      }
+    }
+
+    for (auto& ctx : contexts_) {
+      BulkState& st = *states[measure::carrier_index(ctx.carrier)];
+      auto joined = measure::LogSynchronizer::join(
+          std::move(st.xcal).finish(), std::move(st.applog).finish());
+      db_.kpis.insert(db_.kpis.end(), joined.begin(), joined.end());
+      close_test(st.test, ticks * kTick);
+    }
+  }
+
+  /// 20 s of 200 ms pings on all three phones.
+  void run_rtt() {
+    if (!current_) return;
+    struct RttState {
+      TestRecord test;
+      const net::Server* server = nullptr;
+      measure::AppLogger applog;
+      std::vector<std::pair<radio::Technology, MilesPerHour>> tick_info;
+      SimMillis start = 0;
+    };
+    std::array<std::optional<RttState>, radio::kCarrierCount> states;
+
+    const geo::RoutePoint start_pt = view_.at_physical(current_->km);
+    const int local_offset = geo::utc_offset_minutes(current_->tz);
+    for (auto& ctx : contexts_) {
+      ctx.session->set_traffic(TrafficProfile::IdlePing);
+      const net::Server& server =
+          fleet_.select(ctx.carrier, route_, route_.at(start_pt.km));
+      states[measure::carrier_index(ctx.carrier)].emplace(RttState{
+          open_test(TestType::Rtt, ctx.carrier, server.kind,
+                    Direction::Downlink, false),
+          &server,
+          measure::AppLogger{"ping", measure::TimestampPolicy::LocalTime,
+                             local_offset},
+          {},
+          current_->t});
+    }
+
+    Millis next_ping = 0.0;  // offset within the test, shared by phones
+    int ticks = 0;
+    for (; ticks < cfg_.rtt_ticks && current_; ++ticks, advance()) {
+      const DriveSample& s = *current_;
+      const Millis tick_start = ticks * kTick;
+      for (auto& ctx : contexts_) {
+        RttState& st = *states[measure::carrier_index(ctx.carrier)];
+        const ran::RadioTick tick = ctx.session->tick(s, kTick);
+        st.tick_info.emplace_back(tick.tech, s.speed);
+        record_common(ctx, tick, s, st.test.id, Direction::Downlink);
+
+        for (Millis p = next_ping; p < tick_start + kTick; p += 200.0) {
+          Millis interruption =
+              tick.interruption > 0.0 && p == next_ping ? tick.interruption
+                                                        : 0.0;
+          // An idle radio pays the RRC idle->connected promotion on the
+          // first echo (why the paper's logger pings every 200 ms).
+          interruption +=
+              ctx.rrc->on_traffic(st.start + static_cast<SimMillis>(p));
+          const Millis rtt = ctx.rtt_process->sample(
+              tick.tech, *st.server, s.pos, s.speed, 0.0, interruption);
+          st.applog.log(unix_from_sim(st.start) +
+                            static_cast<UnixMillis>(p),
+                        rtt);
+        }
+      }
+      while (next_ping < tick_start + kTick) next_ping += 200.0;
+    }
+
+    for (auto& ctx : contexts_) {
+      RttState& st = *states[measure::carrier_index(ctx.carrier)];
+      const auto series =
+          measure::LogSynchronizer::normalize_series(std::move(st.applog).finish());
+      for (const auto& [t, value] : series) {
+        const auto idx = static_cast<std::size_t>(
+            std::clamp<SimMillis>((t - st.start) / static_cast<SimMillis>(kTick),
+                                  0,
+                                  static_cast<SimMillis>(st.tick_info.size()) - 1));
+        measure::RttRecord r;
+        r.test_id = st.test.id;
+        r.t = t;
+        r.carrier = ctx.carrier;
+        r.tech = st.tick_info[idx].first;
+        r.rtt = value;
+        r.speed = st.tick_info[idx].second;
+        r.tz = st.test.tz;
+        r.server = st.test.server;
+        r.is_static = false;
+        db_.rtts.push_back(r);
+      }
+      close_test(st.test, ticks * kTick);
+    }
+  }
+
+  /// Collect a link trace of `ticks` ticks for every carrier (lockstep).
+  std::array<LinkTrace, radio::kCarrierCount> collect_link_traces(
+      int ticks, std::array<const net::Server*, radio::kCarrierCount>& servers,
+      std::array<std::uint32_t, radio::kCarrierCount> test_ids) {
+    std::array<LinkTrace, radio::kCarrierCount> traces;
+    for (auto& ctx : contexts_) {
+      ctx.session->set_traffic(TrafficProfile::Interactive);
+    }
+    for (int i = 0; i < ticks && current_; ++i, advance()) {
+      const DriveSample& s = *current_;
+      for (auto& ctx : contexts_) {
+        const std::size_t ci = measure::carrier_index(ctx.carrier);
+        (void)ctx.rrc->on_traffic(s.t);
+        const ran::RadioTick tick = ctx.session->tick(s, kTick);
+        LinkTick lt;
+        lt.cap_dl = tick.kpis.capacity_dl;
+        lt.cap_ul = tick.kpis.capacity_ul;
+        lt.rtt = ctx.rtt_process->sample(tick.tech, *servers[ci], s.pos,
+                                         s.speed, 0.0, 0.0);
+        lt.interruption = tick.interruption;
+        lt.handovers = static_cast<int>(tick.handovers.size());
+        lt.tech = tick.tech;
+        traces[ci].push_back(lt);
+        record_common(ctx, tick, s, test_ids[ci], Direction::Uplink);
+      }
+    }
+    return traces;
+  }
+
+  void push_offload_run(const CarrierContext& ctx, AppKind kind,
+                        const TestRecord& test, const LinkTrace& trace,
+                        const apps::OffloadRunResult& run) {
+    measure::AppRunRecord r;
+    r.test_id = test.id;
+    r.app = kind;
+    r.carrier = ctx.carrier;
+    r.is_static = test.is_static;
+    r.server = test.server;
+    r.high_speed_5g_fraction = apps::high_speed_5g_fraction(trace);
+    r.handovers = apps::total_handovers(trace);
+    r.compressed = run.compressed;
+    r.median_e2e = run.median_e2e;
+    r.offload_fps = run.offload_fps;
+    r.map_percent = run.map_percent;
+    db_.app_runs.push_back(r);
+    // Uplink frames leave the device.
+    const double frame_kb = run.compressed
+                                ? (kind == AppKind::Ar ? 50.0 : 38.0)
+                                : (kind == AppKind::Ar ? 450.0 : 2000.0);
+    db_.tx_bytes += static_cast<double>(run.frames.size()) * frame_kb * 1024.0;
+  }
+
+  void run_offload(AppKind kind) {
+    if (!current_) return;
+    const apps::OffloadApp app{kind == AppKind::Ar ? apps::ar_config()
+                                                   : apps::cav_config()};
+    const TestType type =
+        kind == AppKind::Ar ? TestType::ArApp : TestType::CavApp;
+
+    for (const bool compressed : {false, true}) {
+      if (!current_) return;
+      std::array<const net::Server*, radio::kCarrierCount> servers{};
+      std::array<std::uint32_t, radio::kCarrierCount> ids{};
+      std::array<std::optional<TestRecord>, radio::kCarrierCount> tests;
+      const geo::RoutePoint pt = view_.at_physical(current_->km);
+      for (auto& ctx : contexts_) {
+        const std::size_t ci = measure::carrier_index(ctx.carrier);
+        servers[ci] = &fleet_.select(ctx.carrier, route_, route_.at(pt.km));
+        tests[ci] = open_test(type, ctx.carrier, servers[ci]->kind,
+                              Direction::Uplink, false);
+        ids[ci] = tests[ci]->id;
+      }
+      const auto traces = collect_link_traces(cfg_.offload_ticks, servers, ids);
+      for (auto& ctx : contexts_) {
+        const std::size_t ci = measure::carrier_index(ctx.carrier);
+        const auto run = app.run(traces[ci], compressed);
+        push_offload_run(ctx, kind, *tests[ci], traces[ci], run);
+        close_test(*tests[ci], cfg_.offload_ticks * kTick);
+      }
+    }
+  }
+
+  void run_long_app(AppKind kind) {
+    if (!current_) return;
+    const int ticks =
+        kind == AppKind::Video ? cfg_.video_ticks : cfg_.gaming_ticks;
+    const TestType type =
+        kind == AppKind::Video ? TestType::Video : TestType::Gaming;
+
+    std::array<const net::Server*, radio::kCarrierCount> servers{};
+    std::array<std::uint32_t, radio::kCarrierCount> ids{};
+    std::array<std::optional<TestRecord>, radio::kCarrierCount> tests;
+    const geo::RoutePoint pt = view_.at_physical(current_->km);
+    for (auto& ctx : contexts_) {
+      const std::size_t ci = measure::carrier_index(ctx.carrier);
+      servers[ci] = &fleet_.select(ctx.carrier, route_, route_.at(pt.km));
+      tests[ci] = open_test(type, ctx.carrier, servers[ci]->kind,
+                            Direction::Downlink, false);
+      ids[ci] = tests[ci]->id;
+    }
+    const auto traces = collect_link_traces(ticks, servers, ids);
+    for (auto& ctx : contexts_) {
+      const std::size_t ci = measure::carrier_index(ctx.carrier);
+      push_long_app_run(ctx, kind, *tests[ci], traces[ci]);
+      close_test(*tests[ci], ticks * kTick);
+    }
+  }
+
+  void push_long_app_run(const CarrierContext& ctx, AppKind kind,
+                         const TestRecord& test, const LinkTrace& trace) {
+    measure::AppRunRecord r;
+    r.test_id = test.id;
+    r.app = kind;
+    r.carrier = ctx.carrier;
+    r.is_static = test.is_static;
+    r.server = test.server;
+    r.high_speed_5g_fraction = apps::high_speed_5g_fraction(trace);
+    r.handovers = apps::total_handovers(trace);
+    if (kind == AppKind::Video) {
+      apps::VideoConfig vc;
+      vc.run_duration = static_cast<Millis>(trace.size()) * kTick;
+      const auto run = apps::VideoApp{vc}.run(trace);
+      r.qoe = run.avg_qoe;
+      r.rebuffer_fraction = run.rebuffer_fraction;
+      r.avg_bitrate = run.avg_bitrate;
+      db_.rx_bytes += run.avg_bitrate * 1e6 / 8.0 *
+                      (vc.run_duration / 1000.0);
+    } else {
+      apps::GamingConfig gc;
+      gc.run_duration = static_cast<Millis>(trace.size()) * kTick;
+      const auto run = apps::GamingApp{gc}.run(trace);
+      r.gaming_bitrate = run.median_bitrate;
+      r.gaming_latency = run.median_latency;
+      r.gaming_frame_drop = run.median_frame_drop;
+      r.gaming_max_frame_drop = run.max_frame_drop;
+      db_.rx_bytes += run.median_bitrate * 1e6 / 8.0 *
+                      (gc.run_duration / 1000.0);
+    }
+    db_.app_runs.push_back(r);
+  }
+
+  /// Handover records, coverage tracking, unique-cell bookkeeping shared by
+  /// every active test tick.
+  void record_common(CarrierContext& ctx, const ran::RadioTick& tick,
+                     const DriveSample& s, std::uint32_t test_id,
+                     Direction dir) {
+    const std::size_t ci = measure::carrier_index(ctx.carrier);
+    for (const auto& ho : tick.handovers) {
+      db_.handovers.push_back({test_id, ctx.carrier, dir, ho});
+    }
+    ctx.active_coverage.observe(s.km / cfg_.scale, tick.tech);
+    db_.active_cells[ci].insert(tick.cell_id);
+    if (tick.anchor_cell_id != 0) {
+      db_.active_cells[ci].insert(tick.anchor_cell_id);
+    }
+  }
+
+  void run_static_battery(std::size_t city) {
+    const Km city_km = view_.physical_city_km(city);
+    const geo::RoutePoint city_pt = route_.at(route_.city_km(city));
+    const SimMillis t0 = current_ ? current_->t : 0;
+
+    for (auto& ctx : contexts_) {
+      auto session = ran::StaticSession::try_create(
+          *ctx.deployment, city_km, 10.0, ctx.rng.fork("static", city));
+      if (!session.has_value()) continue;  // omitted, as in the paper
+      const net::Server& server =
+          fleet_.select(ctx.carrier, route_, city_pt);
+
+      // Bulk transfers, both directions.
+      for (const Direction dir :
+           {Direction::Downlink, Direction::Uplink}) {
+        TestRecord test = open_test(dir == Direction::Downlink
+                                        ? TestType::DownlinkBulk
+                                        : TestType::UplinkBulk,
+                                    ctx.carrier, server.kind, dir, true);
+        test.tz = city_pt.tz;
+        test.start = t0;
+        transport::TcpBulkFlow flow{
+            net::base_rtt(ctx.carrier, session->tech(), server, city_pt.pos),
+            ctx.rng.fork("static-bulk", city * 2 + (dir == Direction::Uplink))};
+        for (int i = 0; i < cfg_.bulk_ticks; ++i) {
+          const ran::RadioTick tick = session->tick(kTick);
+          const double bytes = flow.advance(tick.kpis.capacity(dir), kTick);
+          DriveSample fake;
+          fake.t = t0 + static_cast<SimMillis>(i * kTick);
+          fake.km = city_km;
+          fake.pos = city_pt.pos;
+          fake.speed = 0.0;
+          fake.region = geo::RegionType::Urban;
+          fake.tz = city_pt.tz;
+          KpiRecord k = make_kpi(ctx, tick, fake, test.id, dir, server.kind,
+                                 true);
+          k.throughput = bytes * 8.0 / 1e6 / (kTick / 1000.0);
+          db_.kpis.push_back(k);
+        }
+        close_test(test, cfg_.bulk_ticks * kTick);
+      }
+
+      // Ping test.
+      {
+        TestRecord test = open_test(TestType::Rtt, ctx.carrier, server.kind,
+                                    Direction::Downlink, true);
+        test.tz = city_pt.tz;
+        test.start = t0;
+        for (int i = 0; i < cfg_.rtt_ticks; ++i) {
+          const ran::RadioTick tick = session->tick(kTick);
+          const int pings = i % 2 == 0 ? 2 : 3;
+          for (int p = 0; p < pings; ++p) {
+            measure::RttRecord r;
+            r.test_id = test.id;
+            r.t = t0 + static_cast<SimMillis>(i * kTick) + p * 200;
+            r.carrier = ctx.carrier;
+            r.tech = tick.tech;
+            r.rtt = ctx.rtt_process->sample(tick.tech, server, city_pt.pos,
+                                            0.0, 0.0, 0.0);
+            r.speed = 0.0;
+            r.tz = city_pt.tz;
+            r.server = server.kind;
+            r.is_static = true;
+            db_.rtts.push_back(r);
+          }
+        }
+        close_test(test, cfg_.rtt_ticks * kTick);
+      }
+
+      if (cfg_.run_apps) run_static_apps(ctx, *session, server, city_pt, t0);
+    }
+  }
+
+  void run_static_apps(CarrierContext& ctx, ran::StaticSession& session,
+                       const net::Server& server,
+                       const geo::RoutePoint& city_pt, SimMillis t0) {
+    auto make_trace = [&](int ticks) {
+      LinkTrace trace;
+      for (int i = 0; i < ticks; ++i) {
+        const ran::RadioTick tick = session.tick(kTick);
+        LinkTick lt;
+        lt.cap_dl = tick.kpis.capacity_dl;
+        lt.cap_ul = tick.kpis.capacity_ul;
+        lt.rtt = ctx.rtt_process->sample(tick.tech, server, city_pt.pos, 0.0,
+                                         0.0, 0.0);
+        lt.tech = tick.tech;
+        trace.push_back(lt);
+      }
+      return trace;
+    };
+
+    for (const AppKind kind : {AppKind::Ar, AppKind::Cav}) {
+      const apps::OffloadApp app{kind == AppKind::Ar ? apps::ar_config()
+                                                     : apps::cav_config()};
+      for (const bool compressed : {false, true}) {
+        TestRecord test = open_test(
+            kind == AppKind::Ar ? TestType::ArApp : TestType::CavApp,
+            ctx.carrier, server.kind, Direction::Uplink, true);
+        test.tz = city_pt.tz;
+        test.start = t0;
+        const LinkTrace trace = make_trace(cfg_.offload_ticks);
+        push_offload_run(ctx, kind, test, trace, app.run(trace, compressed));
+        close_test(test, cfg_.offload_ticks * kTick);
+      }
+    }
+    for (const AppKind kind : {AppKind::Video, AppKind::Gaming}) {
+      TestRecord test = open_test(
+          kind == AppKind::Video ? TestType::Video : TestType::Gaming,
+          ctx.carrier, server.kind, Direction::Downlink, true);
+      test.tz = city_pt.tz;
+      test.start = t0;
+      const int ticks =
+          kind == AppKind::Video ? cfg_.video_ticks : cfg_.gaming_ticks;
+      const LinkTrace trace = make_trace(ticks);
+      push_long_app_run(ctx, kind, test, trace);
+      close_test(test, ticks * kTick);
+    }
+  }
+
+  void finalize() {
+    for (auto& ctx : contexts_) {
+      const std::size_t ci = measure::carrier_index(ctx.carrier);
+      db_.passive[ci] = std::move(*ctx.passive).finish();
+      db_.active_coverage[ci] = std::move(ctx.active_coverage).finish();
+    }
+  }
+
+  CampaignConfig cfg_;
+  Rng root_;
+  geo::Route route_;
+  geo::ScaledRoute view_;
+  net::ServerFleet fleet_;
+  geo::DriveTraceGenerator trace_gen_;
+  std::array<CarrierContext, radio::kCarrierCount> contexts_;
+  std::optional<DriveSample> current_;
+  ConsolidatedDb db_;
+  std::uint32_t next_test_id_ = 1;
+  int cycle_ = 0;
+  std::array<bool, 16> visited_city_{};
+};
+
+}  // namespace
+
+ConsolidatedDb DriveCampaign::run() const {
+  CampaignRunner runner{config_};
+  return runner.run();
+}
+
+}  // namespace wheels::campaign

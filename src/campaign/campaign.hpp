@@ -1,0 +1,65 @@
+// DriveCampaign: the public entry point of the library.
+//
+// Re-enacts the paper's 8-day LA→Boston measurement campaign: three carrier
+// phones in one van run round-robin tests (30 s nuttcp DL, 30 s nuttcp UL,
+// 20 s ping, AR ×2, CAV ×2, periodic 3-min 360° video and 1-min cloud
+// gaming) against the timezone-appropriate cloud server (or a Wavelength
+// edge for Verizon near edge cities), while three more phones passively log
+// handovers with 200 ms pings, and static baseline tests run in each major
+// city in front of the best high-speed 5G site. Every throughput/RTT test's
+// data flows through the XCAL `.drm` + app-log + LogSynchronizer pipeline
+// before landing in the ConsolidatedDb.
+//
+// The whole campaign is deterministic in (seed, config).
+#pragma once
+
+#include <cstdint>
+
+#include "measure/records.hpp"
+#include "radio/deployment.hpp"
+
+namespace wheels::campaign {
+
+struct CampaignConfig {
+  std::uint64_t seed = 20220808;
+  /// Fraction of the full 5,711 km trip to drive (map compressed, see
+  /// geo::ScaledRoute). 1.0 reproduces the paper; benches use ~0.05-0.2.
+  double scale = 1.0;
+  /// Run the four killer-app tests (AR/CAV every cycle, video & gaming every
+  /// `long_app_stride` cycles — they are long).
+  bool run_apps = true;
+  int long_app_stride = 4;
+  /// Run static city baselines.
+  bool run_static = true;
+  /// Idle ticks (500 ms each) inserted between round-robin cycles.
+  int idle_ticks_between_cycles = 0;
+
+  /// What-if deployment scaling (1.0 everywhere = the paper's 2022 world).
+  radio::DeploymentOverrides deployment;
+
+  /// Test durations (ticks of 500 ms), defaults per the paper.
+  int bulk_ticks = 60;      // 30 s
+  int rtt_ticks = 40;       // 20 s
+  int offload_ticks = 40;   // 20 s per AR/CAV run
+  int video_ticks = 360;    // 180 s
+  int gaming_ticks = 120;   // 60 s
+};
+
+/// Reads WHEELS_SCALE / WHEELS_SEED from the environment (used by the bench
+/// binaries so one knob tunes the whole suite). Falls back to the defaults.
+CampaignConfig config_from_env(double default_scale = 0.08);
+
+class DriveCampaign {
+ public:
+  explicit DriveCampaign(CampaignConfig config) : config_(config) {}
+
+  /// Run the whole campaign and return the consolidated database.
+  measure::ConsolidatedDb run() const;
+
+  const CampaignConfig& config() const { return config_; }
+
+ private:
+  CampaignConfig config_;
+};
+
+}  // namespace wheels::campaign

@@ -1,0 +1,38 @@
+// Small math helpers shared by the radio / transport / analysis code.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace wheels {
+
+/// Linear value from decibels.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Decibels from a (positive) linear value.
+inline double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+/// Clamp into [0, 1].
+constexpr double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+/// Linear interpolation; `t` outside [0,1] extrapolates.
+constexpr double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// Inverse lerp: where `x` sits between `a` and `b` (a != b).
+constexpr double inverse_lerp(double a, double b, double x) {
+  return (x - a) / (b - a);
+}
+
+/// Logistic sigmoid centred at `mid` with steepness `k`.
+inline double logistic(double x, double mid, double k) {
+  return 1.0 / (1.0 + std::exp(-k * (x - mid)));
+}
+
+/// Shannon spectral efficiency (bits/s/Hz) from an SNR in dB, clipped to a
+/// practical ceiling (256-QAM-ish) as real modems cannot track capacity.
+inline double shannon_efficiency(double snr_db, double ceiling = 7.4) {
+  const double eff = std::log2(1.0 + db_to_linear(snr_db));
+  return std::clamp(eff, 0.0, ceiling);
+}
+
+}  // namespace wheels

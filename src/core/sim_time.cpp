@@ -1,0 +1,106 @@
+#include "core/sim_time.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace wheels {
+
+namespace {
+constexpr std::int64_t kMillisPerDay = 86'400'000;
+constexpr std::int64_t kMillisPerHour = 3'600'000;
+constexpr std::int64_t kMillisPerMinute = 60'000;
+}  // namespace
+
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return static_cast<std::int64_t>(era) * 146097 +
+         static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& year, int& month, int& day) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+  year = static_cast<int>(y + (m <= 2));
+  month = static_cast<int>(m);
+  day = static_cast<int>(d);
+}
+
+UnixMillis campaign_start_unix_ms() {
+  return days_from_civil(2022, 8, 8) * kMillisPerDay + 15 * kMillisPerHour;
+}
+
+UnixMillis unix_from_sim(SimMillis t) { return campaign_start_unix_ms() + t; }
+SimMillis sim_from_unix(UnixMillis t) { return t - campaign_start_unix_ms(); }
+
+CivilDateTime civil_from_unix(UnixMillis t, int utc_offset_minutes) {
+  const std::int64_t shifted = t + utc_offset_minutes * kMillisPerMinute;
+  std::int64_t days = shifted / kMillisPerDay;
+  std::int64_t rem = shifted % kMillisPerDay;
+  if (rem < 0) {
+    rem += kMillisPerDay;
+    --days;
+  }
+  CivilDateTime c;
+  civil_from_days(days, c.year, c.month, c.day);
+  c.hour = static_cast<int>(rem / kMillisPerHour);
+  rem %= kMillisPerHour;
+  c.minute = static_cast<int>(rem / kMillisPerMinute);
+  rem %= kMillisPerMinute;
+  c.second = static_cast<int>(rem / 1000);
+  c.millisecond = static_cast<int>(rem % 1000);
+  return c;
+}
+
+UnixMillis unix_from_civil(const CivilDateTime& c, int utc_offset_minutes) {
+  const std::int64_t days = days_from_civil(c.year, c.month, c.day);
+  const std::int64_t local = days * kMillisPerDay + c.hour * kMillisPerHour +
+                             c.minute * kMillisPerMinute + c.second * 1000 +
+                             c.millisecond;
+  return local - utc_offset_minutes * kMillisPerMinute;
+}
+
+std::string format_civil(const CivilDateTime& c) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d", c.year,
+                c.month, c.day, c.hour, c.minute, c.second, c.millisecond);
+  return buf;
+}
+
+std::string format_timestamp(UnixMillis t, int utc_offset_minutes) {
+  return format_civil(civil_from_unix(t, utc_offset_minutes));
+}
+
+CivilDateTime parse_civil(const std::string& text) {
+  CivilDateTime c;
+  int millis = 0;
+  const int matched =
+      std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d.%d", &c.year, &c.month,
+                  &c.day, &c.hour, &c.minute, &c.second, &millis);
+  if (matched < 6) {
+    throw std::invalid_argument{"parse_civil: malformed timestamp '" + text +
+                                "'"};
+  }
+  c.millisecond = matched >= 7 ? millis : 0;
+  if (c.month < 1 || c.month > 12 || c.day < 1 || c.day > 31 || c.hour < 0 ||
+      c.hour > 23 || c.minute < 0 || c.minute > 59 || c.second < 0 ||
+      c.second > 60 || c.millisecond < 0 || c.millisecond > 999) {
+    throw std::invalid_argument{"parse_civil: out-of-range field in '" + text +
+                                "'"};
+  }
+  return c;
+}
+
+}  // namespace wheels

@@ -1,0 +1,57 @@
+// Units used throughout the library.
+//
+// We deliberately use documented aliases over heavyweight strong types: every
+// quantity in this codebase carries its unit in the type alias or the variable
+// name, and conversion helpers below are the only sanctioned way to cross
+// units. This keeps arithmetic-heavy simulation code readable while still
+// making unit errors greppable.
+#pragma once
+
+#include <cstdint>
+
+namespace wheels {
+
+/// Throughput in megabits per second (application-layer unless noted).
+using Mbps = double;
+/// Latency / duration in milliseconds.
+using Millis = double;
+/// Distance in kilometres.
+using Km = double;
+/// Speed in miles per hour (the paper bins speed in mph).
+using MilesPerHour = double;
+/// Signal power in dBm (RSRP).
+using Dbm = double;
+/// Signal-to-noise ratio in dB.
+using Db = double;
+/// Data volume in megabytes.
+using MegaBytes = double;
+
+inline constexpr double kKmPerMile = 1.609344;
+inline constexpr double kMilesPerKm = 1.0 / kKmPerMile;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kMillisPerSecond = 1000.0;
+inline constexpr double kBitsPerByte = 8.0;
+
+/// Convert mph to km travelled per millisecond.
+constexpr Km km_per_ms_from_mph(MilesPerHour mph) {
+  return mph * kKmPerMile / kSecondsPerHour / kMillisPerSecond;
+}
+
+constexpr MilesPerHour mph_from_kmh(double kmh) { return kmh * kMilesPerKm; }
+constexpr double kmh_from_mph(MilesPerHour mph) { return mph * kKmPerMile; }
+
+/// Megabytes transferred by a flow running at `rate` for `duration`.
+constexpr MegaBytes megabytes_transferred(Mbps rate, Millis duration) {
+  return rate * (duration / kMillisPerSecond) / kBitsPerByte;
+}
+
+/// Time (ms) to move `bytes` bytes at `rate` Mbps. Returns a huge-but-finite
+/// sentinel when the rate is (effectively) zero so schedulers can still order
+/// events.
+constexpr Millis transfer_time_ms(double bytes, Mbps rate) {
+  constexpr double kFloorMbps = 1e-6;
+  const double r = rate > kFloorMbps ? rate : kFloorMbps;
+  return bytes * kBitsPerByte / (r * 1e6) * kMillisPerSecond;
+}
+
+}  // namespace wheels

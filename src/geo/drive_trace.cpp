@@ -1,0 +1,73 @@
+#include "geo/drive_trace.hpp"
+
+#include <algorithm>
+
+#include "geo/scaled_route.hpp"
+
+namespace wheels::geo {
+
+DriveTraceGenerator::DriveTraceGenerator(const Route& route,
+                                         DriveTraceConfig config, Rng rng)
+    : route_(&route),
+      config_(config),
+      speed_(rng.fork("speed-profile")) {
+  start_day(0);
+}
+
+void DriveTraceGenerator::start_day(int day) {
+  day_ = day;
+  const Km total = route_->total_km() * config_.scale;
+  day_end_km_ = total * static_cast<double>(day + 1) /
+                static_cast<double>(config_.days);
+  // Guard against rounding: final day always reaches the destination.
+  if (day + 1 == config_.days) day_end_km_ = total;
+}
+
+std::optional<DriveSample> DriveTraceGenerator::next() {
+  if (done_) return std::nullopt;
+
+  const ScaledRoute view{*route_, config_.scale};
+  const RoutePoint here = view.at_physical(driven_km_);
+
+  DriveSample s;
+  s.t = t_;
+  s.km = driven_km_;
+  s.pos = here.pos;
+  s.region = here.region;
+  s.tz = here.tz;
+  s.day = day_;
+  s.speed = speed_.advance(here.region, config_.sample_period);
+
+  // Advance position for the next sample.
+  driven_km_ += km_per_ms_from_mph(s.speed) * config_.sample_period;
+  t_ += static_cast<SimMillis>(config_.sample_period);
+
+  if (driven_km_ >= view.total_physical_km()) {
+    done_ = true;
+  } else if (driven_km_ >= day_end_km_) {
+    // Overnight stop: resume at 08:00 local time the next morning.
+    const int offset = utc_offset_minutes(here.tz);
+    CivilDateTime local = civil_from_unix(unix_from_sim(t_), offset);
+    const std::int64_t next_day = days_from_civil(local.year, local.month,
+                                                  local.day) + 1;
+    civil_from_days(next_day, local.year, local.month, local.day);
+    local.hour = 8;
+    local.minute = 0;
+    local.second = 0;
+    local.millisecond = 0;
+    t_ = sim_from_unix(unix_from_civil(local, offset));
+    start_day(day_ + 1);
+  }
+  return s;
+}
+
+std::vector<DriveSample> generate_trace(const Route& route,
+                                        const DriveTraceConfig& config,
+                                        Rng rng) {
+  DriveTraceGenerator gen{route, config, std::move(rng)};
+  std::vector<DriveSample> out;
+  while (auto s = gen.next()) out.push_back(*s);
+  return out;
+}
+
+}  // namespace wheels::geo

@@ -1,0 +1,68 @@
+// Generation of the 8-day drive trace.
+//
+// The trace is the shared ground truth for all three operator phones: one van,
+// one route, one clock. Each sample carries position, speed, region and
+// timezone at a fixed period (500 ms by default, matching XCAL's logging
+// frequency). Overnight stops advance the wall clock to 08:00 local the next
+// morning, as in the paper's 8-day itinerary.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/sim_time.hpp"
+#include "core/units.hpp"
+#include "geo/route.hpp"
+#include "geo/speed_profile.hpp"
+
+namespace wheels::geo {
+
+struct DriveSample {
+  SimMillis t = 0;
+  Km km = 0.0;
+  LatLon pos;
+  MilesPerHour speed = 0.0;
+  RegionType region = RegionType::Highway;
+  Timezone tz = Timezone::Pacific;
+  int day = 0;  // 0-based trip day
+};
+
+struct DriveTraceConfig {
+  Millis sample_period = 500.0;
+  int days = 8;
+  /// Fraction of the full route length to drive (1.0 = the whole 5,711 km).
+  /// Scaling keeps the day structure: each day covers `scale` of its quota,
+  /// so all timezones/regions remain represented at small scales.
+  double scale = 1.0;
+};
+
+class DriveTraceGenerator {
+ public:
+  DriveTraceGenerator(const Route& route, DriveTraceConfig config, Rng rng);
+
+  /// Next sample, or nullopt once the destination is reached.
+  std::optional<DriveSample> next();
+
+  const Route& route() const { return *route_; }
+  const DriveTraceConfig& config() const { return config_; }
+
+ private:
+  void start_day(int day);
+
+  const Route* route_;
+  DriveTraceConfig config_;
+  SpeedProfile speed_;
+  SimMillis t_ = 0;
+  Km driven_km_ = 0.0;  // km driven so far (scaled trip)
+  int day_ = 0;
+  Km day_end_km_ = 0.0;  // driven-km quota at which the current day ends
+  bool done_ = false;
+};
+
+/// Convenience: materialise the whole trace.
+std::vector<DriveSample> generate_trace(const Route& route,
+                                        const DriveTraceConfig& config,
+                                        Rng rng);
+
+}  // namespace wheels::geo

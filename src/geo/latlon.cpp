@@ -1,0 +1,29 @@
+#include "geo/latlon.hpp"
+
+#include <cmath>
+
+#include "core/math_util.hpp"
+
+namespace wheels::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}  // namespace
+
+Km haversine_km(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s = std::sin(dlat / 2.0) * std::sin(dlat / 2.0) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2.0) *
+                       std::sin(dlon / 2.0);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(s));
+}
+
+LatLon interpolate(const LatLon& a, const LatLon& b, double t) {
+  return LatLon{lerp(a.lat_deg, b.lat_deg, t), lerp(a.lon_deg, b.lon_deg, t)};
+}
+
+}  // namespace wheels::geo

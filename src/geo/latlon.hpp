@@ -1,0 +1,21 @@
+// Geographic coordinates and great-circle distance.
+#pragma once
+
+#include "core/units.hpp"
+
+namespace wheels::geo {
+
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  bool operator==(const LatLon&) const = default;
+};
+
+/// Great-circle (haversine) distance in km.
+Km haversine_km(const LatLon& a, const LatLon& b);
+
+/// Linear interpolation between two coordinates (fine at road scales).
+LatLon interpolate(const LatLon& a, const LatLon& b, double t);
+
+}  // namespace wheels::geo

@@ -1,0 +1,111 @@
+#include "geo/route.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wheels::geo {
+
+std::string_view region_name(RegionType r) {
+  switch (r) {
+    case RegionType::Urban: return "urban";
+    case RegionType::Suburban: return "suburban";
+    case RegionType::Highway: return "highway";
+  }
+  return "?";
+}
+
+Route::Route(std::vector<Waypoint> waypoints, Km total_km)
+    : waypoints_(std::move(waypoints)) {
+  // Per-leg great-circle lengths, scaled by one road factor to reach the
+  // surveyed road distance.
+  std::vector<Km> leg(waypoints_.size() - 1);
+  Km straight = 0.0;
+  for (std::size_t i = 0; i + 1 < waypoints_.size(); ++i) {
+    leg[i] = haversine_km(waypoints_[i].pos, waypoints_[i + 1].pos);
+    straight += leg[i];
+  }
+  const double road_factor = total_km / straight;
+  cum_km_.resize(waypoints_.size());
+  cum_km_[0] = 0.0;
+  for (std::size_t i = 0; i + 1 < waypoints_.size(); ++i) {
+    cum_km_[i + 1] = cum_km_[i] + leg[i] * road_factor;
+  }
+
+  // Synthetic towns roughly every 90 km, jittered deterministically, skipped
+  // when they would overlap a major city's suburban ring.
+  for (int i = 0;; ++i) {
+    const Km km = 55.0 + 90.0 * i + 20.0 * std::sin(i * 1.7);
+    if (km >= total_km) break;
+    bool near_city = false;
+    for (Km ck : cum_km_) {
+      if (std::abs(km - ck) < kSuburbanRadiusKm + kTownRadiusKm) {
+        near_city = true;
+        break;
+      }
+    }
+    if (!near_city) town_km_.push_back(km);
+  }
+}
+
+Route Route::cross_country() {
+  std::vector<Waypoint> wps{
+      {"Los Angeles", {34.05, -118.24}, true, true},
+      {"Las Vegas", {36.17, -115.14}, true, true},
+      {"Salt Lake City", {40.76, -111.89}, true, false},
+      {"Denver", {39.74, -104.99}, true, true},
+      {"Omaha", {41.26, -95.93}, true, false},
+      {"Chicago", {41.88, -87.63}, true, true},
+      {"Indianapolis", {39.77, -86.16}, true, false},
+      {"Cleveland", {41.50, -81.69}, true, false},
+      {"Rochester", {43.16, -77.61}, true, false},
+      {"Boston", {42.36, -71.06}, true, true},
+  };
+  return Route{std::move(wps), 5711.0};
+}
+
+RoutePoint Route::at(Km km) const {
+  km = std::clamp(km, 0.0, total_km());
+
+  RoutePoint p;
+  p.km = km;
+
+  // Segment lookup + position interpolation.
+  const auto it = std::upper_bound(cum_km_.begin(), cum_km_.end(), km);
+  const std::size_t seg =
+      it == cum_km_.begin()
+          ? 0
+          : std::min(static_cast<std::size_t>(it - cum_km_.begin()) - 1,
+                     waypoints_.size() - 2);
+  const Km seg_len = cum_km_[seg + 1] - cum_km_[seg];
+  const double t = seg_len > 0.0 ? (km - cum_km_[seg]) / seg_len : 0.0;
+  p.pos = interpolate(waypoints_[seg].pos, waypoints_[seg + 1].pos, t);
+  p.tz = timezone_from_longitude(p.pos.lon_deg);
+
+  // Nearest major city by along-route distance.
+  Km best = 1e18;
+  for (std::size_t i = 0; i < cum_km_.size(); ++i) {
+    const Km d = std::abs(km - cum_km_[i]);
+    if (d < best) {
+      best = d;
+      p.nearest_city = i;
+    }
+  }
+  p.city_distance_km = best;
+
+  if (best < kUrbanRadiusKm) {
+    p.region = RegionType::Urban;
+  } else if (best < kSuburbanRadiusKm) {
+    p.region = RegionType::Suburban;
+  } else {
+    p.region = RegionType::Highway;
+    for (Km town : town_km_) {
+      if (std::abs(km - town) < kTownRadiusKm) {
+        p.region = RegionType::Suburban;
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace wheels::geo

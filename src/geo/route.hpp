@@ -1,0 +1,84 @@
+// The LA→Boston drive route.
+//
+// The route is modelled as the polyline through the ten major cities the
+// paper lists (Table 1 / §3), with per-leg great-circle lengths scaled by a
+// single road-winding factor so the total distance matches the paper's
+// 5,711 km. Between cities the route passes synthetic "towns" so the
+// suburban (20-60 mph) regime the paper observes between cities and
+// interstates exists in the model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+#include "geo/latlon.hpp"
+#include "geo/timezone.hpp"
+
+namespace wheels::geo {
+
+/// The paper's three implicit region types: cities (low speed), suburban
+/// in-between areas (mid speed), interstate highway (high speed). §5.5 uses
+/// speed bins as a proxy for exactly these.
+enum class RegionType { Urban, Suburban, Highway };
+
+inline constexpr int kRegionCount = 3;
+
+std::string_view region_name(RegionType r);
+
+struct Waypoint {
+  std::string name;
+  LatLon pos;
+  bool major_city = true;
+  /// AWS Wavelength edge deployment city (LA, Las Vegas, Denver, Chicago,
+  /// Boston — Verizon only, §3).
+  bool has_edge_server = false;
+};
+
+/// A resolved position along the route.
+struct RoutePoint {
+  Km km = 0.0;
+  LatLon pos;
+  Timezone tz = Timezone::Pacific;
+  RegionType region = RegionType::Highway;
+  /// Index (into waypoints()) of the nearest major city.
+  std::size_t nearest_city = 0;
+  /// |along-route km| to that city's centre.
+  Km city_distance_km = 0.0;
+};
+
+class Route {
+ public:
+  /// The cross-continental route of the paper:
+  /// LA, Las Vegas, Salt Lake City, Denver, Omaha, Chicago, Indianapolis,
+  /// Cleveland, Rochester, Boston. Total length 5,711 km.
+  static Route cross_country();
+
+  Km total_km() const { return cum_km_.back(); }
+  const std::vector<Waypoint>& waypoints() const { return waypoints_; }
+
+  /// Along-route position of a waypoint's city centre.
+  Km city_km(std::size_t waypoint_index) const {
+    return cum_km_.at(waypoint_index);
+  }
+
+  /// Resolve a km offset (clamped into [0, total_km]) to a position.
+  RoutePoint at(Km km) const;
+
+  /// Radius (in along-route km) treated as urban around a major city.
+  static constexpr Km kUrbanRadiusKm = 10.0;
+  /// Radius treated as suburban around a major city (beyond urban).
+  static constexpr Km kSuburbanRadiusKm = 35.0;
+  /// Radius treated as suburban around a synthetic town.
+  static constexpr Km kTownRadiusKm = 7.0;
+
+ private:
+  Route(std::vector<Waypoint> waypoints, Km total_km);
+
+  std::vector<Waypoint> waypoints_;
+  std::vector<Km> cum_km_;
+  std::vector<Km> town_km_;
+};
+
+}  // namespace wheels::geo

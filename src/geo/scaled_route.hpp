@@ -1,0 +1,42 @@
+// A scale-compressed view of the route.
+//
+// At scale s the van physically drives s * 5,711 km, but the *map* under it —
+// cities, timezones, regions — is compressed by the same factor, so the whole
+// country is still traversed. Everything downstream (cell placement, handover
+// rates, per-mile statistics) operates in *physical* km, which keeps all
+// per-mile quantities scale-invariant; only the trip is shorter.
+#pragma once
+
+#include "core/units.hpp"
+#include "geo/route.hpp"
+
+namespace wheels::geo {
+
+class ScaledRoute {
+ public:
+  ScaledRoute(const Route& route, double scale)
+      : route_(&route), scale_(scale) {}
+
+  /// Resolve a physical-km offset. The returned RoutePoint's `km` field is in
+  /// map space; `city_distance_km` is converted back to physical km so radii
+  /// remain meaningful at any scale.
+  RoutePoint at_physical(Km physical_km) const {
+    RoutePoint p = route_->at(physical_km / scale_);
+    p.city_distance_km *= scale_;
+    return p;
+  }
+
+  Km total_physical_km() const { return route_->total_km() * scale_; }
+  Km physical_city_km(std::size_t waypoint_index) const {
+    return route_->city_km(waypoint_index) * scale_;
+  }
+
+  const Route& route() const { return *route_; }
+  double scale() const { return scale_; }
+
+ private:
+  const Route* route_;
+  double scale_;
+};
+
+}  // namespace wheels::geo

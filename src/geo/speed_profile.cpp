@@ -1,0 +1,61 @@
+#include "geo/speed_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wheels::geo {
+
+SpeedBand region_speed_band(RegionType region) {
+  switch (region) {
+    case RegionType::Urban: return {0.0, 25.0, 12.0};
+    case RegionType::Suburban: return {22.0, 58.0, 42.0};
+    case RegionType::Highway: return {58.0, 78.0, 68.0};
+  }
+  return {};
+}
+
+SpeedBin speed_bin(MilesPerHour speed) {
+  if (speed < 20.0) return SpeedBin::Low;
+  if (speed < 60.0) return SpeedBin::Mid;
+  return SpeedBin::High;
+}
+
+std::string_view speed_bin_name(SpeedBin bin) {
+  switch (bin) {
+    case SpeedBin::Low: return "0-20 mph";
+    case SpeedBin::Mid: return "20-60 mph";
+    case SpeedBin::High: return "60+ mph";
+  }
+  return "?";
+}
+
+SpeedProfile::SpeedProfile(Rng rng) : rng_(std::move(rng)) {}
+
+void SpeedProfile::maybe_retarget(RegionType region, Millis dt) {
+  until_retarget_ -= dt;
+  const bool region_changed = region != last_region_;
+  last_region_ = region;
+  if (until_retarget_ > 0.0 && !region_changed) return;
+
+  const SpeedBand band = region_speed_band(region);
+  // Urban driving stops at lights/intersections now and then.
+  if (region == RegionType::Urban && rng_.bernoulli(0.18)) {
+    target_ = 0.0;
+  } else {
+    target_ = std::clamp(rng_.normal(band.typical, (band.hi - band.lo) / 5.0),
+                         band.lo, band.hi);
+  }
+  until_retarget_ = rng_.uniform(15'000.0, 60'000.0);
+}
+
+MilesPerHour SpeedProfile::advance(RegionType region, Millis dt) {
+  maybe_retarget(region, dt);
+  // First-order pursuit of the target (~6 s time constant) plus mild jitter.
+  const double alpha = 1.0 - std::exp(-dt / 6'000.0);
+  speed_ += (target_ - speed_) * alpha;
+  speed_ += rng_.normal(0.0, 0.4) * std::sqrt(dt / 500.0);
+  speed_ = std::max(0.0, speed_);
+  return speed_;
+}
+
+}  // namespace wheels::geo

@@ -1,0 +1,52 @@
+// Vehicle speed model.
+//
+// Speeds are drawn per region to match the paper's three analysis bins
+// (§4.2, §5.5): urban 0-20 mph, suburban 20-60 mph, highway 60+ mph. The
+// instantaneous speed follows a retargeted first-order process (smooth
+// accelerations, occasional urban stops) rather than white noise, so that
+// speed-binned analyses see realistic dwell times in each bin.
+#pragma once
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "geo/route.hpp"
+
+namespace wheels::geo {
+
+struct SpeedBand {
+  MilesPerHour lo = 0.0;
+  MilesPerHour hi = 0.0;
+  MilesPerHour typical = 0.0;
+};
+
+/// The speed envelope the vehicle targets in each region type.
+SpeedBand region_speed_band(RegionType region);
+
+/// The paper's speed bins: low [0,20), mid [20,60), high [60,inf) mph.
+enum class SpeedBin { Low, Mid, High };
+inline constexpr int kSpeedBinCount = 3;
+
+SpeedBin speed_bin(MilesPerHour speed);
+std::string_view speed_bin_name(SpeedBin bin);
+
+class SpeedProfile {
+ public:
+  explicit SpeedProfile(Rng rng);
+
+  /// Advance the speed process by `dt` in the given region and return the new
+  /// instantaneous speed (mph, >= 0).
+  MilesPerHour advance(RegionType region, Millis dt);
+
+  MilesPerHour current() const { return speed_; }
+
+ private:
+  void maybe_retarget(RegionType region, Millis dt);
+
+  Rng rng_;
+  MilesPerHour speed_ = 0.0;
+  MilesPerHour target_ = 0.0;
+  RegionType last_region_ = RegionType::Urban;
+  Millis until_retarget_ = 0.0;
+};
+
+}  // namespace wheels::geo

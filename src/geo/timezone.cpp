@@ -1,0 +1,32 @@
+#include "geo/timezone.hpp"
+
+namespace wheels::geo {
+
+std::string_view timezone_name(Timezone tz) {
+  switch (tz) {
+    case Timezone::Pacific: return "Pacific";
+    case Timezone::Mountain: return "Mountain";
+    case Timezone::Central: return "Central";
+    case Timezone::Eastern: return "Eastern";
+  }
+  return "?";
+}
+
+int utc_offset_minutes(Timezone tz) {
+  switch (tz) {
+    case Timezone::Pacific: return -7 * 60;
+    case Timezone::Mountain: return -6 * 60;
+    case Timezone::Central: return -5 * 60;
+    case Timezone::Eastern: return -4 * 60;
+  }
+  return 0;
+}
+
+Timezone timezone_from_longitude(double lon_deg) {
+  if (lon_deg < -114.04) return Timezone::Pacific;
+  if (lon_deg < -101.40) return Timezone::Mountain;
+  if (lon_deg < -84.80) return Timezone::Central;
+  return Timezone::Eastern;
+}
+
+}  // namespace wheels::geo

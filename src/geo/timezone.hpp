@@ -1,0 +1,24 @@
+// The four US timezones the drive crosses, with August-2022 (DST) offsets.
+#pragma once
+
+#include <string_view>
+
+#include "core/sim_time.hpp"
+
+namespace wheels::geo {
+
+enum class Timezone { Pacific, Mountain, Central, Eastern };
+
+inline constexpr int kTimezoneCount = 4;
+
+std::string_view timezone_name(Timezone tz);
+
+/// UTC offset in minutes during the campaign (daylight-saving time):
+/// PDT -420, MDT -360, CDT -300, EDT -240.
+int utc_offset_minutes(Timezone tz);
+
+/// Timezone from longitude, using the boundaries the I-15/I-80/I-90 route
+/// actually crosses (NV/UT border, central Nebraska, IN/OH border).
+Timezone timezone_from_longitude(double lon_deg);
+
+}  // namespace wheels::geo

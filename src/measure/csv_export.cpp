@@ -1,0 +1,208 @@
+#include "measure/csv_export.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wheels::measure {
+
+namespace {
+
+constexpr char kKpiHeader[] =
+    "test_id,t,carrier,tech,cell_id,rsrp,mcs,bler,ca,throughput,speed,km,"
+    "map_km,tz,region,handovers,server,direction,is_static";
+
+constexpr char kRttHeader[] =
+    "test_id,t,carrier,tech,rtt,speed,tz,server,is_static";
+
+int carrier_code(radio::Carrier c) { return static_cast<int>(c); }
+int tech_code(radio::Technology t) { return static_cast<int>(t); }
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::stringstream ss{line};
+  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  return out;
+}
+
+void expect_header(std::istream& is, const char* expected) {
+  std::string header;
+  if (!std::getline(is, header) || header != expected) {
+    throw std::runtime_error{"csv: unexpected header '" + header + "'"};
+  }
+}
+
+}  // namespace
+
+void write_tests_csv(std::ostream& os, const ConsolidatedDb& db) {
+  os << "id,type,carrier,is_static,start,end,start_km,end_km,tz,server,"
+        "direction,cycle\n";
+  for (const auto& t : db.tests) {
+    os << t.id << ',' << test_type_name(t.type) << ','
+       << carrier_code(t.carrier) << ',' << t.is_static << ',' << t.start
+       << ',' << t.end << ',' << t.start_km << ',' << t.end_km << ','
+       << static_cast<int>(t.tz) << ',' << static_cast<int>(t.server) << ','
+       << static_cast<int>(t.direction) << ',' << t.cycle << '\n';
+  }
+}
+
+void write_kpis_csv(std::ostream& os, const ConsolidatedDb& db) {
+  os << kKpiHeader << '\n';
+  for (const auto& k : db.kpis) {
+    os << k.test_id << ',' << k.t << ',' << carrier_code(k.carrier) << ','
+       << tech_code(k.tech) << ',' << k.cell_id << ',' << k.rsrp << ','
+       << k.mcs << ',' << k.bler << ',' << k.ca << ',' << k.throughput << ','
+       << k.speed << ',' << k.km << ',' << k.map_km << ','
+       << static_cast<int>(k.tz) << ',' << static_cast<int>(k.region) << ','
+       << k.handovers << ',' << static_cast<int>(k.server) << ','
+       << static_cast<int>(k.direction) << ',' << k.is_static << '\n';
+  }
+}
+
+void write_rtts_csv(std::ostream& os, const ConsolidatedDb& db) {
+  os << kRttHeader << '\n';
+  for (const auto& r : db.rtts) {
+    os << r.test_id << ',' << r.t << ',' << carrier_code(r.carrier) << ','
+       << tech_code(r.tech) << ',' << r.rtt << ',' << r.speed << ','
+       << static_cast<int>(r.tz) << ',' << static_cast<int>(r.server) << ','
+       << r.is_static << '\n';
+  }
+}
+
+void write_handovers_csv(std::ostream& os, const ConsolidatedDb& db) {
+  os << "test_id,carrier,direction,t,duration,from_tech,to_tech,from_cell,"
+        "to_cell,type\n";
+  for (const auto& h : db.handovers) {
+    os << h.test_id << ',' << carrier_code(h.carrier) << ','
+       << static_cast<int>(h.direction) << ',' << h.event.t << ','
+       << h.event.duration << ',' << tech_code(h.event.from) << ','
+       << tech_code(h.event.to) << ',' << h.event.from_cell << ','
+       << h.event.to_cell << ',' << static_cast<int>(h.event.type) << '\n';
+  }
+}
+
+void write_app_runs_csv(std::ostream& os, const ConsolidatedDb& db) {
+  os << "test_id,app,carrier,is_static,server,high_speed_5g_fraction,"
+        "handovers,compressed,median_e2e,offload_fps,map_percent,qoe,"
+        "rebuffer_fraction,avg_bitrate,gaming_bitrate,gaming_latency,"
+        "gaming_frame_drop,gaming_max_frame_drop\n";
+  for (const auto& r : db.app_runs) {
+    os << r.test_id << ',' << app_kind_name(r.app) << ','
+       << carrier_code(r.carrier) << ',' << r.is_static << ','
+       << static_cast<int>(r.server) << ',' << r.high_speed_5g_fraction << ','
+       << r.handovers << ',' << r.compressed << ',' << r.median_e2e << ','
+       << r.offload_fps << ',' << r.map_percent << ',' << r.qoe << ','
+       << r.rebuffer_fraction << ',' << r.avg_bitrate << ','
+       << r.gaming_bitrate << ',' << r.gaming_latency << ','
+       << r.gaming_frame_drop << ',' << r.gaming_max_frame_drop << '\n';
+  }
+}
+
+void write_coverage_csv(std::ostream& os,
+                        const std::vector<CoverageSegment>& segments,
+                        radio::Carrier carrier, bool passive) {
+  os << "carrier,view,map_km_start,map_km_end,tech\n";
+  for (const auto& s : segments) {
+    os << carrier_code(carrier) << ',' << (passive ? "passive" : "active")
+       << ',' << s.map_km_start << ',' << s.map_km_end << ','
+       << tech_code(s.tech) << '\n';
+  }
+}
+
+std::vector<KpiRecord> read_kpis_csv(std::istream& is) {
+  expect_header(is, kKpiHeader);
+  std::vector<KpiRecord> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_line(line);
+    if (cells.size() != 19) {
+      throw std::runtime_error{"csv: bad kpi row '" + line + "'"};
+    }
+    KpiRecord k;
+    k.test_id = static_cast<std::uint32_t>(std::stoul(cells[0]));
+    k.t = std::stoll(cells[1]);
+    k.carrier = static_cast<radio::Carrier>(std::stoi(cells[2]));
+    k.tech = static_cast<radio::Technology>(std::stoi(cells[3]));
+    k.cell_id = static_cast<std::uint32_t>(std::stoul(cells[4]));
+    k.rsrp = std::stod(cells[5]);
+    k.mcs = std::stoi(cells[6]);
+    k.bler = std::stod(cells[7]);
+    k.ca = std::stoi(cells[8]);
+    k.throughput = std::stod(cells[9]);
+    k.speed = std::stod(cells[10]);
+    k.km = std::stod(cells[11]);
+    k.map_km = std::stod(cells[12]);
+    k.tz = static_cast<geo::Timezone>(std::stoi(cells[13]));
+    k.region = static_cast<geo::RegionType>(std::stoi(cells[14]));
+    k.handovers = std::stoi(cells[15]);
+    k.server = static_cast<net::ServerKind>(std::stoi(cells[16]));
+    k.direction = static_cast<radio::Direction>(std::stoi(cells[17]));
+    k.is_static = cells[18] == "1";
+    out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<RttRecord> read_rtts_csv(std::istream& is) {
+  expect_header(is, kRttHeader);
+  std::vector<RttRecord> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_line(line);
+    if (cells.size() != 9) {
+      throw std::runtime_error{"csv: bad rtt row '" + line + "'"};
+    }
+    RttRecord r;
+    r.test_id = static_cast<std::uint32_t>(std::stoul(cells[0]));
+    r.t = std::stoll(cells[1]);
+    r.carrier = static_cast<radio::Carrier>(std::stoi(cells[2]));
+    r.tech = static_cast<radio::Technology>(std::stoi(cells[3]));
+    r.rtt = std::stod(cells[4]);
+    r.speed = std::stod(cells[5]);
+    r.tz = static_cast<geo::Timezone>(std::stoi(cells[6]));
+    r.server = static_cast<net::ServerKind>(std::stoi(cells[7]));
+    r.is_static = cells[8] == "1";
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::string> write_dataset(const ConsolidatedDb& db,
+                                       const std::string& directory) {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  std::vector<std::string> written;
+
+  auto emit = [&](const std::string& name, auto&& writer) {
+    const fs::path path = fs::path(directory) / name;
+    std::ofstream os{path};
+    if (!os) throw std::runtime_error{"csv: cannot open " + path.string()};
+    writer(os);
+    written.push_back(path.string());
+  };
+
+  emit("tests.csv", [&](std::ostream& os) { write_tests_csv(os, db); });
+  emit("kpis.csv", [&](std::ostream& os) { write_kpis_csv(os, db); });
+  emit("rtts.csv", [&](std::ostream& os) { write_rtts_csv(os, db); });
+  emit("handovers.csv",
+       [&](std::ostream& os) { write_handovers_csv(os, db); });
+  emit("app_runs.csv", [&](std::ostream& os) { write_app_runs_csv(os, db); });
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const std::size_t ci = carrier_index(c);
+    const std::string base{carrier_name(c)};
+    emit("coverage_passive_" + base + ".csv", [&](std::ostream& os) {
+      write_coverage_csv(os, db.passive[ci].segments, c, true);
+    });
+    emit("coverage_active_" + base + ".csv", [&](std::ostream& os) {
+      write_coverage_csv(os, db.active_coverage[ci], c, false);
+    });
+  }
+  return written;
+}
+
+}  // namespace wheels::measure

@@ -1,0 +1,36 @@
+// CSV export/import of the consolidated database.
+//
+// The paper releases its dataset and scripts publicly [8]; this module is
+// the equivalent release path: every table of the ConsolidatedDb can be
+// written as CSV and the two largest tables (KPI rows, RTT samples) can be
+// read back, enabling offline analysis in other tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "measure/records.hpp"
+
+namespace wheels::measure {
+
+void write_tests_csv(std::ostream& os, const ConsolidatedDb& db);
+void write_kpis_csv(std::ostream& os, const ConsolidatedDb& db);
+void write_rtts_csv(std::ostream& os, const ConsolidatedDb& db);
+void write_handovers_csv(std::ostream& os, const ConsolidatedDb& db);
+void write_app_runs_csv(std::ostream& os, const ConsolidatedDb& db);
+void write_coverage_csv(std::ostream& os,
+                        const std::vector<CoverageSegment>& segments,
+                        radio::Carrier carrier, bool passive);
+
+/// Parse back what write_kpis_csv wrote. Throws std::runtime_error on a
+/// malformed header or row.
+std::vector<KpiRecord> read_kpis_csv(std::istream& is);
+std::vector<RttRecord> read_rtts_csv(std::istream& is);
+
+/// Write the whole dataset bundle into a directory (created if needed).
+/// Returns the list of files written.
+std::vector<std::string> write_dataset(const ConsolidatedDb& db,
+                                       const std::string& directory);
+
+}  // namespace wheels::measure

@@ -1,0 +1,42 @@
+// LogSynchronizer: the "sophisticated software" of §3.
+//
+// Normalises every timestamp format in play back to Unix time:
+//  - .drm content rows are EDT regardless of where the van is;
+//  - app logs follow their declared policy (UTC / local-with-offset / EDT);
+// then joins app-layer values onto the XCAL rows by nearest-timestamp match
+// within a tolerance. The output is the throughput-annotated KPI rows that
+// populate the ConsolidatedDb.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "measure/logfile.hpp"
+
+namespace wheels::measure {
+
+class LogSynchronizer {
+ public:
+  /// Normalise a .drm content timestamp (always EDT) to Unix ms.
+  static UnixMillis normalize_drm_timestamp(const std::string& edt_text);
+
+  /// Normalise an app log line under the file's policy.
+  static UnixMillis normalize_app_timestamp(const AppLogLine& line,
+                                            const AppLogFile& file);
+
+  /// Join app-layer values onto KPI rows: each DRM row receives the value of
+  /// the nearest app line within `tolerance`; rows with no match keep their
+  /// previous value (0 for throughput-less rows). Returns rows in time
+  /// order with `kpi.t` rewritten to the normalised sim time and
+  /// `kpi.throughput` filled from the app log.
+  static std::vector<KpiRecord> join(const DrmFile& drm,
+                                     const AppLogFile& app,
+                                     Millis tolerance = 260.0);
+
+  /// Same normalisation for standalone RTT logs: returns (sim time, value)
+  /// pairs in time order.
+  static std::vector<std::pair<SimMillis, double>> normalize_series(
+      const AppLogFile& app);
+};
+
+}  // namespace wheels::measure

@@ -1,0 +1,52 @@
+#include "measure/logfile.hpp"
+
+#include <cstdio>
+
+namespace wheels::measure {
+
+std::string drm_filename(radio::Carrier carrier, UnixMillis t,
+                         int local_offset_minutes) {
+  const CivilDateTime c = civil_from_unix(t, local_offset_minutes);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d_%02d-%02d-%02d_", c.year,
+                c.month, c.day, c.hour, c.minute, c.second);
+  std::string name{buf};
+  name += carrier_name(carrier);
+  name += ".drm";
+  return name;
+}
+
+XcalLogger::XcalLogger(radio::Carrier carrier, UnixMillis open_time,
+                       int local_offset_minutes) {
+  file_.filename = drm_filename(carrier, open_time, local_offset_minutes);
+}
+
+void XcalLogger::log(UnixMillis t, const KpiRecord& kpi) {
+  DrmRow row;
+  row.edt_timestamp = format_timestamp(t, kEdtOffsetMinutes);
+  row.kpi = kpi;
+  file_.rows.push_back(std::move(row));
+}
+
+DrmFile XcalLogger::finish() && { return std::move(file_); }
+
+AppLogger::AppLogger(std::string app_name, TimestampPolicy policy,
+                     int local_offset_minutes) {
+  file_.app_name = std::move(app_name);
+  file_.policy = policy;
+  file_.local_offset_minutes = local_offset_minutes;
+}
+
+void AppLogger::log(UnixMillis t, double value) {
+  int offset = 0;
+  switch (file_.policy) {
+    case TimestampPolicy::Utc: offset = 0; break;
+    case TimestampPolicy::LocalTime: offset = file_.local_offset_minutes; break;
+    case TimestampPolicy::Edt: offset = kEdtOffsetMinutes; break;
+  }
+  file_.lines.push_back({format_timestamp(t, offset), value});
+}
+
+AppLogFile AppLogger::finish() && { return std::move(file_); }
+
+}  // namespace wheels::measure

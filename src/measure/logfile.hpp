@@ -1,0 +1,86 @@
+// Raw log files, with all their real-world timestamp pathologies.
+//
+// Challenge C2 of the paper (§3, Appendix B): XCAL saves `.drm` files whose
+// *filenames* carry local-time stamps while their *contents* are stamped in
+// EDT; app logs use UTC or local time depending on the app; and the van
+// crosses four timezones. This module produces logs in exactly those
+// formats; `LogSynchronizer` (log_sync.hpp) is the software that untangles
+// them, and the campaign routes every throughput/RTT test through that path
+// so the synchronisation logic is exercised end-to-end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sim_time.hpp"
+#include "measure/records.hpp"
+
+namespace wheels::measure {
+
+/// How an app stamps its log lines.
+enum class TimestampPolicy { Utc, LocalTime, Edt };
+
+/// Offset of EDT (the XCAL content timezone) from UTC, minutes.
+inline constexpr int kEdtOffsetMinutes = -240;
+
+/// One XCAL row: an EDT-stamped snapshot of PHY KPIs. The throughput field
+/// of the payload is left at 0 — it is filled by joining the app log.
+struct DrmRow {
+  std::string edt_timestamp;  // "YYYY-MM-DD HH:MM:SS.mmm"
+  KpiRecord kpi;
+};
+
+struct DrmFile {
+  /// "YYYY-MM-DD_HH-MM-SS_<carrier>.drm", stamped in the *local* timezone of
+  /// wherever the van was when the file was opened.
+  std::string filename;
+  std::vector<DrmRow> rows;
+};
+
+/// One app-layer log line: a timestamp in the app's policy plus a value
+/// (Mbps for nuttcp, ms for ping).
+struct AppLogLine {
+  std::string timestamp;
+  double value = 0.0;
+};
+
+struct AppLogFile {
+  std::string app_name;
+  TimestampPolicy policy = TimestampPolicy::Utc;
+  /// UTC offset (minutes) the app used when policy == LocalTime.
+  int local_offset_minutes = 0;
+  std::vector<AppLogLine> lines;
+};
+
+/// Writer producing DrmFiles the way XCAL does.
+class XcalLogger {
+ public:
+  /// Opens a .drm file; `open_time` and the local offset make the filename.
+  XcalLogger(radio::Carrier carrier, UnixMillis open_time,
+             int local_offset_minutes);
+
+  void log(UnixMillis t, const KpiRecord& kpi);
+  DrmFile finish() &&;
+
+ private:
+  DrmFile file_;
+};
+
+/// Writer producing app logs under a timestamp policy.
+class AppLogger {
+ public:
+  AppLogger(std::string app_name, TimestampPolicy policy,
+            int local_offset_minutes);
+
+  void log(UnixMillis t, double value);
+  AppLogFile finish() &&;
+
+ private:
+  AppLogFile file_;
+};
+
+/// Filename for a .drm file opened at `t` observed at `local_offset`.
+std::string drm_filename(radio::Carrier carrier, UnixMillis t,
+                         int local_offset_minutes);
+
+}  // namespace wheels::measure

@@ -1,0 +1,65 @@
+#include "net/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wheels::net {
+
+Millis access_rtt(radio::Technology tech) {
+  using radio::Technology;
+  switch (tech) {
+    case Technology::Lte: return 36.0;
+    case Technology::LteA: return 30.0;
+    case Technology::NrLow: return 32.0;  // often NSA-anchored on LTE
+    case Technology::NrMid: return 17.0;
+    case Technology::NrMmWave: return 7.0;
+  }
+  return 36.0;
+}
+
+Millis core_rtt(radio::Carrier carrier) {
+  switch (carrier) {
+    case radio::Carrier::Verizon: return 8.0;
+    case radio::Carrier::TMobile: return 20.0;
+    case radio::Carrier::Att: return 22.0;
+  }
+  return 5.0;
+}
+
+Millis wired_rtt(const Server& server, const geo::LatLon& ue_pos) {
+  if (server.kind == ServerKind::Edge) return 2.0;
+  // Fibre propagation + routing overhead, plus a fixed peering cost.
+  return 4.0 + 0.018 * geo::haversine_km(server.pos, ue_pos);
+}
+
+Millis base_rtt(radio::Carrier carrier, radio::Technology tech,
+                const Server& server, const geo::LatLon& ue_pos) {
+  return access_rtt(tech) + core_rtt(carrier) + wired_rtt(server, ue_pos);
+}
+
+RttProcess::RttProcess(radio::Carrier carrier, Rng rng)
+    : carrier_(carrier), rng_(std::move(rng)) {}
+
+Millis RttProcess::sample(radio::Technology tech, const Server& server,
+                          const geo::LatLon& ue_pos, MilesPerHour speed,
+                          Millis queue_delay, Millis interruption) {
+  const Millis base = base_rtt(carrier_, tech, server, ue_pos);
+
+  // Multiplicative jitter (scheduling, retransmissions), heavier while
+  // moving. AT&T's RTT is speed-insensitive in the paper (Fig. 8) — its 4G
+  // latency is uniformly high instead.
+  const double speed_term =
+      carrier_ == radio::Carrier::Att ? 0.0 : 0.0025 * speed;
+  const double jitter = rng_.lognormal(0.0, 0.18 + speed_term);
+
+  Millis rtt = base * jitter + queue_delay + interruption;
+
+  // Rare radio stalls: RLF recovery / RRC reconfiguration, up to seconds.
+  const double stall_p = 0.0025 + 0.00006 * speed;
+  if (rng_.bernoulli(stall_p)) {
+    rtt += rng_.lognormal(std::log(400.0), 0.9);
+  }
+  return std::min(rtt, 3'000.0);  // ICMP timeout in the paper's tooling
+}
+
+}  // namespace wheels::net

@@ -1,0 +1,51 @@
+// End-to-end latency model.
+//
+// RTT = radio access latency (technology-dependent) + carrier core-network
+// overhead + wired path to the server (distance-based for clouds, ~2 ms for
+// in-network Wavelength edges) + stochastic jitter with a heavy tail that
+// grows while driving (the paper sees driving RTT medians of 60-80 ms and
+// maxima of 2-3 s, Fig. 3b).
+#pragma once
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "geo/latlon.hpp"
+#include "net/server.hpp"
+#include "radio/technology.hpp"
+
+namespace wheels::net {
+
+/// Radio access round-trip latency for a technology (ms).
+Millis access_rtt(radio::Technology tech);
+
+/// Extra core-network RTT per carrier; the paper's Verizon RTTs run ~15 ms
+/// lower than T-Mobile's/AT&T's at the same server distance (Fig. 9).
+Millis core_rtt(radio::Carrier carrier);
+
+/// Wired RTT from the UE position to the server.
+Millis wired_rtt(const Server& server, const geo::LatLon& ue_pos);
+
+/// Base (uncongested, jitter-free) RTT.
+Millis base_rtt(radio::Carrier carrier, radio::Technology tech,
+                const Server& server, const geo::LatLon& ue_pos);
+
+/// Stateful RTT sampler: adds jitter, speed-dependent inflation and rare
+/// multi-second stalls (radio-link-failure recoveries) on top of base RTT
+/// plus any queueing delay supplied by the transport layer.
+class RttProcess {
+ public:
+  RttProcess(radio::Carrier carrier, Rng rng);
+
+  /// One RTT observation (e.g. one ICMP echo). `queue_delay` is the
+  /// transport-layer bufferbloat component (0 for unloaded ping tests);
+  /// `interruption` is any handover pause overlapping the probe.
+  Millis sample(radio::Technology tech, const Server& server,
+                const geo::LatLon& ue_pos, MilesPerHour speed,
+                Millis queue_delay, Millis interruption);
+
+ private:
+  radio::Carrier carrier_;
+  Rng rng_;
+};
+
+}  // namespace wheels::net

@@ -1,0 +1,59 @@
+#include "net/server.hpp"
+
+#include <cmath>
+
+namespace wheels::net {
+
+std::string_view server_kind_name(ServerKind k) {
+  return k == ServerKind::Cloud ? "cloud" : "edge";
+}
+
+ServerFleet ServerFleet::standard(const geo::Route& route) {
+  ServerFleet fleet;
+  // EC2 us-west (N. California) and us-east (Ohio).
+  fleet.servers_.push_back(
+      {"ec2-california", ServerKind::Cloud, {37.35, -121.95}, 0});
+  fleet.servers_.push_back(
+      {"ec2-ohio", ServerKind::Cloud, {40.10, -83.20}, 0});
+  // Wavelength edges in the five flagged cities.
+  const auto& wps = route.waypoints();
+  for (std::size_t i = 0; i < wps.size(); ++i) {
+    if (wps[i].has_edge_server) {
+      fleet.servers_.push_back(
+          {"wavelength-" + wps[i].name, ServerKind::Edge, wps[i].pos, i});
+    }
+  }
+  return fleet;
+}
+
+const Server& ServerFleet::cloud_for(geo::Timezone tz) const {
+  const bool west =
+      tz == geo::Timezone::Pacific || tz == geo::Timezone::Mountain;
+  for (const Server& s : servers_) {
+    if (s.kind != ServerKind::Cloud) continue;
+    const bool is_west = s.pos.lon_deg < -100.0;
+    if (is_west == west) return s;
+  }
+  return servers_.front();
+}
+
+const Server* ServerFleet::edge_near(const geo::Route& route,
+                                     const geo::RoutePoint& where) const {
+  for (const Server& s : servers_) {
+    if (s.kind != ServerKind::Edge) continue;
+    const Km d = std::abs(route.city_km(s.city_index) - where.km);
+    if (d <= kEdgeMetroRadiusKm) return &s;
+  }
+  return nullptr;
+}
+
+const Server& ServerFleet::select(radio::Carrier carrier,
+                                  const geo::Route& route,
+                                  const geo::RoutePoint& where) const {
+  if (carrier == radio::Carrier::Verizon) {
+    if (const Server* edge = edge_near(route, where)) return *edge;
+  }
+  return cloud_for(where.tz);
+}
+
+}  // namespace wheels::net

@@ -1,0 +1,60 @@
+// Cloud and edge server fleet.
+//
+// Mirrors the paper's deployment (§3): two AWS EC2 sites — California (used
+// for tests in the Pacific/Mountain timezones) and Ohio (Central/Eastern) —
+// plus five Amazon Wavelength edge servers in Los Angeles, Las Vegas, Denver,
+// Chicago and Boston. Wavelength lives inside Verizon's network, so only the
+// Verizon phone uses edge servers, and only while near one of those cities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "geo/route.hpp"
+#include "geo/timezone.hpp"
+#include "radio/technology.hpp"
+
+namespace wheels::net {
+
+enum class ServerKind { Cloud, Edge };
+
+std::string_view server_kind_name(ServerKind k);
+
+struct Server {
+  std::string name;
+  ServerKind kind = ServerKind::Cloud;
+  geo::LatLon pos;
+  /// For edge servers: index of the host city in the route's waypoints.
+  std::size_t city_index = 0;
+};
+
+class ServerFleet {
+ public:
+  /// The paper's fleet for the given route.
+  static ServerFleet standard(const geo::Route& route);
+
+  /// Cloud site used for a test in this timezone (CA for Pacific/Mountain,
+  /// OH for Central/Eastern).
+  const Server& cloud_for(geo::Timezone tz) const;
+
+  /// Edge server reachable from this point (within the host city's metro
+  /// area, measured in map km), or nullptr.
+  const Server* edge_near(const geo::Route& route,
+                          const geo::RoutePoint& where) const;
+
+  /// Server the given carrier's phone would use at this point: Verizon gets
+  /// the edge when one is near, everyone falls back to the timezone's cloud.
+  const Server& select(radio::Carrier carrier, const geo::Route& route,
+                       const geo::RoutePoint& where) const;
+
+  const std::vector<Server>& servers() const { return servers_; }
+
+  /// Metro radius within which an edge server is reachable (map km).
+  static constexpr Km kEdgeMetroRadiusKm = 30.0;
+
+ private:
+  std::vector<Server> servers_;
+};
+
+}  // namespace wheels::net

@@ -1,0 +1,56 @@
+#include "radio/band_plan.hpp"
+
+#include "core/math_util.hpp"
+
+namespace wheels::radio {
+
+BandPlan band_plan(Carrier carrier, Technology tech) {
+  switch (tech) {
+    case Technology::Lte:
+      return {2.0, 10.0, 1, 1, 2, 1, 1.0};
+    case Technology::LteA: {
+      // AT&T's LTE-A footprint is its strength (Fig. 2a): more aggregated
+      // spectrum than the other two.
+      BandPlan p{2.0, 15.0, 3, 1, 4, 1, 1.0};
+      if (carrier == Carrier::Att) {
+        p.max_cc_dl = 5;
+        p.cc_bandwidth_mhz = 18.0;
+      }
+      return p;
+    }
+    case Technology::NrLow: {
+      // 600-850 MHz NR; T-Mobile n71 is 20 MHz-ish, others narrower.
+      BandPlan p{0.85, 15.0, 2, 1, 2, 1, 1.0};
+      if (carrier == Carrier::TMobile) p.cc_bandwidth_mhz = 20.0;
+      return p;
+    }
+    case Technology::NrMid: {
+      // T-Mobile n41 2.5 GHz / 100 MHz; Verizon & AT&T C-band 3.7 GHz /
+      // ~60 MHz. TDD with DL-heavy slot format.
+      if (carrier == Carrier::TMobile) return {2.5, 100.0, 2, 2, 4, 1, 0.25};
+      return {3.7, 60.0, 2, 1, 4, 1, 0.25};
+    }
+    case Technology::NrMmWave: {
+      // 28 GHz, 100 MHz components; S21 aggregates up to 8 DL / 2 UL.
+      // Only Verizon holds enough contiguous mmWave for the full 8 CC;
+      // T-Mobile's and AT&T's thinner holdings cap at 4 CC (and AT&T's
+      // uplink stays on a single component) — this is what keeps Verizon's
+      // static mmWave medians on top in Fig. 3a.
+      BandPlan p{28.0, 100.0, 8, 2, 2, 1, 0.3};
+      if (carrier != Carrier::Verizon) p.max_cc_dl = 4;
+      if (carrier == Carrier::Att) p.max_cc_ul = 1;
+      return p;
+    }
+  }
+  return {};
+}
+
+Mbps cc_peak_rate(const BandPlan& plan, bool downlink) {
+  constexpr double kOverhead = 0.78;  // control / reference-signal overhead
+  constexpr double kPeakEfficiency = 7.4;
+  const int layers = downlink ? plan.layers_dl : plan.layers_ul;
+  const double duty = downlink ? 1.0 : plan.ul_duty;
+  return plan.cc_bandwidth_mhz * kPeakEfficiency * layers * kOverhead * duty;
+}
+
+}  // namespace wheels::radio

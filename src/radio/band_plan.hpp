@@ -1,0 +1,37 @@
+// Per-carrier spectrum holdings: frequency, channel bandwidth, carrier
+// aggregation limits and MIMO ranks per technology.
+//
+// Values reflect the 2022 US deployments the paper measured: Verizon 28 GHz
+// mmWave with up to 8 aggregated components (S21 supports 8CC DL / 2CC UL,
+// Appendix B), T-Mobile's 100 MHz n41 midband, Verizon/AT&T ~60 MHz C-band,
+// low-band NR around 600-850 MHz and 10-20 MHz LTE channels.
+#pragma once
+
+#include "core/units.hpp"
+#include "radio/technology.hpp"
+
+namespace wheels::radio {
+
+struct BandPlan {
+  /// Carrier frequency in GHz (drives path loss).
+  double freq_ghz = 2.0;
+  /// Bandwidth of one component carrier, MHz.
+  double cc_bandwidth_mhz = 10.0;
+  /// Max aggregated component carriers, downlink / uplink.
+  int max_cc_dl = 1;
+  int max_cc_ul = 1;
+  /// Spatial layers, downlink / uplink.
+  int layers_dl = 2;
+  int layers_ul = 1;
+  /// Fraction of slots granted to the uplink (TDD asymmetry; FDD = 1.0 both).
+  double ul_duty = 1.0;
+};
+
+/// Spectrum for (carrier, technology).
+BandPlan band_plan(Carrier carrier, Technology tech);
+
+/// Peak PHY rate (Mbps) of a single component carrier at the spectral
+/// efficiency ceiling — a sanity bound used by tests and the capacity model.
+Mbps cc_peak_rate(const BandPlan& plan, bool downlink);
+
+}  // namespace wheels::radio

@@ -1,0 +1,321 @@
+#include "radio/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/math_util.hpp"
+
+namespace wheels::radio {
+
+std::string_view direction_name(Direction d) {
+  return d == Direction::Downlink ? "downlink" : "uplink";
+}
+
+namespace {
+
+constexpr Km kReferenceKm = 0.1;  // path-loss reference distance
+
+/// Shadowing sigma (dB) and decorrelation distance (km).
+struct ShadowParams {
+  double sigma_db;
+  Km decorrelation_km;
+};
+
+ShadowParams shadow_params(Technology tech) {
+  switch (tech) {
+    case Technology::Lte:
+    case Technology::LteA: return {6.0, 0.12};
+    case Technology::NrLow: return {5.5, 0.15};
+    case Technology::NrMid: return {7.0, 0.08};
+    case Technology::NrMmWave: return {9.0, 0.03};
+  }
+  return {6.0, 0.1};
+}
+
+/// Speed penalty on SNR (beam tracking / Doppler), dB.
+double mobility_penalty_db(Technology tech, MilesPerHour speed) {
+  switch (tech) {
+    case Technology::NrMmWave: return 2.0 + 0.18 * speed;
+    case Technology::NrMid: return 1.0 + 0.06 * speed;
+    case Technology::NrLow: return 0.5 + 0.035 * speed;
+    case Technology::LteA: return 0.5 + 0.02 * speed;
+    case Technology::Lte: return 0.5 + 0.02 * speed;
+  }
+  return 0.0;
+}
+
+/// UL transmit-power handicap relative to DL, dB.
+double ul_snr_offset(Technology tech) {
+  return tech == Technology::NrMmWave ? -8.0 : -2.0;
+}
+
+/// Probability of entering an outage (blockage / deep fade) per 500 ms at
+/// 60 mph. T-Mobile midband gets an extra hit: the paper found 40% of its
+/// samples below 2 Mbps in both directions (§5.2).
+double outage_entry_p(Carrier carrier, Technology tech) {
+  switch (tech) {
+    case Technology::NrMmWave: return 0.10;
+    case Technology::NrMid:
+      return carrier == Carrier::TMobile ? 0.085 : 0.055;
+    case Technology::NrLow: return 0.045;
+    case Technology::LteA:
+    case Technology::Lte:
+      switch (carrier) {
+        case Carrier::Att: return 0.022;
+        case Carrier::Verizon: return 0.030;
+        case Carrier::TMobile: return 0.035;
+      }
+      return 0.03;
+  }
+  return 0.03;
+}
+
+/// Practical spectral-efficiency ceiling per layer (b/s/Hz).
+constexpr double kEffCeiling = 5.5;
+/// Control/reference-signal overhead.
+constexpr double kOverhead = 0.78;
+
+/// Diminishing returns of extra MIMO layers in the field.
+double effective_layers(int layers) { return 1.0 + 0.35 * (layers - 1); }
+
+}  // namespace
+
+Dbm reference_rsrp(Carrier carrier, Technology tech) {
+  switch (tech) {
+    case Technology::Lte: return -70.0;
+    case Technology::LteA: return -69.0;
+    case Technology::NrLow: return -65.0;
+    case Technology::NrMid: return -68.0;
+    case Technology::NrMmWave:
+      // §5.5: Verizon's wider beams → lower gain → RSRP −80..−110 dBm while
+      // AT&T's narrow beams sit at −70..−90 dBm.
+      switch (carrier) {
+        case Carrier::Verizon: return -78.0;
+        case Carrier::TMobile: return -70.0;
+        case Carrier::Att: return -66.0;
+      }
+  }
+  return -70.0;
+}
+
+double path_loss_exponent(Technology tech) {
+  switch (tech) {
+    case Technology::Lte:
+    case Technology::LteA: return 3.0;
+    case Technology::NrLow: return 2.8;
+    case Technology::NrMid: return 3.7;
+    case Technology::NrMmWave: return 4.5;
+  }
+  return 3.0;
+}
+
+Dbm mean_rsrp(Carrier carrier, Technology tech, Km distance_km) {
+  const double d = std::max(distance_km, kReferenceKm);
+  return reference_rsrp(carrier, tech) -
+         10.0 * path_loss_exponent(tech) * std::log10(d / kReferenceKm);
+}
+
+Db snr_from_rsrp(Technology tech, Dbm rsrp) {
+  // Noise + interference floor per technology; clamped to modem range.
+  double floor = -108.0;
+  switch (tech) {
+    case Technology::Lte:
+    case Technology::LteA: floor = -104.0; break;
+    case Technology::NrLow: floor = -103.0; break;
+    case Technology::NrMid: floor = -108.0; break;
+    case Technology::NrMmWave: floor = -102.0; break;
+  }
+  return std::clamp(rsrp - floor, -10.0, 32.0);
+}
+
+int mcs_from_snr(Db snr) {
+  const int mcs = static_cast<int>(std::lround((snr + 8.0) * 28.0 / 38.0));
+  return std::clamp(mcs, 0, 28);
+}
+
+double bler_model(Db snr, MilesPerHour speed) {
+  // Link adaptation keeps the residual BLER near its 10% target across most
+  // of the SNR range; only deep fades push it up (why the paper finds BLER
+  // nearly uncorrelated with throughput, Table 2).
+  const double base = 0.10 + 0.30 * logistic(-snr, 6.0, 0.9);
+  return std::clamp(base + 0.0010 * speed, 0.02, 0.9);
+}
+
+namespace {
+
+/// Mean of the DL load-logit process: how much of the cell our UE gets.
+/// AT&T's 4G capacity layer is the least contended (it carries the paper's
+/// highest driving DL means); Verizon sits in between.
+double load_mu_dl(Carrier c) {
+  switch (c) {
+    case Carrier::Verizon: return -0.55;
+    case Carrier::TMobile: return -0.75;
+    case Carrier::Att: return -0.10;
+  }
+  return -0.75;
+}
+
+double load_mu_ul(Carrier c) {
+  switch (c) {
+    case Carrier::Verizon: return 0.60;
+    case Carrier::TMobile: return 0.30;
+    case Carrier::Att: return 0.10;
+  }
+  return 0.30;
+}
+
+}  // namespace
+
+ChannelModel::ChannelModel(Carrier carrier, Rng rng)
+    : carrier_(carrier), rng_(std::move(rng)) {
+  load_dl_ = rng_.normal(load_mu_dl(carrier_), 0.9);
+  load_ul_ = rng_.normal(load_mu_ul(carrier_), 1.3);
+}
+
+void ChannelModel::attach(const CellSite& cell) {
+  const ShadowParams sp = shadow_params(cell.tech);
+  shadow_db_ = rng_.normal(0.0, sp.sigma_db);
+  last_km_ = -1.0;
+  load_dl_ = rng_.normal(load_mu_dl(carrier_), 0.9);
+  load_ul_ = rng_.normal(load_mu_ul(carrier_), 1.3);
+  outage_left_ = 0.0;
+  outage_depth_ = 1.0;
+  redraw_ca(cell.tech, false);
+}
+
+void ChannelModel::advance_load(Millis dt) {
+  // OU in logit space, time constant ~20 s.
+  const double theta = dt / 20'000.0;
+  const double diffusion = 0.55 * std::sqrt(std::min(1.0, dt / 20'000.0));
+  load_dl_ += (load_mu_dl(carrier_) - load_dl_) * theta +
+              rng_.normal(0.0, diffusion);
+  load_ul_ += (load_mu_ul(carrier_) - load_ul_) * theta +
+              rng_.normal(0.0, diffusion);
+}
+
+void ChannelModel::advance_outage(Technology tech, MilesPerHour speed,
+                                  Millis dt, bool static_best) {
+  if (outage_left_ > 0.0) {
+    outage_left_ -= dt;
+    if (outage_left_ <= 0.0) outage_depth_ = 1.0;
+    return;
+  }
+  double p500 =
+      outage_entry_p(carrier_, tech) * (0.3 + speed / 60.0) * (dt / 500.0);
+  if (static_best) p500 *= 0.35;
+  if (rng_.bernoulli(std::min(p500, 0.8))) {
+    outage_left_ = rng_.exponential(1.0 / 4'000.0);  // mean 4 s
+    outage_depth_ = rng_.uniform(0.01, 0.18);
+  }
+}
+
+void ChannelModel::redraw_ca(Technology tech, bool static_best) {
+  const BandPlan plan = band_plan(carrier_, tech);
+  // DL: skew toward max when static, mid-range while driving.
+  const double u = rng_.uniform();
+  const double skew = static_best ? 0.45 : 0.70;
+  cc_dl_ = 1 + static_cast<int>(std::pow(u, skew) * plan.max_cc_dl);
+  cc_dl_ = std::clamp(cc_dl_, 1, plan.max_cc_dl);
+
+  // UL carrier-aggregation quirks (§5.5 "CA"): Verizon rarely aggregates UL;
+  // T-Mobile usually runs 2 UL carriers; AT&T sometimes.
+  double p_ul2 = 0.3;
+  if (carrier_ == Carrier::Verizon) p_ul2 = 0.05;
+  if (carrier_ == Carrier::TMobile) p_ul2 = 0.60;
+  cc_ul_ = (plan.max_cc_ul >= 2 && rng_.bernoulli(p_ul2)) ? 2 : 1;
+  ul_pc_offset_db_ = rng_.normal(0.0, 3.0);
+  since_ca_redraw_ = 0.0;
+}
+
+LinkKpis ChannelModel::finish(const CellSite& cell, Dbm rsrp,
+                              MilesPerHour speed, bool static_best) {
+  const BandPlan plan = band_plan(carrier_, cell.tech);
+
+  LinkKpis k;
+  k.rsrp = rsrp;
+  k.outage = outage_left_ > 0.0;
+
+  const double penalty = static_best ? 0.0 : mobility_penalty_db(cell.tech, speed);
+  k.snr_dl = snr_from_rsrp(cell.tech, rsrp) - penalty;
+  k.snr_ul = k.snr_dl + ul_snr_offset(cell.tech) + ul_pc_offset_db_;
+  k.mcs_dl = mcs_from_snr(k.snr_dl);
+  k.mcs_ul = mcs_from_snr(k.snr_ul);
+  k.bler_dl = bler_model(k.snr_dl, static_best ? 0.0 : speed);
+  k.bler_ul = bler_model(k.snr_ul, static_best ? 0.0 : speed);
+  k.cc_dl = cc_dl_;
+  k.cc_ul = cc_ul_;
+
+  // Static tests ran in front of the BS in a quiet window — except that
+  // T-Mobile's urban n41 layer carries most of its traffic and stays busy
+  // (the paper's T-Mobile static DL median is 5x below Verizon's).
+  const double boost =
+      static_best ? (carrier_ == Carrier::TMobile ? 0.2 : 1.3) : 0.0;
+  const double share_dl = clamp01(logistic(load_dl_ + boost, 0.0, 1.0));
+  const double share_ul = clamp01(logistic(load_ul_ + boost, 0.0, 1.0));
+
+  // Sum capacity over component carriers; secondary components see weaker
+  // SNR (they are served by the same site at other frequencies).
+  auto aggregate = [&](Db snr0, int cc, int layers, double duty) {
+    double mbps = 0.0;
+    for (int i = 0; i < cc; ++i) {
+      const Db snr_i = snr0 - 3.0 * i;
+      const double eff = std::min(shannon_efficiency(snr_i, kEffCeiling),
+                                  kEffCeiling);
+      const double bler = bler_model(snr_i, static_best ? 0.0 : speed);
+      mbps += plan.cc_bandwidth_mhz * eff * effective_layers(layers) *
+              kOverhead * duty * (1.0 - bler);
+    }
+    return mbps;
+  };
+
+  k.capacity_dl = aggregate(k.snr_dl, k.cc_dl, plan.layers_dl, 1.0) * share_dl;
+  k.capacity_ul =
+      aggregate(k.snr_ul, k.cc_ul, plan.layers_ul, plan.ul_duty) * share_ul;
+
+  if (k.outage) {
+    k.capacity_dl *= outage_depth_;
+    k.capacity_ul *= outage_depth_;
+    k.rsrp -= 15.0;
+  }
+
+  k.capacity_dl = std::min(k.capacity_dl, kDeviceCapDl);
+  k.capacity_ul = std::min(k.capacity_ul, kDeviceCapUl);
+  return k;
+}
+
+LinkKpis ChannelModel::sample(const CellSite& cell, Km ue_km,
+                              MilesPerHour speed, Millis dt) {
+  const ShadowParams sp = shadow_params(cell.tech);
+  if (last_km_ >= 0.0) {
+    const Km moved = std::abs(ue_km - last_km_);
+    const double rho = std::exp(-moved / sp.decorrelation_km);
+    shadow_db_ = rho * shadow_db_ +
+                 std::sqrt(std::max(0.0, 1.0 - rho * rho)) *
+                     rng_.normal(0.0, sp.sigma_db);
+  }
+  last_km_ = ue_km;
+
+  advance_load(dt);
+  advance_outage(cell.tech, speed, dt, false);
+  since_ca_redraw_ += dt;
+  if (since_ca_redraw_ > 5'000.0) redraw_ca(cell.tech, false);
+
+  const Km dist = std::abs(ue_km - cell.center_km);
+  const Dbm rsrp = mean_rsrp(carrier_, cell.tech, dist) + shadow_db_;
+  return finish(cell, rsrp, speed, false);
+}
+
+LinkKpis ChannelModel::sample_static_best(const CellSite& cell, Millis dt) {
+  advance_load(dt);
+  // Pedestrian blockage still happens in front of the base station, just
+  // rarely — the paper saw a non-negligible fraction of low static samples.
+  advance_outage(cell.tech, 10.0, dt, true);
+  since_ca_redraw_ += dt;
+  if (since_ca_redraw_ > 5'000.0) redraw_ca(cell.tech, true);
+
+  const Dbm rsrp =
+      reference_rsrp(carrier_, cell.tech) + rng_.normal(0.0, 2.0);
+  return finish(cell, rsrp, 0.0, true);
+}
+
+}  // namespace wheels::radio

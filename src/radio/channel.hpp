@@ -1,0 +1,124 @@
+// Per-link radio channel model.
+//
+// Produces, per 500 ms tick, the KPI vector XCAL would log — RSRP, per-
+// direction SNR/MCS/BLER, active component carriers and the resulting PHY
+// capacity — for a UE attached to one cell. The model composes:
+//
+//  - log-distance path loss with spatially correlated (Gauss-Markov)
+//    shadowing; carrier-specific mmWave beam gain (Verizon's wider beams give
+//    systematically lower mmWave RSRP than AT&T's, §5.5 "RSRP");
+//  - a mobility penalty on SNR that grows with speed and carrier frequency
+//    (beam misalignment / Doppler), the mechanism behind the static→driving
+//    collapse in Fig. 3;
+//  - cell-load processes (Ornstein-Uhlenbeck in logit space) deciding the
+//    share of cell capacity our UE gets, with a heavy low tail — the paper's
+//    "poor performance even under full high-speed 5G coverage";
+//  - an outage process (blockage / deep fade) that is most aggressive for
+//    mmWave and for T-Mobile's midband, reproducing the "40% of n41 samples
+//    below 2 Mbps" observation (§5.2);
+//  - link adaptation: SNR→MCS (NR 0..28), BLER with speed term, CA component
+//    draws honouring carrier quirks (Verizon rarely aggregates uplink
+//    carriers; T-Mobile usually runs 2 UL carriers — §5.5 "CA").
+#pragma once
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "radio/band_plan.hpp"
+#include "radio/deployment.hpp"
+#include "radio/technology.hpp"
+
+namespace wheels::radio {
+
+enum class Direction { Downlink, Uplink };
+
+std::string_view direction_name(Direction d);
+
+/// One tick's worth of PHY-layer KPIs (what XCAL logs every 500 ms).
+struct LinkKpis {
+  Dbm rsrp = -120.0;
+  Db snr_dl = 0.0;
+  Db snr_ul = 0.0;
+  int mcs_dl = 0;   // primary cell MCS index, 0..28
+  int mcs_ul = 0;
+  double bler_dl = 0.0;
+  double bler_ul = 0.0;
+  int cc_dl = 1;    // active component carriers
+  int cc_ul = 1;
+  Mbps capacity_dl = 0.0;  // PHY capacity available to this UE
+  Mbps capacity_ul = 0.0;
+  bool outage = false;
+
+  Mbps capacity(Direction d) const {
+    return d == Direction::Downlink ? capacity_dl : capacity_ul;
+  }
+  int mcs(Direction d) const {
+    return d == Direction::Downlink ? mcs_dl : mcs_ul;
+  }
+  int cc(Direction d) const { return d == Direction::Downlink ? cc_dl : cc_ul; }
+  double bler(Direction d) const {
+    return d == Direction::Downlink ? bler_dl : bler_ul;
+  }
+};
+
+/// RSRP at reference distance (50 m, boresight) for (carrier, tech).
+Dbm reference_rsrp(Carrier carrier, Technology tech);
+/// Path-loss exponent for the technology's frequency range.
+double path_loss_exponent(Technology tech);
+/// RSRP at `distance_km` from the site (excluding shadowing).
+Dbm mean_rsrp(Carrier carrier, Technology tech, Km distance_km);
+/// SNR implied by an RSRP for the technology (noise+interference floor).
+Db snr_from_rsrp(Technology tech, Dbm rsrp);
+/// NR MCS index (0..28) for an SNR.
+int mcs_from_snr(Db snr);
+/// Residual block error rate at the given SNR and speed.
+double bler_model(Db snr, MilesPerHour speed);
+
+/// Device limits (Samsung S21 over mmWave, Appendix B).
+inline constexpr Mbps kDeviceCapDl = 3500.0;
+inline constexpr Mbps kDeviceCapUl = 350.0;
+
+class ChannelModel {
+ public:
+  ChannelModel(Carrier carrier, Rng rng);
+
+  /// Called when the UE attaches to a new serving cell: re-draws shadowing,
+  /// load and CA state.
+  void attach(const CellSite& cell);
+
+  /// Advance the channel by `dt` at the UE's position and produce KPIs.
+  LinkKpis sample(const CellSite& cell, Km ue_km, MilesPerHour speed,
+                  Millis dt);
+
+  /// Best-case stationary sample (the paper's static tests: standing in front
+  /// of the base station).
+  LinkKpis sample_static_best(const CellSite& cell, Millis dt);
+
+ private:
+  void advance_load(Millis dt);
+  void advance_outage(Technology tech, MilesPerHour speed, Millis dt,
+                      bool static_best);
+  void redraw_ca(Technology tech, bool static_best);
+  LinkKpis finish(const CellSite& cell, Dbm rsrp, MilesPerHour speed,
+                  bool static_best);
+
+  Carrier carrier_;
+  Rng rng_;
+  // Shadowing (dB) with spatial decorrelation.
+  double shadow_db_ = 0.0;
+  Km last_km_ = -1.0;
+  // Load state (logit of our share of the cell), DL and UL.
+  double load_dl_ = 0.0;
+  double load_ul_ = 0.0;
+  // Outage remaining duration and depth multiplier.
+  Millis outage_left_ = 0.0;
+  double outage_depth_ = 1.0;
+  // Active CA components, re-drawn on attach and occasionally after.
+  int cc_dl_ = 1;
+  int cc_ul_ = 1;
+  // Uplink power-control state (dB): closed-loop PC makes the UL SNR track
+  // the serving cell's commands, not the DL RSRP.
+  double ul_pc_offset_db_ = 0.0;
+  Millis since_ca_redraw_ = 0.0;
+};
+
+}  // namespace wheels::radio

@@ -1,0 +1,25 @@
+#include "radio/technology.hpp"
+
+namespace wheels::radio {
+
+std::string_view technology_name(Technology t) {
+  switch (t) {
+    case Technology::Lte: return "LTE";
+    case Technology::LteA: return "LTE-A";
+    case Technology::NrLow: return "5G-low";
+    case Technology::NrMid: return "5G-mid";
+    case Technology::NrMmWave: return "5G-mmWave";
+  }
+  return "?";
+}
+
+std::string_view carrier_name(Carrier c) {
+  switch (c) {
+    case Carrier::Verizon: return "Verizon";
+    case Carrier::TMobile: return "T-Mobile";
+    case Carrier::Att: return "AT&T";
+  }
+  return "?";
+}
+
+}  // namespace wheels::radio

@@ -1,0 +1,43 @@
+// Cellular technologies and carriers (operators) covered by the study.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace wheels::radio {
+
+/// The five technologies the paper distinguishes (Fig. 1, Fig. 2):
+/// LTE, LTE-A, 5G low-band, 5G mid-band, 5G mmWave.
+enum class Technology { Lte, LteA, NrLow, NrMid, NrMmWave };
+
+inline constexpr int kTechnologyCount = 5;
+inline constexpr std::array<Technology, kTechnologyCount> kAllTechnologies{
+    Technology::Lte, Technology::LteA, Technology::NrLow, Technology::NrMid,
+    Technology::NrMmWave};
+
+std::string_view technology_name(Technology t);
+
+constexpr bool is_5g(Technology t) {
+  return t == Technology::NrLow || t == Technology::NrMid ||
+         t == Technology::NrMmWave;
+}
+
+/// "High-speed 5G" in the paper's terminology: midband or mmWave. Everything
+/// else (LTE/LTE-A/5G-low) is the low-throughput (LT) class of §5.4.
+constexpr bool is_high_speed_5g(Technology t) {
+  return t == Technology::NrMid || t == Technology::NrMmWave;
+}
+
+/// Service tier used for upgrade/downgrade ordering (LTE lowest).
+constexpr int technology_tier(Technology t) { return static_cast<int>(t); }
+
+/// The three major US operators.
+enum class Carrier { Verizon, TMobile, Att };
+
+inline constexpr int kCarrierCount = 3;
+inline constexpr std::array<Carrier, kCarrierCount> kAllCarriers{
+    Carrier::Verizon, Carrier::TMobile, Carrier::Att};
+
+std::string_view carrier_name(Carrier c);
+
+}  // namespace wheels::radio

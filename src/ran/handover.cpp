@@ -1,0 +1,44 @@
+#include "ran/handover.hpp"
+
+#include <cmath>
+
+namespace wheels::ran {
+
+std::string_view handover_type_name(HandoverType t) {
+  switch (t) {
+    case HandoverType::FourToFour: return "4G->4G";
+    case HandoverType::FourToFive: return "4G->5G";
+    case HandoverType::FiveToFour: return "5G->4G";
+    case HandoverType::FiveToFive: return "5G->5G";
+  }
+  return "?";
+}
+
+HandoverType classify_handover(radio::Technology from, radio::Technology to) {
+  const bool f5 = radio::is_5g(from);
+  const bool t5 = radio::is_5g(to);
+  if (f5 && t5) return HandoverType::FiveToFive;
+  if (f5) return HandoverType::FiveToFour;
+  if (t5) return HandoverType::FourToFive;
+  return HandoverType::FourToFour;
+}
+
+Millis sample_handover_duration(radio::Carrier carrier, radio::Direction dir,
+                                bool vertical, Rng& rng) {
+  double median = 55.0;
+  switch (carrier) {
+    case radio::Carrier::Verizon:
+      median = dir == radio::Direction::Downlink ? 53.0 : 49.0;
+      break;
+    case radio::Carrier::TMobile:
+      median = dir == radio::Direction::Downlink ? 76.0 : 75.0;
+      break;
+    case radio::Carrier::Att:
+      median = dir == radio::Direction::Downlink ? 58.0 : 57.0;
+      break;
+  }
+  if (vertical) median *= 1.35;
+  return rng.lognormal(std::log(median), 0.40);
+}
+
+}  // namespace wheels::ran

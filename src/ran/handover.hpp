@@ -1,0 +1,41 @@
+// Handover events and their interruption model.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/rng.hpp"
+#include "core/sim_time.hpp"
+#include "core/units.hpp"
+#include "radio/channel.hpp"
+#include "radio/technology.hpp"
+
+namespace wheels::ran {
+
+/// Horizontal (same RAT generation) vs vertical (4G↔5G) classification used
+/// in Fig. 12's breakdown.
+enum class HandoverType { FourToFour, FourToFive, FiveToFour, FiveToFive };
+
+std::string_view handover_type_name(HandoverType t);
+HandoverType classify_handover(radio::Technology from, radio::Technology to);
+constexpr bool is_vertical(HandoverType t) {
+  return t == HandoverType::FourToFive || t == HandoverType::FiveToFour;
+}
+
+struct HandoverEvent {
+  SimMillis t = 0;
+  Millis duration = 0.0;  // data interruption
+  radio::Technology from = radio::Technology::Lte;
+  radio::Technology to = radio::Technology::Lte;
+  std::uint32_t from_cell = 0;
+  std::uint32_t to_cell = 0;
+  HandoverType type = HandoverType::FourToFour;
+};
+
+/// Handover interruption duration (ms). Medians match Fig. 11b:
+/// ~53/76/58 ms (DL) and ~49/75/57 ms (UL) for Verizon/T-Mobile/AT&T;
+/// vertical handovers run somewhat longer.
+Millis sample_handover_duration(radio::Carrier carrier, radio::Direction dir,
+                                bool vertical, Rng& rng);
+
+}  // namespace wheels::ran

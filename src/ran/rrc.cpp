@@ -1,0 +1,28 @@
+#include "ran/rrc.hpp"
+
+#include <cmath>
+
+namespace wheels::ran {
+
+RrcMachine::RrcMachine(Rng rng, Millis inactivity_timeout)
+    : rng_(std::move(rng)), inactivity_timeout_(inactivity_timeout) {}
+
+Millis RrcMachine::sample_promotion_delay(Rng& rng) {
+  return rng.lognormal(std::log(180.0), 0.35);
+}
+
+RrcState RrcMachine::state_at(SimMillis t) const {
+  if (!ever_active_) return RrcState::Idle;
+  return (t - last_traffic_) > static_cast<SimMillis>(inactivity_timeout_)
+             ? RrcState::Idle
+             : RrcState::Connected;
+}
+
+Millis RrcMachine::on_traffic(SimMillis t) {
+  const bool promotes = state_at(t) == RrcState::Idle;
+  last_traffic_ = t;
+  ever_active_ = true;
+  return promotes ? sample_promotion_delay(rng_) : 0.0;
+}
+
+}  // namespace wheels::ran

@@ -1,0 +1,105 @@
+#include "ran/service_policy.hpp"
+
+#include <algorithm>
+
+namespace wheels::ran {
+
+using radio::Carrier;
+using radio::Technology;
+
+std::string_view traffic_profile_name(TrafficProfile t) {
+  switch (t) {
+    case TrafficProfile::IdlePing: return "idle-ping";
+    case TrafficProfile::BackloggedDownlink: return "backlogged-dl";
+    case TrafficProfile::BackloggedUplink: return "backlogged-ul";
+    case TrafficProfile::Interactive: return "interactive";
+  }
+  return "?";
+}
+
+double upgrade_probability(Carrier carrier, Technology tech,
+                           TrafficProfile traffic, geo::Timezone tz) {
+  // 4G tiers are the fallback, not an upgrade decision.
+  if (!radio::is_5g(tech)) return tech == Technology::LteA ? 1.0 : 1.0;
+
+  switch (traffic) {
+    case TrafficProfile::IdlePing:
+      // Conservative: a trickle of ICMP does not justify an NR grant.
+      // AT&T never upgrades (Fig. 1d shows LTE/LTE-A only); T-Mobile's
+      // policy differs by half of the country — the passive and active
+      // views agree in the east but not the west (Fig. 1c vs 1f).
+      if (carrier == Carrier::Att) return 0.0;
+      if (carrier == Carrier::TMobile) {
+        const bool east = tz == geo::Timezone::Central ||
+                          tz == geo::Timezone::Eastern;
+        if (tech == Technology::NrLow || tech == Technology::NrMid) {
+          return east ? 0.75 : 0.06;
+        }
+        return 0.0;  // no mmWave for ping traffic
+      }
+      // Verizon: occasional 5G-low only.
+      return tech == Technology::NrLow ? 0.08 : 0.0;
+
+    case TrafficProfile::BackloggedDownlink:
+      // Aggressive upgrades for heavy DL (Fig. 2b).
+      switch (tech) {
+        case Technology::NrMmWave: return 0.95;
+        case Technology::NrMid: return 0.95;
+        case Technology::NrLow: return 0.90;
+        default: return 1.0;
+      }
+
+    case TrafficProfile::BackloggedUplink:
+      // Heavy UL is kept on lower tiers (Fig. 2b): high-speed 5G UL
+      // coverage is visibly lower than DL for all carriers, and Verizon's /
+      // AT&T's overall 5G share drops too.
+      switch (tech) {
+        case Technology::NrMmWave:
+          return carrier == Carrier::TMobile ? 0.45 : 0.35;
+        case Technology::NrMid:
+          return carrier == Carrier::TMobile ? 0.70 : 0.50;
+        case Technology::NrLow:
+          return carrier == Carrier::TMobile ? 0.80 : 0.55;
+        default: return 1.0;
+      }
+
+    case TrafficProfile::Interactive:
+      switch (tech) {
+        case Technology::NrMmWave: return 0.70;
+        case Technology::NrMid: return 0.80;
+        case Technology::NrLow: return 0.80;
+        default: return 1.0;
+      }
+  }
+  return 0.0;
+}
+
+Technology select_technology(Carrier carrier,
+                             std::span<const Technology> available,
+                             TrafficProfile traffic, geo::Timezone tz,
+                             Rng& rng) {
+  // Walk tiers from highest to lowest; first accepted upgrade wins.
+  Technology best_4g = Technology::Lte;
+  Technology sorted[radio::kTechnologyCount];
+  int n = 0;
+  for (Technology t : available) sorted[n++] = t;
+  std::sort(sorted, sorted + n, [](Technology a, Technology b) {
+    return radio::technology_tier(a) > radio::technology_tier(b);
+  });
+
+  for (int i = 0; i < n; ++i) {
+    const Technology t = sorted[i];
+    if (radio::is_5g(t)) {
+      if (rng.bernoulli(upgrade_probability(carrier, t, traffic, tz))) {
+        return t;
+      }
+    } else {
+      best_4g = std::max(best_4g, t, [](Technology a, Technology b) {
+        return radio::technology_tier(a) < radio::technology_tier(b);
+      });
+    }
+  }
+  return best_4g;
+}
+
+}  // namespace wheels::ran

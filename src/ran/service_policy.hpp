@@ -1,0 +1,43 @@
+// Operator service-tier selection policy.
+//
+// The paper's central coverage finding (§4.1) is that the technology a UE is
+// *granted* is a policy decision, not a propagation fact: under idle/ping
+// traffic operators park UEs on LTE (making passive coverage logging look
+// pessimistic, Fig. 1), under backlogged downlink they upgrade aggressively
+// to high-speed 5G, and under backlogged uplink they prefer 5G-low/LTE
+// (Fig. 2b). This module encodes those policies per carrier.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "core/rng.hpp"
+#include "geo/timezone.hpp"
+#include "radio/technology.hpp"
+
+namespace wheels::ran {
+
+/// What the UE's traffic looks like to the scheduler.
+enum class TrafficProfile {
+  IdlePing,            // 38-byte ICMP every 200 ms (the handover loggers)
+  BackloggedDownlink,  // nuttcp DL bulk transfer
+  BackloggedUplink,    // nuttcp UL bulk transfer
+  Interactive,         // app traffic: moderate, bidirectional
+};
+
+std::string_view traffic_profile_name(TrafficProfile t);
+
+/// Probability that the carrier upgrades a UE to `tech` (when available)
+/// under the given traffic profile. Evaluated top tier first; the first
+/// accepted tier wins.
+double upgrade_probability(radio::Carrier carrier, radio::Technology tech,
+                           TrafficProfile traffic, geo::Timezone tz);
+
+/// Select the serving technology from the available set (any order).
+/// Falls back to the best available 4G tier (LTE always exists).
+radio::Technology select_technology(radio::Carrier carrier,
+                                    std::span<const radio::Technology> available,
+                                    TrafficProfile traffic, geo::Timezone tz,
+                                    Rng& rng);
+
+}  // namespace wheels::ran

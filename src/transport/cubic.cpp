@@ -1,0 +1,59 @@
+#include "transport/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wheels::transport {
+
+Cubic::Cubic(double initial_cwnd_segments)
+    : cwnd_(initial_cwnd_segments),
+      ssthresh_(std::numeric_limits<double>::infinity()) {}
+
+double Cubic::cubic_window(double t_seconds) const {
+  const double d = t_seconds - k_seconds_;
+  return kC * d * d * d + w_max_;
+}
+
+void Cubic::on_ack(double acked_segments, Millis rtt, Millis now) {
+  if (acked_segments <= 0.0) return;
+  if (slow_start_) {
+    cwnd_ += acked_segments;
+    if (cwnd_ >= ssthresh_) slow_start_ = false;
+    return;
+  }
+  if (!epoch_started_) {
+    // First congestion-avoidance ACK without a preceding loss (e.g. after
+    // leaving slow start via ssthresh): start an epoch at the current window.
+    w_max_ = cwnd_;
+    k_seconds_ = 0.0;
+    epoch_start_ = now;
+    epoch_started_ = true;
+  }
+  const double t = (now - epoch_start_) / 1000.0;
+  const double target = cubic_window(t + rtt / 1000.0);
+
+  // TCP-friendly region (standard TCP's AIMD estimate).
+  const double w_est =
+      w_max_ * kBeta +
+      (3.0 * (1.0 - kBeta) / (1.0 + kBeta)) * (t / (rtt / 1000.0));
+
+  const double goal = std::max(target, w_est);
+  if (goal > cwnd_) {
+    cwnd_ += (goal - cwnd_) / cwnd_ * acked_segments;
+  } else {
+    cwnd_ += 0.01 * acked_segments / cwnd_;  // minimal probing
+  }
+}
+
+void Cubic::on_loss(Millis now) {
+  w_max_ = cwnd_;
+  cwnd_ = std::max(kMinCwnd, cwnd_ * kBeta);
+  ssthresh_ = cwnd_;
+  slow_start_ = false;
+  k_seconds_ = std::cbrt(w_max_ * (1.0 - kBeta) / kC);
+  epoch_start_ = now;
+  epoch_started_ = true;
+}
+
+}  // namespace wheels::transport

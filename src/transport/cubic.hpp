@@ -1,0 +1,43 @@
+// TCP CUBIC congestion control (RFC 8312 shape), in segment units.
+//
+// The paper measured bulk transfers with nuttcp over Linux's default CUBIC
+// (§5); reproducing the congestion-control dynamics matters because the
+// 500 ms application-layer throughput samples it reports include slow-start
+// ramps, sawtooth drains and post-handover recoveries.
+#pragma once
+
+#include "core/units.hpp"
+
+namespace wheels::transport {
+
+class Cubic {
+ public:
+  explicit Cubic(double initial_cwnd_segments = 10.0);
+
+  /// Register `acked_segments` worth of ACKs at time `now`.
+  void on_ack(double acked_segments, Millis rtt, Millis now);
+
+  /// Multiplicative decrease + new cubic epoch at time `now`.
+  void on_loss(Millis now);
+
+  double cwnd_segments() const { return cwnd_; }
+  bool in_slow_start() const { return slow_start_; }
+
+  static constexpr double kBeta = 0.7;
+  static constexpr double kC = 0.4;
+  static constexpr double kMssBytes = 1460.0;
+  static constexpr double kMinCwnd = 2.0;
+
+ private:
+  double cubic_window(double t_seconds) const;
+
+  double cwnd_;
+  double ssthresh_;
+  bool slow_start_ = true;
+  double w_max_ = 0.0;
+  double k_seconds_ = 0.0;
+  Millis epoch_start_ = 0.0;
+  bool epoch_started_ = false;
+};
+
+}  // namespace wheels::transport

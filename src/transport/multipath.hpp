@@ -1,0 +1,60 @@
+// Multipath transport over multiple cellular operators.
+//
+// The paper's §5.4 finding — operator performance at the same place and time
+// is highly diverse, and the "winning" operator flips constantly — leads to
+// its recommendation (2): aggregate links from multiple operators, e.g. over
+// Multipath TCP. This module implements that recommendation so it can be
+// evaluated against the single-operator baseline (bench: ablation_multipath).
+//
+// Each subflow is a full CUBIC TcpBulkFlow over its operator's link; the
+// scheduler decides how application data is spread:
+//  - MinRtt:    packets go to the subflow with the lowest current SRTT that
+//               has window space (the Linux MPTCP default);
+//  - Redundant: duplicate over all subflows (latency-optimal, capacity-poor);
+//  - RoundRobin: naive equal split (the classic MPTCP pathology under
+//               heterogeneous paths — head-of-line blocking).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "transport/tcp_flow.hpp"
+
+namespace wheels::transport {
+
+enum class MultipathScheduler { MinRtt, Redundant, RoundRobin };
+
+std::string_view multipath_scheduler_name(MultipathScheduler s);
+
+struct SubflowState {
+  Mbps capacity = 0.0;  // set per tick by the caller
+  Millis base_rtt = 50.0;
+};
+
+class MultipathFlow {
+ public:
+  /// One subflow per path; `base_rtts[i]` seeds path i's RTT.
+  MultipathFlow(std::vector<Millis> base_rtts, MultipathScheduler scheduler,
+                Rng rng);
+
+  /// Advance all subflows by `dt` given each path's capacity; returns the
+  /// bytes of *distinct* application data delivered (duplicates collapse).
+  double advance(std::span<const Mbps> capacities, Millis dt);
+
+  std::size_t subflow_count() const { return subflows_.size(); }
+  /// Effective smoothed RTT of the aggregate: what a latency-sensitive app
+  /// sees (min over subflows for MinRtt/Redundant, max for RoundRobin since
+  /// in-order delivery waits for the slowest path).
+  Millis effective_rtt() const;
+  const TcpBulkFlow& subflow(std::size_t i) const { return *subflows_[i]; }
+  double total_delivered_bytes() const { return total_delivered_; }
+
+ private:
+  MultipathScheduler scheduler_;
+  std::vector<std::unique_ptr<TcpBulkFlow>> subflows_;
+  double total_delivered_ = 0.0;
+};
+
+}  // namespace wheels::transport

@@ -1,0 +1,60 @@
+#include "transport/packet_tcp.hpp"
+
+#include <algorithm>
+
+namespace wheels::transport {
+
+PacketTcpFlow::PacketTcpFlow(Millis base_rtt, PacketTcpConfig config)
+    : config_(config), base_rtt_(base_rtt) {}
+
+Millis PacketTcpFlow::current_rtt() const {
+  const double service = std::max(last_capacity_, 0.01) * 1e6 / 8.0;  // B/s
+  return base_rtt_ + queue_bytes_ / service * 1000.0;
+}
+
+double PacketTcpFlow::run_round(Mbps capacity) {
+  last_capacity_ = std::max(capacity, 0.01);
+  const double service_per_s = last_capacity_ * 1e6 / 8.0;  // bytes/s
+  const Millis rtt = base_rtt_ + queue_bytes_ / service_per_s * 1000.0;
+
+  // A full window enters the pipe over one RTT; the bottleneck drains at
+  // line rate for the same duration.
+  const double arrivals = cubic_.cwnd_segments() * Cubic::kMssBytes;
+  const double service = service_per_s * (rtt / 1000.0);
+  const double total = queue_bytes_ + arrivals;
+  const double delivered = std::min(total, service);
+  queue_bytes_ = total - delivered;
+
+  const double bdp = service_per_s * (base_rtt_ / 1000.0);
+  const double buffer =
+      std::max(config_.min_buffer_bytes, bdp * config_.buffer_bdp_factor);
+
+  now_ += rtt;
+  if (queue_bytes_ > buffer) {
+    queue_bytes_ = buffer;
+    cubic_.on_loss(now_);
+  } else {
+    cubic_.on_ack(delivered / Cubic::kMssBytes, rtt, now_);
+  }
+  total_delivered_ += delivered;
+  return delivered;
+}
+
+double PacketTcpFlow::advance(Mbps capacity, Millis dt) {
+  // Run whole RTT rounds; unconsumed time carries into the next call (a
+  // round never spans two different capacity values exactly, but long-run
+  // goodput — what the cross-validation asserts — is unaffected).
+  round_debt_ += dt;
+  double delivered = 0.0;
+  while (true) {
+    const double service_per_s = std::max(capacity, 0.01) * 1e6 / 8.0;
+    const Millis next_rtt =
+        base_rtt_ + queue_bytes_ / service_per_s * 1000.0;
+    if (next_rtt > round_debt_) break;
+    delivered += run_round(capacity);
+    round_debt_ -= next_rtt;
+  }
+  return delivered;
+}
+
+}  // namespace wheels::transport

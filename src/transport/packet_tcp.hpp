@@ -1,0 +1,50 @@
+// Round-based (per-RTT) TCP model, used to cross-validate the fluid model.
+//
+// TcpBulkFlow advances in fixed 50 ms fluid steps — fast enough to run a
+// whole campaign. This model instead simulates TCP the classic way: one
+// round per RTT, a full congestion window in flight, drop-tail overflow at
+// the bottleneck. It is slower and jumpier but closer to the textbook
+// dynamics; the cross-validation tests assert that both models agree on
+// long-run goodput over steady and dipping links, which is what gives the
+// fluid model its standing in the campaign.
+#pragma once
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "transport/cubic.hpp"
+
+namespace wheels::transport {
+
+struct PacketTcpConfig {
+  double buffer_bdp_factor = 4.0;
+  double min_buffer_bytes = 256.0 * 1024.0;
+};
+
+class PacketTcpFlow {
+ public:
+  PacketTcpFlow(Millis base_rtt, PacketTcpConfig config = {});
+
+  /// Advance by `dt` with the given bottleneck capacity; returns delivered
+  /// bytes. Internally runs whole RTT rounds; leftover time carries over.
+  double advance(Mbps capacity, Millis dt);
+
+  Millis current_rtt() const;
+  double cwnd_segments() const { return cubic_.cwnd_segments(); }
+  double total_delivered_bytes() const { return total_delivered_; }
+
+ private:
+  /// One full RTT round at the given capacity; returns delivered bytes and
+  /// advances `now_` by the round's RTT.
+  double run_round(Mbps capacity);
+
+  Cubic cubic_;
+  PacketTcpConfig config_;
+  Millis base_rtt_;
+  Millis now_ = 0.0;
+  Millis round_debt_ = 0.0;  // unconsumed time carried between calls
+  double queue_bytes_ = 0.0;
+  double total_delivered_ = 0.0;
+  Mbps last_capacity_ = 1.0;
+};
+
+}  // namespace wheels::transport

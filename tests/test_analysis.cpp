@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/coverage.hpp"
+#include "analysis/correlations.hpp"
+#include "analysis/handover_impact.hpp"
+#include "analysis/pairing.hpp"
+#include "analysis/queries.hpp"
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+
+namespace wheels::analysis {
+namespace {
+
+TEST(Stats, SummaryKnownValues) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SummaryEmptyAndSingle) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const std::vector<double> one{7.0};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(Stats, CdfQuantilesInterpolate) {
+  Cdf cdf{{10.0, 20.0, 30.0, 40.0, 50.0}};
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.125), 15.0);  // interpolated
+}
+
+TEST(Stats, CdfFractionBelow) {
+  Cdf cdf{{1.0, 2.0, 2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(10.0), 1.0);
+}
+
+TEST(Stats, CdfHandlesUnsortedInput) {
+  Cdf cdf{{5.0, 1.0, 3.0}};
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+}
+
+TEST(Stats, PearsonPerfectAndInverse) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  const std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateCases) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> constant{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, constant), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+  const std::vector<double> one{1.0};
+  EXPECT_DOUBLE_EQ(pearson(one, one), 0.0);
+}
+
+TEST(Stats, PearsonIndependentNearZero) {
+  Rng rng{99};
+  std::vector<double> x(20'000), y(20'000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal(0, 1);
+    y[i] = rng.normal(0, 1);
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+}
+
+TEST(Stats, MedianOfEvenOdd) {
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+}
+
+TEST(Coverage, SegmentsShareSumToOne) {
+  std::vector<measure::CoverageSegment> segs{
+      {0.0, 30.0, radio::Technology::Lte},
+      {30.0, 50.0, radio::Technology::NrMid},
+      {50.0, 100.0, radio::Technology::LteA},
+  };
+  const TechShares s = coverage_from_segments(segs);
+  EXPECT_NEAR(share_of(s, radio::Technology::Lte), 0.30, 1e-12);
+  EXPECT_NEAR(share_of(s, radio::Technology::NrMid), 0.20, 1e-12);
+  EXPECT_NEAR(share_of(s, radio::Technology::LteA), 0.50, 1e-12);
+  EXPECT_NEAR(five_g_share(s), 0.20, 1e-12);
+  EXPECT_NEAR(high_speed_share(s), 0.20, 1e-12);
+  double total = 0.0;
+  for (double v : s) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Coverage, EmptySegments) {
+  const TechShares s = coverage_from_segments({});
+  for (double v : s) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Coverage, KpiCoverageIsDistanceWeighted) {
+  measure::ConsolidatedDb db;
+  // One fast LTE tick and one slow NrMid tick: LTE should get more miles.
+  measure::KpiRecord fast;
+  fast.tech = radio::Technology::Lte;
+  fast.speed = 60.0;
+  measure::KpiRecord slow;
+  slow.tech = radio::Technology::NrMid;
+  slow.speed = 20.0;
+  db.kpis = {fast, slow};
+  const TechShares s =
+      coverage_from_kpis(db, [](const measure::KpiRecord&) { return true; });
+  EXPECT_NEAR(share_of(s, radio::Technology::Lte), 0.75, 1e-9);
+  EXPECT_NEAR(share_of(s, radio::Technology::NrMid), 0.25, 1e-9);
+}
+
+TEST(Coverage, StripGlyphsAndTierPriority) {
+  std::vector<measure::CoverageSegment> segs{
+      {0.0, 100.0, radio::Technology::Lte},
+      {40.0, 60.0, radio::Technology::NrMmWave},
+  };
+  const std::string strip = coverage_strip(segs, 100.0, 10);
+  EXPECT_EQ(strip.size(), 10u);
+  EXPECT_EQ(strip[0], '.');
+  EXPECT_EQ(strip[5], 'W');  // mmWave wins the overlapping bin
+}
+
+TEST(Queries, KpiFilterMatchesAllWhenUnset) {
+  measure::KpiRecord k;
+  EXPECT_TRUE(KpiFilter{}.matches(k));
+}
+
+TEST(Queries, KpiFilterFields) {
+  measure::KpiRecord k;
+  k.carrier = radio::Carrier::TMobile;
+  k.direction = radio::Direction::Uplink;
+  k.tech = radio::Technology::NrMid;
+  k.speed = 65.0;
+  k.is_static = false;
+
+  KpiFilter f;
+  f.carrier = radio::Carrier::TMobile;
+  f.speed_bin = geo::SpeedBin::High;
+  EXPECT_TRUE(f.matches(k));
+  f.carrier = radio::Carrier::Att;
+  EXPECT_FALSE(f.matches(k));
+  f.carrier = radio::Carrier::TMobile;
+  f.speed_bin = geo::SpeedBin::Low;
+  EXPECT_FALSE(f.matches(k));
+  f.speed_bin.reset();
+  f.is_static = true;
+  EXPECT_FALSE(f.matches(k));
+}
+
+measure::ConsolidatedDb tiny_db() {
+  measure::ConsolidatedDb db;
+  measure::TestRecord t;
+  t.id = 1;
+  t.type = measure::TestType::DownlinkBulk;
+  t.carrier = radio::Carrier::Verizon;
+  t.direction = radio::Direction::Downlink;
+  t.start_km = 0.0;
+  t.end_km = 1.609344;  // exactly one mile
+  db.tests.push_back(t);
+
+  for (int i = 0; i < 8; ++i) {
+    measure::KpiRecord k;
+    k.test_id = 1;
+    k.t = i * 500;
+    k.carrier = radio::Carrier::Verizon;
+    k.direction = radio::Direction::Downlink;
+    k.tech = i < 4 ? radio::Technology::LteA : radio::Technology::NrMid;
+    k.throughput = 10.0 + i;
+    k.handovers = i == 4 ? 1 : 0;
+    db.kpis.push_back(k);
+  }
+  measure::HandoverRecord ho;
+  ho.test_id = 1;
+  ho.carrier = radio::Carrier::Verizon;
+  ho.direction = radio::Direction::Downlink;
+  ho.event.t = 4 * 500;
+  ho.event.duration = 60.0;
+  ho.event.type = ran::HandoverType::FourToFive;
+  db.handovers.push_back(ho);
+  return db;
+}
+
+TEST(Queries, PerTestThroughputAggregates) {
+  const auto db = tiny_db();
+  const auto stats =
+      per_test_throughput(db, radio::Carrier::Verizon,
+                          radio::Direction::Downlink);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_NEAR(stats[0].mean, 13.5, 1e-12);
+  EXPECT_NEAR(stats[0].high_speed_5g_fraction, 0.5, 1e-12);
+  EXPECT_EQ(stats[0].handovers, 1);
+  EXPECT_NEAR(stats[0].distance_km, 1.609344, 1e-9);
+}
+
+TEST(HandoverImpact, PerMileNormalization) {
+  const auto db = tiny_db();
+  const auto rates = handovers_per_mile(db, radio::Carrier::Verizon,
+                                        radio::Direction::Downlink);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_NEAR(rates[0], 1.0, 1e-9);  // 1 HO over exactly 1 mile
+}
+
+TEST(HandoverImpact, DurationsExtracted) {
+  const auto db = tiny_db();
+  const auto durations = handover_durations(db, radio::Carrier::Verizon,
+                                            radio::Direction::Downlink);
+  ASSERT_EQ(durations.size(), 1u);
+  EXPECT_DOUBLE_EQ(durations[0], 60.0);
+}
+
+TEST(HandoverImpact, DeltasMatchHandComputation) {
+  const auto db = tiny_db();
+  // Throughputs are 10,11,12,13,14,15,16,17; HO during interval 4 (value 14).
+  const auto deltas = handover_deltas(db, radio::Carrier::Verizon,
+                                      radio::Direction::Downlink);
+  ASSERT_EQ(deltas.size(), 1u);
+  // ΔT1 = T4 − (T3+T5)/2 = 14 − 14 = 0
+  EXPECT_NEAR(deltas[0].dt1, 0.0, 1e-12);
+  // ΔT2 = (T5+T6)/2 − (T2+T3)/2 = 15.5 − 12.5 = 3
+  EXPECT_NEAR(deltas[0].dt2, 3.0, 1e-12);
+  EXPECT_EQ(deltas[0].type, ran::HandoverType::FourToFive);
+}
+
+TEST(HandoverImpact, DeltasRequireContext) {
+  auto db = tiny_db();
+  // Move the HO to the first interval: no 2-interval pre-context.
+  db.handovers[0].event.t = 0;
+  const auto deltas = handover_deltas(db, radio::Carrier::Verizon,
+                                      radio::Direction::Downlink);
+  EXPECT_TRUE(deltas.empty());
+}
+
+TEST(HandoverImpact, DeltaValueFilters) {
+  std::vector<HandoverDelta> deltas{
+      {-1.0, 2.0, ran::HandoverType::FourToFour},
+      {-3.0, -2.0, ran::HandoverType::FiveToFour},
+  };
+  EXPECT_EQ(delta_values(deltas, true).size(), 2u);
+  EXPECT_EQ(delta_values(deltas, false, ran::HandoverType::FiveToFour).size(),
+            1u);
+  EXPECT_DOUBLE_EQ(
+      delta_values(deltas, false, ran::HandoverType::FiveToFour)[0], -2.0);
+}
+
+TEST(Pairing, ConcurrentSamplesPairByTimestamp) {
+  measure::ConsolidatedDb db;
+  for (int i = 0; i < 4; ++i) {
+    measure::KpiRecord v;
+    v.t = i * 500;
+    v.carrier = radio::Carrier::Verizon;
+    v.direction = radio::Direction::Downlink;
+    v.tech = radio::Technology::NrMmWave;
+    v.throughput = 100.0;
+    db.kpis.push_back(v);
+
+    measure::KpiRecord t;
+    t.t = i * 500;
+    t.carrier = radio::Carrier::TMobile;
+    t.direction = radio::Direction::Downlink;
+    t.tech = i % 2 == 0 ? radio::Technology::NrMid : radio::Technology::Lte;
+    t.throughput = 40.0;
+    db.kpis.push_back(t);
+  }
+  const auto pa = pair_operators(db, radio::Carrier::Verizon,
+                                 radio::Carrier::TMobile,
+                                 radio::Direction::Downlink);
+  ASSERT_EQ(pa.samples.size(), 4u);
+  for (const auto& s : pa.samples) EXPECT_DOUBLE_EQ(s.diff, 60.0);
+  const auto shares = pa.class_shares();
+  EXPECT_DOUBLE_EQ(shares[static_cast<int>(TechClassPair::HtHt)], 0.5);
+  EXPECT_DOUBLE_EQ(shares[static_cast<int>(TechClassPair::HtLt)], 0.5);
+}
+
+TEST(Pairing, StaticAndWrongDirectionExcluded) {
+  measure::ConsolidatedDb db;
+  measure::KpiRecord a;
+  a.t = 0;
+  a.carrier = radio::Carrier::Verizon;
+  a.direction = radio::Direction::Uplink;
+  db.kpis.push_back(a);
+  measure::KpiRecord b = a;
+  b.carrier = radio::Carrier::TMobile;
+  db.kpis.push_back(b);
+  measure::KpiRecord c = a;
+  c.direction = radio::Direction::Downlink;
+  c.is_static = true;
+  db.kpis.push_back(c);
+
+  EXPECT_EQ(pair_operators(db, radio::Carrier::Verizon,
+                           radio::Carrier::TMobile,
+                           radio::Direction::Downlink)
+                .samples.size(),
+            0u);
+  EXPECT_EQ(pair_operators(db, radio::Carrier::Verizon,
+                           radio::Carrier::TMobile, radio::Direction::Uplink)
+                .samples.size(),
+            1u);
+}
+
+TEST(Pairing, CanonicalPairsCoverAllCarriers) {
+  const auto pairs = canonical_pairs();
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST(Correlations, TableComputesFromDb) {
+  const auto db = tiny_db();
+  // Throughput rises 10..17; handovers spike once -> near zero correlation;
+  // MCS is 0 everywhere -> exactly 0.
+  EXPECT_DOUBLE_EQ(
+      throughput_correlation(db, radio::Carrier::Verizon,
+                             radio::Direction::Downlink, KpiFactor::Mcs),
+      0.0);
+  const double ho_corr =
+      throughput_correlation(db, radio::Carrier::Verizon,
+                             radio::Direction::Downlink,
+                             KpiFactor::Handovers);
+  EXPECT_LT(std::abs(ho_corr), 0.5);
+}
+
+TEST(Report, TableFormatsWithoutCrashing) {
+  Table t({"a", "b"});
+  t.add_row({"x", "y"});
+  t.add_row({"longer-cell"});  // short row padded
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("longer-cell"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Report, Formatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_pct(0.125), "12.5%");
+}
+
+TEST(Report, CdfRowEmpty) {
+  EXPECT_EQ(cdf_row(Cdf{{}}), "(no samples)");
+}
+
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, QuantileMonotoneAndBounded) {
+  Rng rng{123};
+  std::vector<double> xs(999);
+  for (auto& x : xs) x = rng.lognormal(2.0, 1.0);
+  const Cdf cdf{xs};
+  const double q = GetParam();
+  const double v = cdf.quantile(q);
+  EXPECT_GE(v, cdf.min());
+  EXPECT_LE(v, cdf.max());
+  if (q > 0.05) {
+    EXPECT_GE(v, cdf.quantile(q - 0.05));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileSweep,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.99, 1.0));
+
+}  // namespace
+}  // namespace wheels::analysis

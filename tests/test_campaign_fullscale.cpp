@@ -1,0 +1,75 @@
+// Full-scale soak: the complete 5,711 km campaign (the paper's actual trip
+// length) must hold every dataset invariant. ~5 s per test process.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/coverage.hpp"
+#include "campaign/campaign.hpp"
+
+namespace wheels::campaign {
+namespace {
+
+const measure::ConsolidatedDb& full_db() {
+  static const measure::ConsolidatedDb db = [] {
+    CampaignConfig cfg;  // scale 1.0: the whole trip
+    return DriveCampaign{cfg}.run();
+  }();
+  return db;
+}
+
+TEST(CampaignFullScale, TripLevelInvariants) {
+  const auto& db = full_db();
+  EXPECT_NEAR(db.driven_km, 5711.0, 5.0);
+  EXPECT_GT(db.kpis.size(), 300'000u);
+  EXPECT_GT(db.rtts.size(), 250'000u);
+  EXPECT_GT(db.app_runs.size(), 10'000u);
+
+  // All four timezones and all three regions appear in the data.
+  std::set<int> tzs, regions;
+  for (std::size_t i = 0; i < db.kpis.size(); i += 97) {
+    tzs.insert(static_cast<int>(db.kpis[i].tz));
+    regions.insert(static_cast<int>(db.kpis[i].region));
+  }
+  EXPECT_EQ(tzs.size(), 4u);
+  EXPECT_EQ(regions.size(), 3u);
+
+  // Static batteries ran in most major cities for Verizon (its mmWave
+  // footprint covers all downtowns).
+  std::set<Km> static_sites;
+  for (const auto& t : db.tests) {
+    if (t.is_static && t.carrier == radio::Carrier::Verizon) {
+      static_sites.insert(t.start_km);
+    }
+  }
+  EXPECT_GE(static_sites.size(), 7u);
+}
+
+TEST(CampaignFullScale, HeadlinePaperShapes) {
+  const auto& db = full_db();
+  // T-Mobile leads 5G coverage at roughly the paper's 68%.
+  const auto t_shares = analysis::coverage_from_kpis(
+      db, [](const measure::KpiRecord& k) {
+        return k.carrier == radio::Carrier::TMobile;
+      });
+  EXPECT_GT(analysis::five_g_share(t_shares), 0.6);
+  EXPECT_LT(analysis::five_g_share(t_shares), 0.85);
+
+  // High-speed 5G ordering: T ≫ V ≫ A (paper: 38% / ~12% / 3%).
+  const auto v_shares = analysis::coverage_from_kpis(
+      db, [](const measure::KpiRecord& k) {
+        return k.carrier == radio::Carrier::Verizon;
+      });
+  const auto a_shares = analysis::coverage_from_kpis(
+      db, [](const measure::KpiRecord& k) {
+        return k.carrier == radio::Carrier::Att;
+      });
+  EXPECT_GT(analysis::high_speed_share(t_shares),
+            analysis::high_speed_share(v_shares));
+  EXPECT_GT(analysis::high_speed_share(v_shares),
+            analysis::high_speed_share(a_shares));
+  EXPECT_LT(analysis::high_speed_share(a_shares), 0.05);
+}
+
+}  // namespace
+}  // namespace wheels::campaign

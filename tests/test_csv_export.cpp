@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/campaign.hpp"
+#include "measure/csv_export.hpp"
+
+namespace wheels::measure {
+namespace {
+
+const ConsolidatedDb& tiny_campaign_db() {
+  static const ConsolidatedDb db = [] {
+    campaign::CampaignConfig cfg;
+    cfg.scale = 0.01;
+    cfg.seed = 321;
+    return campaign::DriveCampaign{cfg}.run();
+  }();
+  return db;
+}
+
+TEST(CsvExport, KpiRoundTrip) {
+  const auto& db = tiny_campaign_db();
+  std::stringstream ss;
+  write_kpis_csv(ss, db);
+  const auto back = read_kpis_csv(ss);
+  ASSERT_EQ(back.size(), db.kpis.size());
+  for (std::size_t i = 0; i < back.size(); i += 37) {
+    EXPECT_EQ(back[i].test_id, db.kpis[i].test_id);
+    EXPECT_EQ(back[i].t, db.kpis[i].t);
+    EXPECT_EQ(back[i].carrier, db.kpis[i].carrier);
+    EXPECT_EQ(back[i].tech, db.kpis[i].tech);
+    EXPECT_EQ(back[i].cell_id, db.kpis[i].cell_id);
+    EXPECT_EQ(back[i].mcs, db.kpis[i].mcs);
+    EXPECT_EQ(back[i].handovers, db.kpis[i].handovers);
+    EXPECT_EQ(back[i].is_static, db.kpis[i].is_static);
+    EXPECT_NEAR(back[i].throughput, db.kpis[i].throughput,
+                1e-4 * (1.0 + db.kpis[i].throughput));
+    EXPECT_NEAR(back[i].rsrp, db.kpis[i].rsrp, 1e-3);
+  }
+}
+
+TEST(CsvExport, RttRoundTrip) {
+  const auto& db = tiny_campaign_db();
+  std::stringstream ss;
+  write_rtts_csv(ss, db);
+  const auto back = read_rtts_csv(ss);
+  ASSERT_EQ(back.size(), db.rtts.size());
+  for (std::size_t i = 0; i < back.size(); i += 53) {
+    EXPECT_EQ(back[i].carrier, db.rtts[i].carrier);
+    EXPECT_EQ(back[i].tech, db.rtts[i].tech);
+    EXPECT_NEAR(back[i].rtt, db.rtts[i].rtt, 1e-3 * (1.0 + db.rtts[i].rtt));
+  }
+}
+
+TEST(CsvExport, RejectsWrongHeader) {
+  std::stringstream ss{"not,a,header\n1,2,3\n"};
+  EXPECT_THROW((void)read_kpis_csv(ss), std::runtime_error);
+}
+
+TEST(CsvExport, RejectsMalformedRow) {
+  const auto& db = tiny_campaign_db();
+  std::stringstream out;
+  write_kpis_csv(out, db);
+  std::string text = out.str();
+  text += "1,2,3\n";  // truncated row appended
+  std::stringstream in{text};
+  EXPECT_THROW((void)read_kpis_csv(in), std::runtime_error);
+}
+
+TEST(CsvExport, AllTablesHaveHeadersAndRows) {
+  const auto& db = tiny_campaign_db();
+  auto lines_of = [](auto&& writer) {
+    std::stringstream ss;
+    writer(ss);
+    int lines = 0;
+    std::string line;
+    while (std::getline(ss, line)) ++lines;
+    return lines;
+  };
+  EXPECT_GT(lines_of([&](std::ostream& os) { write_tests_csv(os, db); }), 10);
+  EXPECT_GT(lines_of([&](std::ostream& os) { write_handovers_csv(os, db); }),
+            2);
+  EXPECT_GT(lines_of([&](std::ostream& os) { write_app_runs_csv(os, db); }),
+            5);
+  EXPECT_GT(lines_of([&](std::ostream& os) {
+              write_coverage_csv(os, db.active_coverage[0],
+                                 radio::Carrier::Verizon, false);
+            }),
+            2);
+}
+
+TEST(CsvExport, DatasetBundleWritesAllFiles) {
+  const auto& db = tiny_campaign_db();
+  const std::string dir = "/tmp/wheels-dataset-test";
+  std::filesystem::remove_all(dir);
+  const auto files = write_dataset(db, dir);
+  // 5 tables + 2 coverage views x 3 carriers.
+  EXPECT_EQ(files.size(), 11u);
+  for (const auto& f : files) {
+    EXPECT_TRUE(std::filesystem::exists(f)) << f;
+    EXPECT_GT(std::filesystem::file_size(f), 10u) << f;
+  }
+  // Spot-check one file parses back.
+  std::ifstream is{dir + "/kpis.csv"};
+  EXPECT_EQ(read_kpis_csv(is).size(), db.kpis.size());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wheels::measure

@@ -1,0 +1,148 @@
+// Failure injection and extreme-configuration robustness.
+#include <gtest/gtest.h>
+
+#include "apps/offload.hpp"
+#include "apps/video.hpp"
+#include "campaign/campaign.hpp"
+#include "geo/scaled_route.hpp"
+#include "measure/log_sync.hpp"
+
+namespace wheels {
+namespace {
+
+TEST(FailureInjection, MalformedDrmTimestampThrows) {
+  EXPECT_THROW(
+      (void)measure::LogSynchronizer::normalize_drm_timestamp("garbage"),
+      std::invalid_argument);
+  EXPECT_THROW((void)measure::LogSynchronizer::normalize_drm_timestamp(
+                   "2022-99-99 99:99:99"),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, JoinWithEmptyAppLogKeepsZeroThroughput) {
+  measure::XcalLogger xcal{radio::Carrier::Verizon, campaign_start_unix_ms(),
+                           -420};
+  xcal.log(campaign_start_unix_ms(), measure::KpiRecord{});
+  measure::AppLogFile empty;
+  empty.policy = measure::TimestampPolicy::Utc;
+  const auto joined =
+      measure::LogSynchronizer::join(std::move(xcal).finish(), empty);
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_DOUBLE_EQ(joined[0].throughput, 0.0);
+}
+
+TEST(FailureInjection, EmptyDrmFileJoinsToNothing) {
+  measure::DrmFile drm;
+  measure::AppLogger app{"x", measure::TimestampPolicy::Utc, 0};
+  app.log(campaign_start_unix_ms(), 1.0);
+  EXPECT_TRUE(
+      measure::LogSynchronizer::join(drm, std::move(app).finish()).empty());
+}
+
+TEST(FailureInjection, OffloadAppSurvivesDeadLink) {
+  apps::LinkTrace dead(40);
+  for (auto& t : dead) {
+    t.cap_dl = 0.0;
+    t.cap_ul = 0.0;
+    t.rtt = 100.0;
+  }
+  const apps::OffloadApp app{apps::ar_config()};
+  const auto run = app.run(dead, true);
+  // The transfer gives up after its deadline; latencies stay finite.
+  for (const auto& f : run.frames) {
+    EXPECT_TRUE(std::isfinite(f.e2e_latency));
+    EXPECT_LT(f.e2e_latency, 40'000.0);
+  }
+}
+
+TEST(FailureInjection, VideoAppSurvivesSingleTickTrace) {
+  apps::LinkTrace one(1);
+  one[0].cap_dl = 10.0;
+  one[0].rtt = 50.0;
+  apps::VideoConfig cfg;
+  cfg.run_duration = 10'000.0;
+  const auto run = apps::VideoApp{cfg}.run(one);
+  EXPECT_FALSE(run.chunks.empty());
+  EXPECT_TRUE(std::isfinite(run.avg_qoe));
+}
+
+TEST(FailureInjection, CampaignWithMinimalTestDurations) {
+  campaign::CampaignConfig cfg;
+  cfg.scale = 0.008;
+  cfg.seed = 77;
+  cfg.bulk_ticks = 1;
+  cfg.rtt_ticks = 1;
+  cfg.offload_ticks = 1;
+  cfg.video_ticks = 2;
+  cfg.gaming_ticks = 2;
+  const auto db = campaign::DriveCampaign{cfg}.run();
+  EXPECT_GT(db.tests.size(), 10u);
+  for (const auto& k : db.kpis) EXPECT_GE(k.throughput, 0.0);
+}
+
+TEST(FailureInjection, ZeroedOut5GDeploymentFallsBackToLte) {
+  campaign::CampaignConfig cfg;
+  cfg.scale = 0.01;
+  cfg.seed = 78;
+  cfg.run_apps = false;
+  cfg.deployment.low_multiplier = 0.0;
+  cfg.deployment.mid_multiplier = 0.0;
+  cfg.deployment.mmwave_multiplier = 0.0;
+  const auto db = campaign::DriveCampaign{cfg}.run();
+  ASSERT_GT(db.kpis.size(), 100u);
+  for (const auto& k : db.kpis) {
+    EXPECT_FALSE(radio::is_5g(k.tech)) << radio::technology_name(k.tech);
+  }
+}
+
+TEST(FailureInjection, OverridesCappedAt95Percent) {
+  const geo::Route route = geo::Route::cross_country();
+  const geo::ScaledRoute view{route, 0.05};
+  radio::DeploymentOverrides big;
+  big.mid_multiplier = 1e6;
+  radio::Deployment dep{view, radio::Carrier::Att, Rng{79}, big};
+  // Even absurd multipliers leave some gaps (cap 0.95 per zone).
+  int covered = 0, total = 0;
+  for (Km km = 0.0; km < view.total_physical_km(); km += 1.0) {
+    covered += dep.has(radio::Technology::NrMid, km);
+    ++total;
+  }
+  EXPECT_GT(covered, total / 2);
+  EXPECT_LT(covered, total);
+}
+
+TEST(FailureInjection, LteFloorSurvivesEverySeed) {
+  // Regression: an overrides-cap bug once let a whole carrier lose its LTE
+  // floor (no serving cell anywhere -> crash). Deployment must always carry
+  // LTE end to end.
+  const geo::Route route = geo::Route::cross_country();
+  for (std::uint64_t seed = 90; seed < 110; ++seed) {
+    const geo::ScaledRoute view{route, 0.04};
+    for (radio::Carrier c : radio::kAllCarriers) {
+      radio::Deployment dep{view, c, Rng{seed}.fork("deployment")};
+      for (Km km = 0.0; km <= view.total_physical_km(); km += 5.0) {
+        ASSERT_TRUE(dep.has(radio::Technology::Lte, km))
+            << radio::carrier_name(c) << " seed " << seed << " km " << km;
+      }
+    }
+  }
+}
+
+TEST(FailureInjection, CampaignSeedSweepAllProduceValidDbs) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 999ULL}) {
+    campaign::CampaignConfig cfg;
+    cfg.scale = 0.008;
+    cfg.seed = seed;
+    cfg.run_apps = false;
+    const auto db = campaign::DriveCampaign{cfg}.run();
+    EXPECT_GT(db.kpis.size(), 100u) << "seed " << seed;
+    EXPECT_GT(db.rtts.size(), 100u) << "seed " << seed;
+    // Referential integrity under every seed.
+    for (const auto& k : db.kpis) {
+      EXPECT_NE(db.find_test(k.test_id), nullptr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wheels

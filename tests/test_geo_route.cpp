@@ -1,0 +1,177 @@
+#include "geo/route.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/latlon.hpp"
+#include "geo/scaled_route.hpp"
+#include "geo/timezone.hpp"
+
+namespace wheels::geo {
+namespace {
+
+TEST(LatLon, HaversineKnownDistances) {
+  // LA ↔ Boston great-circle is ~4,170 km.
+  const LatLon la{34.05, -118.24};
+  const LatLon boston{42.36, -71.06};
+  EXPECT_NEAR(haversine_km(la, boston), 4170.0, 50.0);
+}
+
+TEST(LatLon, HaversineZero) {
+  const LatLon p{40.0, -100.0};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(LatLon, HaversineSymmetric) {
+  const LatLon a{34.05, -118.24}, b{36.17, -115.14};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Timezone, OffsetsAreDst2022) {
+  EXPECT_EQ(utc_offset_minutes(Timezone::Pacific), -420);
+  EXPECT_EQ(utc_offset_minutes(Timezone::Mountain), -360);
+  EXPECT_EQ(utc_offset_minutes(Timezone::Central), -300);
+  EXPECT_EQ(utc_offset_minutes(Timezone::Eastern), -240);
+}
+
+TEST(Timezone, CityLongitudes) {
+  EXPECT_EQ(timezone_from_longitude(-118.24), Timezone::Pacific);  // LA
+  EXPECT_EQ(timezone_from_longitude(-115.14), Timezone::Pacific);  // Las Vegas
+  EXPECT_EQ(timezone_from_longitude(-111.89), Timezone::Mountain); // SLC
+  EXPECT_EQ(timezone_from_longitude(-104.99), Timezone::Mountain); // Denver
+  EXPECT_EQ(timezone_from_longitude(-95.93), Timezone::Central);   // Omaha
+  EXPECT_EQ(timezone_from_longitude(-87.63), Timezone::Central);   // Chicago
+  EXPECT_EQ(timezone_from_longitude(-81.69), Timezone::Eastern);   // Cleveland
+  EXPECT_EQ(timezone_from_longitude(-71.06), Timezone::Eastern);   // Boston
+}
+
+TEST(Route, TotalDistanceMatchesPaper) {
+  const Route r = Route::cross_country();
+  EXPECT_NEAR(r.total_km(), 5711.0, 0.01);
+}
+
+TEST(Route, TenMajorCities) {
+  const Route r = Route::cross_country();
+  EXPECT_EQ(r.waypoints().size(), 10u);
+  EXPECT_EQ(r.waypoints().front().name, "Los Angeles");
+  EXPECT_EQ(r.waypoints().back().name, "Boston");
+}
+
+TEST(Route, FiveEdgeServerCities) {
+  const Route r = Route::cross_country();
+  int edges = 0;
+  for (const auto& w : r.waypoints()) edges += w.has_edge_server;
+  EXPECT_EQ(edges, 5);
+}
+
+TEST(Route, WaypointKmMonotone) {
+  const Route r = Route::cross_country();
+  for (std::size_t i = 0; i + 1 < r.waypoints().size(); ++i) {
+    EXPECT_LT(r.city_km(i), r.city_km(i + 1));
+  }
+  EXPECT_DOUBLE_EQ(r.city_km(0), 0.0);
+  EXPECT_NEAR(r.city_km(9), 5711.0, 0.01);
+}
+
+TEST(Route, CityCentresAreUrban) {
+  const Route r = Route::cross_country();
+  for (std::size_t i = 0; i < r.waypoints().size(); ++i) {
+    const RoutePoint p = r.at(r.city_km(i));
+    EXPECT_EQ(p.region, RegionType::Urban) << r.waypoints()[i].name;
+    EXPECT_EQ(p.nearest_city, i);
+    EXPECT_NEAR(p.city_distance_km, 0.0, 1e-9);
+  }
+}
+
+TEST(Route, MidLegIsNotUrban) {
+  const Route r = Route::cross_country();
+  // Halfway between Denver and Omaha: deep in Nebraska.
+  const Km mid = (r.city_km(3) + r.city_km(4)) / 2.0;
+  const RoutePoint p = r.at(mid);
+  EXPECT_NE(p.region, RegionType::Urban);
+}
+
+TEST(Route, SuburbanRingAroundCities) {
+  const Route r = Route::cross_country();
+  const RoutePoint p = r.at(r.city_km(5) + 20.0);  // 20 km past Chicago
+  EXPECT_EQ(p.region, RegionType::Suburban);
+}
+
+TEST(Route, SyntheticTownsCreateSuburbanPatches) {
+  const Route r = Route::cross_country();
+  int suburban = 0, total = 0;
+  for (Km km = 0.0; km < r.total_km(); km += 2.0) {
+    const RoutePoint p = r.at(km);
+    suburban += p.region == RegionType::Suburban;
+    ++total;
+  }
+  const double share = static_cast<double>(suburban) / total;
+  EXPECT_GT(share, 0.10);
+  EXPECT_LT(share, 0.40);
+}
+
+TEST(Route, HighwayDominates) {
+  const Route r = Route::cross_country();
+  int highway = 0, total = 0;
+  for (Km km = 0.0; km < r.total_km(); km += 2.0) {
+    highway += r.at(km).region == RegionType::Highway;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(highway) / total, 0.5);
+}
+
+TEST(Route, AtClampsOutOfRange) {
+  const Route r = Route::cross_country();
+  EXPECT_DOUBLE_EQ(r.at(-5.0).km, 0.0);
+  EXPECT_DOUBLE_EQ(r.at(1e9).km, r.total_km());
+}
+
+TEST(Route, AllFourTimezonesPresent) {
+  const Route r = Route::cross_country();
+  bool seen[4] = {false, false, false, false};
+  for (Km km = 0.0; km < r.total_km(); km += 5.0) {
+    seen[static_cast<int>(r.at(km).tz)] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Route, TimezoneMonotoneWestToEast) {
+  const Route r = Route::cross_country();
+  int prev = 0;
+  for (Km km = 0.0; km < r.total_km(); km += 5.0) {
+    const int tz = static_cast<int>(r.at(km).tz);
+    EXPECT_GE(tz, prev);
+    prev = tz;
+  }
+}
+
+TEST(ScaledRoute, CompressesMapNotDistance) {
+  const Route r = Route::cross_country();
+  const ScaledRoute v{r, 0.1};
+  EXPECT_NEAR(v.total_physical_km(), 571.1, 0.01);
+  // End of the scaled trip is still Boston.
+  const RoutePoint end = v.at_physical(v.total_physical_km());
+  EXPECT_EQ(end.nearest_city, 9u);
+  EXPECT_EQ(end.tz, Timezone::Eastern);
+}
+
+TEST(ScaledRoute, FullScaleMatchesRoute) {
+  const Route r = Route::cross_country();
+  const ScaledRoute v{r, 1.0};
+  const RoutePoint a = v.at_physical(1234.0);
+  const RoutePoint b = r.at(1234.0);
+  EXPECT_EQ(a.region, b.region);
+  EXPECT_EQ(a.tz, b.tz);
+  EXPECT_DOUBLE_EQ(a.city_distance_km, b.city_distance_km);
+}
+
+TEST(ScaledRoute, CityDistanceIsPhysical) {
+  const Route r = Route::cross_country();
+  const ScaledRoute v{r, 0.1};
+  // 1 physical km past scaled-LA is 10 map-km from the centre but the
+  // physical city distance should read 1 km.
+  const RoutePoint p = v.at_physical(1.0);
+  EXPECT_NEAR(p.city_distance_km, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wheels::geo

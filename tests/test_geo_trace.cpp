@@ -1,0 +1,169 @@
+#include "geo/drive_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/speed_profile.hpp"
+
+namespace wheels::geo {
+namespace {
+
+DriveTraceConfig small_config() {
+  DriveTraceConfig c;
+  c.scale = 0.02;  // ~114 km trip, fast to simulate
+  c.days = 8;
+  return c;
+}
+
+TEST(SpeedProfile, StaysWithinPlausibleEnvelope) {
+  SpeedProfile sp{Rng{1}};
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = sp.advance(RegionType::Highway, 500.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 95.0);
+  }
+}
+
+TEST(SpeedProfile, HighwayFasterThanUrban) {
+  SpeedProfile hw{Rng{2}}, urban{Rng{3}};
+  double hw_sum = 0.0, urban_sum = 0.0;
+  constexpr int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    hw_sum += hw.advance(RegionType::Highway, 500.0);
+    urban_sum += urban.advance(RegionType::Urban, 500.0);
+  }
+  EXPECT_GT(hw_sum / n, 55.0);
+  EXPECT_LT(urban_sum / n, 25.0);
+}
+
+TEST(SpeedProfile, SuburbanMostlyMidBin) {
+  SpeedProfile sp{Rng{4}};
+  int mid = 0;
+  constexpr int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const auto bin = speed_bin(sp.advance(RegionType::Suburban, 500.0));
+    mid += bin == SpeedBin::Mid;
+  }
+  EXPECT_GT(static_cast<double>(mid) / n, 0.7);
+}
+
+TEST(SpeedBin, Boundaries) {
+  EXPECT_EQ(speed_bin(0.0), SpeedBin::Low);
+  EXPECT_EQ(speed_bin(19.99), SpeedBin::Low);
+  EXPECT_EQ(speed_bin(20.0), SpeedBin::Mid);
+  EXPECT_EQ(speed_bin(59.99), SpeedBin::Mid);
+  EXPECT_EQ(speed_bin(60.0), SpeedBin::High);
+}
+
+TEST(DriveTrace, ReachesDestination) {
+  const Route r = Route::cross_country();
+  const auto trace = generate_trace(r, small_config(), Rng{5});
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NEAR(trace.back().km, r.total_km() * 0.02, 1.0);
+}
+
+TEST(DriveTrace, TimeAndDistanceMonotone) {
+  const Route r = Route::cross_country();
+  const auto trace = generate_trace(r, small_config(), Rng{5});
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].t, trace[i - 1].t);
+    EXPECT_GE(trace[i].km, trace[i - 1].km);
+  }
+}
+
+TEST(DriveTrace, Deterministic) {
+  const Route r = Route::cross_country();
+  const auto a = generate_trace(r, small_config(), Rng{5});
+  const auto b = generate_trace(r, small_config(), Rng{5});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_DOUBLE_EQ(a[i].km, b[i].km);
+    EXPECT_DOUBLE_EQ(a[i].speed, b[i].speed);
+  }
+}
+
+TEST(DriveTrace, CoversEightDays) {
+  const Route r = Route::cross_country();
+  const auto trace = generate_trace(r, small_config(), Rng{5});
+  std::set<int> days;
+  for (const auto& s : trace) days.insert(s.day);
+  EXPECT_EQ(days.size(), 8u);
+  EXPECT_EQ(*days.begin(), 0);
+  EXPECT_EQ(*days.rbegin(), 7);
+}
+
+TEST(DriveTrace, OvernightGapsAdvanceWallClock) {
+  const Route r = Route::cross_country();
+  const auto trace = generate_trace(r, small_config(), Rng{5});
+  int overnight_jumps = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].day != trace[i - 1].day) {
+      ++overnight_jumps;
+      const SimMillis gap = trace[i].t - trace[i - 1].t;
+      EXPECT_GT(gap, 3'600'000) << "overnight gap should be hours";
+      // Next morning starts at 08:00 local.
+      const auto local = civil_from_unix(unix_from_sim(trace[i].t),
+                                         utc_offset_minutes(trace[i].tz));
+      EXPECT_EQ(local.hour, 8);
+      EXPECT_LT(local.minute, 2);
+    }
+  }
+  EXPECT_EQ(overnight_jumps, 7);
+}
+
+TEST(DriveTrace, SamplePeriodRespectedWithinDay) {
+  const Route r = Route::cross_country();
+  const auto trace = generate_trace(r, small_config(), Rng{5});
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].day == trace[i - 1].day) {
+      EXPECT_EQ(trace[i].t - trace[i - 1].t, 500);
+    }
+  }
+}
+
+TEST(DriveTrace, AllTimezonesVisited) {
+  const Route r = Route::cross_country();
+  const auto trace = generate_trace(r, small_config(), Rng{5});
+  std::set<int> tzs;
+  for (const auto& s : trace) tzs.insert(static_cast<int>(s.tz));
+  EXPECT_EQ(tzs.size(), 4u);
+}
+
+TEST(DriveTrace, SpeedMatchesRegionStatistically) {
+  const Route r = Route::cross_country();
+  const auto trace = generate_trace(r, small_config(), Rng{5});
+  double hw_sum = 0.0;
+  int hw_n = 0;
+  for (const auto& s : trace) {
+    if (s.region == RegionType::Highway) {
+      hw_sum += s.speed;
+      ++hw_n;
+    }
+  }
+  ASSERT_GT(hw_n, 100);
+  EXPECT_GT(hw_sum / hw_n, 50.0);
+}
+
+TEST(DriveTrace, FullScaleTripTakesDays) {
+  // Spot-check the full-scale trace end-to-end duration: the drive should
+  // take the full 8 calendar days (~60-75 h of wheel time).
+  const Route r = Route::cross_country();
+  DriveTraceConfig c;
+  c.scale = 1.0;
+  DriveTraceGenerator gen{r, c, Rng{6}};
+  DriveSample last{};
+  std::size_t n = 0;
+  while (auto s = gen.next()) {
+    last = *s;
+    ++n;
+  }
+  EXPECT_NEAR(last.km, 5711.0, 2.0);
+  EXPECT_EQ(last.day, 7);
+  const double hours_of_samples = static_cast<double>(n) * 0.5 / 3600.0;
+  EXPECT_GT(hours_of_samples, 45.0);
+  EXPECT_LT(hours_of_samples, 90.0);
+}
+
+}  // namespace
+}  // namespace wheels::geo

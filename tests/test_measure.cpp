@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "geo/drive_trace.hpp"
+#include "geo/scaled_route.hpp"
+#include "measure/log_sync.hpp"
+#include "measure/logfile.hpp"
+#include "measure/passive_logger.hpp"
+#include "measure/records.hpp"
+
+namespace wheels::measure {
+namespace {
+
+constexpr int kPacific = -420;
+constexpr int kEastern = -240;
+
+TEST(Logfile, DrmFilenameUsesLocalTime) {
+  // Campaign epoch is 08:00 Pacific = 11:00 EDT.
+  const UnixMillis t = campaign_start_unix_ms();
+  EXPECT_EQ(drm_filename(radio::Carrier::Verizon, t, kPacific),
+            "2022-08-08_08-00-00_Verizon.drm");
+  EXPECT_EQ(drm_filename(radio::Carrier::Verizon, t, kEastern),
+            "2022-08-08_11-00-00_Verizon.drm");
+}
+
+TEST(Logfile, DrmContentAlwaysEdt) {
+  // The pathology of challenge C2: file named in local (Pacific) time, rows
+  // stamped in EDT — 3 hours apart.
+  XcalLogger logger{radio::Carrier::TMobile, campaign_start_unix_ms(),
+                    kPacific};
+  KpiRecord kpi;
+  kpi.tech = radio::Technology::NrMid;
+  logger.log(campaign_start_unix_ms(), kpi);
+  const DrmFile file = std::move(logger).finish();
+  EXPECT_EQ(file.filename, "2022-08-08_08-00-00_T-Mobile.drm");
+  ASSERT_EQ(file.rows.size(), 1u);
+  EXPECT_EQ(file.rows[0].edt_timestamp, "2022-08-08 11:00:00.000");
+}
+
+TEST(Logfile, AppLoggerPolicies) {
+  const UnixMillis t = campaign_start_unix_ms();
+  AppLogger utc{"nuttcp", TimestampPolicy::Utc, 0};
+  AppLogger local{"ping", TimestampPolicy::LocalTime, kPacific};
+  AppLogger edt{"x", TimestampPolicy::Edt, kPacific};
+  utc.log(t, 1.0);
+  local.log(t, 2.0);
+  edt.log(t, 3.0);
+  EXPECT_EQ(std::move(utc).finish().lines[0].timestamp,
+            "2022-08-08 15:00:00.000");
+  EXPECT_EQ(std::move(local).finish().lines[0].timestamp,
+            "2022-08-08 08:00:00.000");
+  EXPECT_EQ(std::move(edt).finish().lines[0].timestamp,
+            "2022-08-08 11:00:00.000");
+}
+
+TEST(LogSync, NormalizationUndoesEveryPolicy) {
+  const UnixMillis t = campaign_start_unix_ms() + 12'345'678;
+  for (const auto policy : {TimestampPolicy::Utc, TimestampPolicy::LocalTime,
+                            TimestampPolicy::Edt}) {
+    AppLogger logger{"app", policy, kPacific};
+    logger.log(t, 42.0);
+    const AppLogFile file = std::move(logger).finish();
+    EXPECT_EQ(LogSynchronizer::normalize_app_timestamp(file.lines[0], file), t)
+        << static_cast<int>(policy);
+  }
+}
+
+TEST(LogSync, DrmTimestampNormalization) {
+  const UnixMillis t = campaign_start_unix_ms() + 777'000;
+  XcalLogger logger{radio::Carrier::Att, t, kPacific};
+  logger.log(t, KpiRecord{});
+  const DrmFile file = std::move(logger).finish();
+  EXPECT_EQ(LogSynchronizer::normalize_drm_timestamp(file.rows[0].edt_timestamp),
+            t);
+}
+
+TEST(LogSync, JoinMatchesThroughputToKpiRows) {
+  // XCAL logs every 500 ms in EDT; nuttcp logs every 500 ms in UTC; the van
+  // is in Mountain time. The join must line them up exactly.
+  const UnixMillis t0 = campaign_start_unix_ms() + 3'600'000;
+  XcalLogger xcal{radio::Carrier::Verizon, t0, -360};
+  AppLogger app{"nuttcp", TimestampPolicy::Utc, 0};
+  for (int i = 0; i < 20; ++i) {
+    KpiRecord kpi;
+    kpi.mcs = i;
+    xcal.log(t0 + i * 500, kpi);
+    app.log(t0 + i * 500, 10.0 * i);
+  }
+  const auto joined = LogSynchronizer::join(std::move(xcal).finish(),
+                                            std::move(app).finish());
+  ASSERT_EQ(joined.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(joined[static_cast<std::size_t>(i)].mcs, i);
+    EXPECT_DOUBLE_EQ(joined[static_cast<std::size_t>(i)].throughput, 10.0 * i);
+    EXPECT_EQ(joined[static_cast<std::size_t>(i)].t,
+              sim_from_unix(t0) + i * 500);
+  }
+}
+
+TEST(LogSync, JoinToleratesClockSkew) {
+  // App timestamps 120 ms off the XCAL tick still match (tolerance 260 ms).
+  const UnixMillis t0 = campaign_start_unix_ms();
+  XcalLogger xcal{radio::Carrier::Verizon, t0, kPacific};
+  AppLogger app{"nuttcp", TimestampPolicy::Utc, 0};
+  xcal.log(t0, KpiRecord{});
+  app.log(t0 + 120, 7.5);
+  const auto joined = LogSynchronizer::join(std::move(xcal).finish(),
+                                            std::move(app).finish());
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_DOUBLE_EQ(joined[0].throughput, 7.5);
+}
+
+TEST(LogSync, JoinDropsOutOfToleranceValues) {
+  const UnixMillis t0 = campaign_start_unix_ms();
+  XcalLogger xcal{radio::Carrier::Verizon, t0, kPacific};
+  AppLogger app{"nuttcp", TimestampPolicy::Utc, 0};
+  xcal.log(t0, KpiRecord{});
+  app.log(t0 + 5'000, 7.5);  // 5 s away: not the same interval
+  const auto joined = LogSynchronizer::join(std::move(xcal).finish(),
+                                            std::move(app).finish());
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_DOUBLE_EQ(joined[0].throughput, 0.0);
+}
+
+TEST(LogSync, MisdeclaredPolicyProducesSkew) {
+  // Regression guard for the C2 failure mode: treating a local-time log as
+  // UTC shifts everything by the UTC offset and the join finds nothing.
+  const UnixMillis t0 = campaign_start_unix_ms();
+  XcalLogger xcal{radio::Carrier::Verizon, t0, kPacific};
+  xcal.log(t0, KpiRecord{});
+  AppLogger app{"ping", TimestampPolicy::LocalTime, kPacific};
+  app.log(t0, 9.9);
+  AppLogFile file = std::move(app).finish();
+  file.policy = TimestampPolicy::Utc;  // the bug: wrong declared policy
+  const auto joined = LogSynchronizer::join(std::move(xcal).finish(), file);
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_DOUBLE_EQ(joined[0].throughput, 0.0);  // 7 hours of skew -> no match
+}
+
+TEST(LogSync, NormalizeSeriesSortsByTime) {
+  AppLogger app{"ping", TimestampPolicy::Utc, 0};
+  const UnixMillis t0 = campaign_start_unix_ms();
+  app.log(t0 + 400, 3.0);
+  app.log(t0, 1.0);
+  app.log(t0 + 200, 2.0);
+  const auto series = LogSynchronizer::normalize_series(std::move(app).finish());
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_LT(series[0].first, series[1].first);
+  EXPECT_LT(series[1].first, series[2].first);
+  EXPECT_DOUBLE_EQ(series[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(series[2].second, 3.0);
+}
+
+TEST(CoverageTracker, MergesRunsOfSameTech) {
+  CoverageTracker tracker;
+  tracker.observe(0.0, radio::Technology::Lte);
+  tracker.observe(1.0, radio::Technology::Lte);
+  tracker.observe(2.0, radio::Technology::NrMid);
+  tracker.observe(3.0, radio::Technology::NrMid);
+  tracker.observe(4.0, radio::Technology::Lte);
+  tracker.observe(5.0, radio::Technology::Lte);
+  const auto segs = std::move(tracker).finish();
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].tech, radio::Technology::Lte);
+  EXPECT_DOUBLE_EQ(segs[0].map_km_start, 0.0);
+  EXPECT_DOUBLE_EQ(segs[0].map_km_end, 2.0);
+  EXPECT_EQ(segs[1].tech, radio::Technology::NrMid);
+  EXPECT_DOUBLE_EQ(segs[1].length(), 2.0);
+  EXPECT_EQ(segs[2].tech, radio::Technology::Lte);
+}
+
+TEST(CoverageTracker, EmptyAndSingleObservation) {
+  CoverageTracker empty;
+  EXPECT_TRUE(std::move(empty).finish().empty());
+  CoverageTracker one;
+  one.observe(5.0, radio::Technology::Lte);
+  EXPECT_TRUE(std::move(one).finish().empty());  // zero-length segment
+}
+
+class PassiveLoggerTest : public ::testing::Test {
+ protected:
+  PassiveLoggerTest()
+      : route_(geo::Route::cross_country()),
+        view_(route_, 0.05),
+        deployment_(view_, radio::Carrier::TMobile, Rng{300}) {}
+  geo::Route route_;
+  geo::ScaledRoute view_;
+  radio::Deployment deployment_;
+};
+
+TEST_F(PassiveLoggerTest, ProducesContiguousSegments) {
+  PassiveLogger logger{deployment_, 0.05, Rng{301}};
+  geo::DriveTraceConfig cfg;
+  cfg.scale = 0.05;
+  geo::DriveTraceGenerator gen{route_, cfg, Rng{302}};
+  while (auto s = gen.next()) logger.tick(*s);
+  const PassiveLog log = std::move(logger).finish();
+
+  ASSERT_FALSE(log.segments.empty());
+  for (std::size_t i = 0; i < log.segments.size(); ++i) {
+    EXPECT_GT(log.segments[i].length(), 0.0);
+    if (i > 0) {
+      EXPECT_NEAR(log.segments[i].map_km_start,
+                  log.segments[i - 1].map_km_end, 1e-6);
+    }
+  }
+  EXPECT_GT(log.pings, 0);
+  EXPECT_FALSE(log.cells.empty());
+  EXPECT_EQ(log.carrier, radio::Carrier::TMobile);
+}
+
+TEST_F(PassiveLoggerTest, PingCadenceIs2Point5PerTick) {
+  PassiveLogger logger{deployment_, 0.05, Rng{303}};
+  geo::DriveTraceConfig cfg;
+  cfg.scale = 0.05;
+  geo::DriveTraceGenerator gen{route_, cfg, Rng{304}};
+  std::int64_t ticks = 0;
+  while (auto s = gen.next()) {
+    logger.tick(*s);
+    ++ticks;
+  }
+  const PassiveLog log = std::move(logger).finish();
+  EXPECT_NEAR(static_cast<double>(log.pings) / static_cast<double>(ticks),
+              2.5, 0.01);
+}
+
+TEST_F(PassiveLoggerTest, PassiveViewIsPessimistic) {
+  // T-Mobile passive in the western half: mostly 4G (Fig. 1c).
+  PassiveLogger logger{deployment_, 0.05, Rng{305}};
+  geo::DriveTraceConfig cfg;
+  cfg.scale = 0.05;
+  geo::DriveTraceGenerator gen{route_, cfg, Rng{306}};
+  while (auto s = gen.next()) logger.tick(*s);
+  const PassiveLog log = std::move(logger).finish();
+
+  Km west_5g = 0.0, west_total = 0.0;
+  for (const auto& seg : log.segments) {
+    if (seg.map_km_end > 2500.0) continue;  // western half only
+    west_total += seg.length();
+    if (radio::is_5g(seg.tech)) west_5g += seg.length();
+  }
+  ASSERT_GT(west_total, 100.0);
+  EXPECT_LT(west_5g / west_total, 0.35);
+}
+
+TEST(Records, TestTypeNames) {
+  EXPECT_EQ(test_type_name(TestType::DownlinkBulk), "downlink-bulk");
+  EXPECT_EQ(test_type_name(TestType::Gaming), "gaming");
+  EXPECT_EQ(app_kind_name(AppKind::Cav), "CAV");
+}
+
+TEST(Records, FindTest) {
+  ConsolidatedDb db;
+  TestRecord t;
+  t.id = 7;
+  db.tests.push_back(t);
+  EXPECT_NE(db.find_test(7), nullptr);
+  EXPECT_EQ(db.find_test(8), nullptr);
+}
+
+}  // namespace
+}  // namespace wheels::measure

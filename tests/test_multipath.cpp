@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "transport/multipath.hpp"
+
+namespace wheels::transport {
+namespace {
+
+double run_flow(MultipathFlow& flow, std::span<const Mbps> caps, int ticks) {
+  double total = 0.0;
+  for (int i = 0; i < ticks; ++i) total += flow.advance(caps, 500.0);
+  return total * 8.0 / 1e6 / (ticks * 0.5);  // Mbps
+}
+
+TEST(Multipath, MinRttAggregatesCapacity) {
+  MultipathFlow flow{{50.0, 60.0}, MultipathScheduler::MinRtt, Rng{1}};
+  const std::array<Mbps, 2> caps{40.0, 60.0};
+  run_flow(flow, caps, 30);  // warm up
+  const double rate = run_flow(flow, caps, 60);
+  EXPECT_GT(rate, 0.75 * 100.0);
+  EXPECT_LE(rate, 101.0);
+}
+
+TEST(Multipath, RedundantMatchesBestPathOnly) {
+  MultipathFlow flow{{50.0, 60.0}, MultipathScheduler::Redundant, Rng{2}};
+  const std::array<Mbps, 2> caps{40.0, 60.0};
+  run_flow(flow, caps, 30);
+  const double rate = run_flow(flow, caps, 60);
+  EXPECT_GT(rate, 0.7 * 60.0);
+  EXPECT_LE(rate, 61.0);
+}
+
+TEST(Multipath, RoundRobinGatedBySlowestPath) {
+  MultipathFlow flow{{50.0, 50.0}, MultipathScheduler::RoundRobin, Rng{3}};
+  const std::array<Mbps, 2> caps{100.0, 5.0};
+  run_flow(flow, caps, 30);
+  const double rate = run_flow(flow, caps, 60);
+  // 2x the slow path, nowhere near the 105 Mbps total.
+  EXPECT_LT(rate, 15.0);
+}
+
+TEST(Multipath, MinRttBeatsSinglePathUnderAlternatingOutages) {
+  // The paper's §5.4 motivation: when operator A dips, operator B often
+  // doesn't. Alternate outages between the paths.
+  MultipathFlow multi{{50.0, 50.0}, MultipathScheduler::MinRtt, Rng{4}};
+  TcpBulkFlow single{50.0, Rng{5}};
+  double multi_bytes = 0.0, single_bytes = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const bool a_out = (i / 10) % 2 == 0;
+    const std::array<Mbps, 2> caps{a_out ? 0.5 : 50.0, a_out ? 50.0 : 0.5};
+    multi_bytes += multi.advance(caps, 500.0);
+    single_bytes += single.advance(caps[0], 500.0);
+  }
+  EXPECT_GT(multi_bytes, 1.5 * single_bytes);
+}
+
+TEST(Multipath, EffectiveRttSemantics) {
+  // Uncongested paths: effective RTT reduces to the base RTT semantics.
+  MultipathFlow minrtt{{20.0, 120.0}, MultipathScheduler::MinRtt, Rng{6}};
+  MultipathFlow rr{{20.0, 120.0}, MultipathScheduler::RoundRobin, Rng{6}};
+  const std::array<Mbps, 2> caps{2000.0, 2000.0};
+  // One short step: still in early slow start, queues empty.
+  minrtt.advance(caps, 50.0);
+  rr.advance(caps, 50.0);
+  EXPECT_LT(minrtt.effective_rtt(), 60.0);  // best path
+  EXPECT_GT(rr.effective_rtt(), 100.0);     // waits for the slow path
+  EXPECT_LT(minrtt.effective_rtt(), rr.effective_rtt());
+}
+
+TEST(Multipath, DeliveredAccounting) {
+  MultipathFlow flow{{40.0, 40.0}, MultipathScheduler::MinRtt, Rng{7}};
+  const std::array<Mbps, 2> caps{30.0, 30.0};
+  double sum = 0.0;
+  for (int i = 0; i < 40; ++i) sum += flow.advance(caps, 500.0);
+  EXPECT_NEAR(sum, flow.total_delivered_bytes(), 1e-6);
+  EXPECT_EQ(flow.subflow_count(), 2u);
+}
+
+TEST(Multipath, Deterministic) {
+  MultipathFlow a{{40.0, 60.0}, MultipathScheduler::MinRtt, Rng{8}};
+  MultipathFlow b{{40.0, 60.0}, MultipathScheduler::MinRtt, Rng{8}};
+  const std::array<Mbps, 2> caps{25.0, 75.0};
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(a.advance(caps, 500.0), b.advance(caps, 500.0));
+  }
+}
+
+TEST(Multipath, ThreeOperatorAggregation) {
+  MultipathFlow flow{{50.0, 60.0, 70.0}, MultipathScheduler::MinRtt, Rng{9}};
+  const std::array<Mbps, 3> caps{20.0, 30.0, 25.0};
+  run_flow(flow, caps, 30);
+  const double rate = run_flow(flow, caps, 60);
+  EXPECT_GT(rate, 0.7 * 75.0);
+}
+
+TEST(Multipath, SchedulerNames) {
+  EXPECT_EQ(multipath_scheduler_name(MultipathScheduler::MinRtt), "min-rtt");
+  EXPECT_EQ(multipath_scheduler_name(MultipathScheduler::Redundant),
+            "redundant");
+  EXPECT_EQ(multipath_scheduler_name(MultipathScheduler::RoundRobin),
+            "round-robin");
+}
+
+}  // namespace
+}  // namespace wheels::transport

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "geo/route.hpp"
+#include "net/latency.hpp"
+#include "net/server.hpp"
+
+namespace wheels::net {
+namespace {
+
+using radio::Carrier;
+using radio::Technology;
+
+class FleetTest : public ::testing::Test {
+ protected:
+  FleetTest()
+      : route_(geo::Route::cross_country()),
+        fleet_(ServerFleet::standard(route_)) {}
+  geo::Route route_;
+  ServerFleet fleet_;
+};
+
+TEST_F(FleetTest, TwoCloudsFiveEdges) {
+  int clouds = 0, edges = 0;
+  for (const auto& s : fleet_.servers()) {
+    clouds += s.kind == ServerKind::Cloud;
+    edges += s.kind == ServerKind::Edge;
+  }
+  EXPECT_EQ(clouds, 2);
+  EXPECT_EQ(edges, 5);
+}
+
+TEST_F(FleetTest, CloudSelectionByTimezone) {
+  EXPECT_EQ(fleet_.cloud_for(geo::Timezone::Pacific).name, "ec2-california");
+  EXPECT_EQ(fleet_.cloud_for(geo::Timezone::Mountain).name, "ec2-california");
+  EXPECT_EQ(fleet_.cloud_for(geo::Timezone::Central).name, "ec2-ohio");
+  EXPECT_EQ(fleet_.cloud_for(geo::Timezone::Eastern).name, "ec2-ohio");
+}
+
+TEST_F(FleetTest, EdgeNearHostCityOnly) {
+  // Chicago hosts an edge.
+  const auto chicago = route_.at(route_.city_km(5));
+  EXPECT_NE(fleet_.edge_near(route_, chicago), nullptr);
+  // Omaha does not.
+  const auto omaha = route_.at(route_.city_km(4));
+  EXPECT_EQ(fleet_.edge_near(route_, omaha), nullptr);
+  // Deep in Nebraska neither.
+  const auto nowhere = route_.at((route_.city_km(3) + route_.city_km(4)) / 2);
+  EXPECT_EQ(fleet_.edge_near(route_, nowhere), nullptr);
+}
+
+TEST_F(FleetTest, OnlyVerizonUsesEdge) {
+  const auto denver = route_.at(route_.city_km(3));
+  EXPECT_EQ(fleet_.select(Carrier::Verizon, route_, denver).kind,
+            ServerKind::Edge);
+  EXPECT_EQ(fleet_.select(Carrier::TMobile, route_, denver).kind,
+            ServerKind::Cloud);
+  EXPECT_EQ(fleet_.select(Carrier::Att, route_, denver).kind,
+            ServerKind::Cloud);
+}
+
+TEST_F(FleetTest, VerizonFallsBackToCloudBetweenEdgeCities) {
+  const auto nowhere = route_.at((route_.city_km(3) + route_.city_km(4)) / 2);
+  EXPECT_EQ(fleet_.select(Carrier::Verizon, route_, nowhere).kind,
+            ServerKind::Cloud);
+}
+
+TEST_F(FleetTest, AccessRttOrdering) {
+  EXPECT_LT(access_rtt(Technology::NrMmWave), access_rtt(Technology::NrMid));
+  EXPECT_LT(access_rtt(Technology::NrMid), access_rtt(Technology::LteA));
+  EXPECT_LT(access_rtt(Technology::LteA), access_rtt(Technology::Lte));
+  // 5G-low is NSA-anchored: latency closer to LTE than to midband (Fig. 4:
+  // LTE-A achieves lower RTT than 5G-low for Verizon & T-Mobile).
+  EXPECT_GT(access_rtt(Technology::NrLow), access_rtt(Technology::LteA));
+}
+
+TEST_F(FleetTest, VerizonCoreFasterThanOthers) {
+  EXPECT_LT(core_rtt(Carrier::Verizon), core_rtt(Carrier::TMobile) - 5.0);
+  EXPECT_LT(core_rtt(Carrier::Verizon), core_rtt(Carrier::Att) - 5.0);
+}
+
+TEST_F(FleetTest, EdgeWiredRttFarBelowCloud) {
+  const auto denver_pt = route_.at(route_.city_km(3));
+  const Server* edge = fleet_.edge_near(route_, denver_pt);
+  ASSERT_NE(edge, nullptr);
+  const Server& cloud = fleet_.cloud_for(geo::Timezone::Mountain);
+  EXPECT_LT(wired_rtt(*edge, denver_pt.pos) * 5.0,
+            wired_rtt(cloud, denver_pt.pos));
+}
+
+TEST_F(FleetTest, BaseRttEdgeMmWaveUnder20ms) {
+  // Fig. 4: Verizon mmWave + edge keeps RTT ~18 ms median.
+  const auto la = route_.at(0.0);
+  const Server* edge = fleet_.edge_near(route_, la);
+  ASSERT_NE(edge, nullptr);
+  const Millis rtt =
+      base_rtt(Carrier::Verizon, Technology::NrMmWave, *edge, la.pos);
+  EXPECT_LT(rtt, 20.0);
+  EXPECT_GT(rtt, 5.0);
+}
+
+TEST_F(FleetTest, RttProcessMedianNearBase) {
+  const auto mid_nebraska =
+      route_.at((route_.city_km(3) + route_.city_km(4)) / 2);
+  const Server& cloud = fleet_.cloud_for(mid_nebraska.tz);
+  RttProcess proc{Carrier::TMobile, Rng{31}};
+  std::vector<double> xs;
+  for (int i = 0; i < 8001; ++i) {
+    xs.push_back(proc.sample(Technology::NrMid, cloud, mid_nebraska.pos, 65.0,
+                             0.0, 0.0));
+  }
+  std::nth_element(xs.begin(), xs.begin() + 4000, xs.end());
+  const Millis base =
+      base_rtt(Carrier::TMobile, Technology::NrMid, cloud, mid_nebraska.pos);
+  EXPECT_NEAR(xs[4000], base, base * 0.35);
+}
+
+TEST_F(FleetTest, RttProcessHasHeavyTailAndCap) {
+  const auto pt = route_.at(1000.0);
+  const Server& cloud = fleet_.cloud_for(pt.tz);
+  RttProcess proc{Carrier::Verizon, Rng{32}};
+  double max_rtt = 0.0;
+  for (int i = 0; i < 30'000; ++i) {
+    const Millis r =
+        proc.sample(Technology::LteA, cloud, pt.pos, 70.0, 0.0, 0.0);
+    max_rtt = std::max(max_rtt, r);
+    EXPECT_LE(r, 3'000.0);
+    EXPECT_GT(r, 0.0);
+  }
+  EXPECT_GT(max_rtt, 400.0);  // stalls exist
+}
+
+TEST_F(FleetTest, QueueDelayAndInterruptionAdd) {
+  const auto pt = route_.at(1000.0);
+  const Server& cloud = fleet_.cloud_for(pt.tz);
+  RttProcess a{Carrier::Verizon, Rng{33}};
+  RttProcess b{Carrier::Verizon, Rng{33}};
+  const Millis r1 = a.sample(Technology::LteA, cloud, pt.pos, 0.0, 0.0, 0.0);
+  const Millis r2 =
+      b.sample(Technology::LteA, cloud, pt.pos, 0.0, 150.0, 60.0);
+  EXPECT_NEAR(r2 - r1, 210.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace wheels::net

@@ -1,0 +1,106 @@
+// Cross-validation: the round-based TCP model vs the fluid model the
+// campaign uses. Long-run goodput must agree; that agreement is the fluid
+// model's credential.
+#include <gtest/gtest.h>
+
+#include "transport/packet_tcp.hpp"
+#include "transport/tcp_flow.hpp"
+
+namespace wheels::transport {
+namespace {
+
+Mbps run_packet(PacketTcpFlow& flow, Mbps cap, int ticks) {
+  double sum = 0.0;
+  for (int i = 0; i < ticks; ++i) sum += flow.advance(cap, 500.0);
+  return sum * 8.0 / 1e6 / (ticks * 0.5);
+}
+
+Mbps run_fluid(TcpBulkFlow& flow, Mbps cap, int ticks) {
+  double sum = 0.0;
+  for (int i = 0; i < ticks; ++i) sum += flow.advance(cap, 500.0);
+  return sum * 8.0 / 1e6 / (ticks * 0.5);
+}
+
+TEST(PacketTcp, SaturatesSteadyLink) {
+  PacketTcpFlow flow{60.0};
+  run_packet(flow, 80.0, 20);  // warm up
+  const Mbps rate = run_packet(flow, 80.0, 60);
+  EXPECT_GT(rate, 0.75 * 80.0);
+  EXPECT_LE(rate, 80.5);
+}
+
+TEST(PacketTcp, CwndSawtoothExists) {
+  PacketTcpFlow flow{40.0};
+  double max_cwnd = 0.0, min_after_peak = 1e18;
+  bool saw_peak = false;
+  for (int i = 0; i < 200; ++i) {
+    flow.advance(50.0, 500.0);
+    const double w = flow.cwnd_segments();
+    if (w > max_cwnd) {
+      max_cwnd = w;
+    } else if (max_cwnd > 100.0) {
+      saw_peak = true;
+      min_after_peak = std::min(min_after_peak, w);
+    }
+  }
+  EXPECT_TRUE(saw_peak);
+  EXPECT_LT(min_after_peak, 0.85 * max_cwnd);  // multiplicative decrease seen
+}
+
+TEST(PacketTcp, RttIncludesQueueing) {
+  PacketTcpFlow flow{50.0};
+  for (int i = 0; i < 40; ++i) flow.advance(30.0, 500.0);
+  EXPECT_GE(flow.current_rtt(), 50.0);
+  // Squeeze: standing queue -> RTT inflation.
+  for (int i = 0; i < 4; ++i) flow.advance(1.0, 500.0);
+  EXPECT_GT(flow.current_rtt(), 200.0);
+}
+
+TEST(PacketTcp, DeliveredAccountingConsistent) {
+  PacketTcpFlow flow{40.0};
+  double sum = 0.0;
+  for (int i = 0; i < 30; ++i) sum += flow.advance(60.0, 500.0);
+  EXPECT_NEAR(sum, flow.total_delivered_bytes(), 1e-6);
+}
+
+class CrossValidation : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CrossValidation, FluidAndPacketModelsAgreeOnGoodput) {
+  const auto [cap, rtt] = GetParam();
+  PacketTcpFlow packet{rtt};
+  TcpBulkFlow fluid{rtt, Rng{1}};
+  // Warm both past slow start, then compare steady-state goodput.
+  run_packet(packet, cap, 30);
+  run_fluid(fluid, cap, 30);
+  const Mbps p = run_packet(packet, cap, 120);
+  const Mbps f = run_fluid(fluid, cap, 120);
+  EXPECT_NEAR(p, f, 0.2 * cap) << "packet " << p << " vs fluid " << f;
+  EXPECT_GT(p, 0.6 * cap);
+  EXPECT_GT(f, 0.6 * cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CrossValidation,
+    ::testing::Combine(::testing::Values(5.0, 25.0, 100.0, 400.0),
+                       ::testing::Values(20.0, 60.0, 150.0)));
+
+TEST(CrossValidation, DippingLinkAgreement) {
+  PacketTcpFlow packet{60.0};
+  TcpBulkFlow fluid{60.0, Rng{2}};
+  Rng pattern{3};
+  double p_sum = 0.0, f_sum = 0.0;
+  int outage = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (outage == 0 && pattern.bernoulli(0.05)) outage = pattern.uniform_int(2, 8);
+    const Mbps cap = outage > 0 ? 2.0 : 50.0;
+    if (outage > 0) --outage;
+    p_sum += packet.advance(cap, 500.0);
+    f_sum += fluid.advance(cap, 500.0);
+  }
+  const double ratio = p_sum / f_sum;
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.4);
+}
+
+}  // namespace
+}  // namespace wheels::transport

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include "geo/route.hpp"
+#include "geo/scaled_route.hpp"
+#include "radio/band_plan.hpp"
+#include "radio/channel.hpp"
+#include "radio/deployment.hpp"
+#include "radio/technology.hpp"
+
+namespace wheels::radio {
+namespace {
+
+TEST(Technology, Classification) {
+  EXPECT_FALSE(is_5g(Technology::Lte));
+  EXPECT_FALSE(is_5g(Technology::LteA));
+  EXPECT_TRUE(is_5g(Technology::NrLow));
+  EXPECT_TRUE(is_5g(Technology::NrMid));
+  EXPECT_TRUE(is_5g(Technology::NrMmWave));
+
+  EXPECT_FALSE(is_high_speed_5g(Technology::NrLow));
+  EXPECT_TRUE(is_high_speed_5g(Technology::NrMid));
+  EXPECT_TRUE(is_high_speed_5g(Technology::NrMmWave));
+}
+
+TEST(Technology, TierOrdering) {
+  EXPECT_LT(technology_tier(Technology::Lte), technology_tier(Technology::LteA));
+  EXPECT_LT(technology_tier(Technology::LteA),
+            technology_tier(Technology::NrLow));
+  EXPECT_LT(technology_tier(Technology::NrMid),
+            technology_tier(Technology::NrMmWave));
+}
+
+TEST(Technology, Names) {
+  EXPECT_EQ(technology_name(Technology::NrMmWave), "5G-mmWave");
+  EXPECT_EQ(carrier_name(Carrier::TMobile), "T-Mobile");
+}
+
+TEST(BandPlan, TMobileMidbandIs100MHz) {
+  const BandPlan p = band_plan(Carrier::TMobile, Technology::NrMid);
+  EXPECT_DOUBLE_EQ(p.cc_bandwidth_mhz, 100.0);
+  const BandPlan v = band_plan(Carrier::Verizon, Technology::NrMid);
+  EXPECT_LT(v.cc_bandwidth_mhz, p.cc_bandwidth_mhz);
+}
+
+TEST(BandPlan, MmWaveAggregatesEight) {
+  const BandPlan p = band_plan(Carrier::Verizon, Technology::NrMmWave);
+  EXPECT_EQ(p.max_cc_dl, 8);
+  EXPECT_EQ(p.max_cc_ul, 2);
+  EXPECT_DOUBLE_EQ(p.freq_ghz, 28.0);
+}
+
+TEST(BandPlan, TddUplinkDutyBelowOne) {
+  for (Carrier c : kAllCarriers) {
+    EXPECT_LT(band_plan(c, Technology::NrMid).ul_duty, 1.0);
+    EXPECT_LT(band_plan(c, Technology::NrMmWave).ul_duty, 1.0);
+    EXPECT_DOUBLE_EQ(band_plan(c, Technology::Lte).ul_duty, 1.0);
+  }
+}
+
+TEST(BandPlan, PeakRateOrdering) {
+  // mmWave per-CC peak beats LTE per-CC peak by an order of magnitude.
+  const Mbps lte = cc_peak_rate(band_plan(Carrier::Verizon, Technology::Lte), true);
+  const Mbps mm =
+      cc_peak_rate(band_plan(Carrier::Verizon, Technology::NrMmWave), true);
+  EXPECT_GT(mm, 5.0 * lte);
+}
+
+TEST(Propagation, RsrpDecreasesWithDistance) {
+  for (Carrier c : kAllCarriers) {
+    for (Technology t : kAllTechnologies) {
+      double prev = 1e9;
+      for (Km d = 0.1; d < 5.0; d += 0.1) {
+        const Dbm r = mean_rsrp(c, t, d);
+        EXPECT_LE(r, prev);
+        prev = r;
+      }
+    }
+  }
+}
+
+TEST(Propagation, MmWaveFallsFasterThanLte) {
+  const Dbm mm_near = mean_rsrp(Carrier::Att, Technology::NrMmWave, 0.1);
+  const Dbm mm_far = mean_rsrp(Carrier::Att, Technology::NrMmWave, 1.0);
+  const Dbm lte_near = mean_rsrp(Carrier::Att, Technology::Lte, 0.1);
+  const Dbm lte_far = mean_rsrp(Carrier::Att, Technology::Lte, 1.0);
+  EXPECT_GT(lte_far - lte_near, mm_far - mm_near);  // less negative drop
+}
+
+TEST(Propagation, VerizonMmWaveWeakerThanAtt) {
+  // §5.5: wider Verizon beams → lower RSRP at the same distance.
+  EXPECT_LT(reference_rsrp(Carrier::Verizon, Technology::NrMmWave),
+            reference_rsrp(Carrier::Att, Technology::NrMmWave) - 5.0);
+}
+
+TEST(LinkAdaptation, McsMonotoneInSnr) {
+  int prev = -1;
+  for (Db snr = -10.0; snr <= 32.0; snr += 0.5) {
+    const int mcs = mcs_from_snr(snr);
+    EXPECT_GE(mcs, prev);
+    EXPECT_GE(mcs, 0);
+    EXPECT_LE(mcs, 28);
+    prev = mcs;
+  }
+  EXPECT_EQ(mcs_from_snr(-10.0), 0);
+  EXPECT_EQ(mcs_from_snr(32.0), 28);
+}
+
+TEST(LinkAdaptation, BlerDecreasesWithSnrIncreasesWithSpeed) {
+  EXPECT_GT(bler_model(-5.0, 0.0), bler_model(10.0, 0.0));
+  EXPECT_GT(bler_model(10.0, 70.0), bler_model(10.0, 0.0));
+  for (Db snr : {-10.0, 0.0, 15.0, 30.0}) {
+    const double b = bler_model(snr, 80.0);
+    EXPECT_GE(b, 0.01);
+    EXPECT_LE(b, 0.9);
+  }
+}
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  DeploymentTest()
+      : route_(geo::Route::cross_country()), view_(route_, 1.0) {}
+  geo::Route route_;
+  geo::ScaledRoute view_;
+};
+
+TEST_F(DeploymentTest, LteCoversEverywhere) {
+  for (Carrier c : kAllCarriers) {
+    Deployment d{view_, c, Rng{100}};
+    for (Km km = 0.0; km < view_.total_physical_km(); km += 13.0) {
+      EXPECT_TRUE(d.has(Technology::Lte, km)) << carrier_name(c) << " @" << km;
+    }
+  }
+}
+
+TEST_F(DeploymentTest, Deterministic) {
+  Deployment a{view_, Carrier::Verizon, Rng{100}};
+  Deployment b{view_, Carrier::Verizon, Rng{100}};
+  ASSERT_EQ(a.cells().size(), b.cells().size());
+  for (std::size_t i = 0; i < a.cells().size(); i += 101) {
+    EXPECT_EQ(a.cells()[i].id, b.cells()[i].id);
+    EXPECT_DOUBLE_EQ(a.cells()[i].center_km, b.cells()[i].center_km);
+  }
+}
+
+TEST_F(DeploymentTest, UniqueCellIds) {
+  Deployment d{view_, Carrier::TMobile, Rng{100}};
+  std::vector<std::uint32_t> ids;
+  for (const auto& c : d.cells()) ids.push_back(c.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST_F(DeploymentTest, CellCountsRoughlyMatchPaperScale) {
+  // Paper Table 1: 3020 (V), 4038 (T), 3150 (A) unique connected cells.
+  // Deployed cells should be in the same ballpark, with T-Mobile the most.
+  const std::size_t v =
+      Deployment{view_, Carrier::Verizon, Rng{100}}.cells().size();
+  const std::size_t t =
+      Deployment{view_, Carrier::TMobile, Rng{100}}.cells().size();
+  const std::size_t a = Deployment{view_, Carrier::Att, Rng{100}}.cells().size();
+  EXPECT_GT(t, v);
+  EXPECT_GT(v, 1500u);
+  EXPECT_LT(t, 8000u);
+  EXPECT_GT(a, 1500u);
+}
+
+TEST_F(DeploymentTest, TMobileHasWidestMidband) {
+  auto midband_share = [&](Carrier c) {
+    Deployment d{view_, c, Rng{100}};
+    int covered = 0, total = 0;
+    for (Km km = 0.0; km < view_.total_physical_km(); km += 5.0) {
+      covered += d.has(Technology::NrMid, km);
+      ++total;
+    }
+    return static_cast<double>(covered) / total;
+  };
+  const double t = midband_share(Carrier::TMobile);
+  EXPECT_GT(t, midband_share(Carrier::Verizon));
+  EXPECT_GT(t, midband_share(Carrier::Att));
+  EXPECT_GT(t, 0.25);
+}
+
+TEST_F(DeploymentTest, MmWaveConcentratedInCities) {
+  Deployment d{view_, Carrier::Verizon, Rng{100}};
+  int urban = 0, highway = 0;
+  for (const auto& c : d.cells()) {
+    if (c.tech != Technology::NrMmWave) continue;
+    const auto p = view_.at_physical(c.center_km);
+    urban += p.region == geo::RegionType::Urban;
+    highway += p.region == geo::RegionType::Highway;
+  }
+  EXPECT_GT(urban, 3 * highway);
+}
+
+TEST_F(DeploymentTest, AttHighSpeed5gIsRare) {
+  Deployment d{view_, Carrier::Att, Rng{100}};
+  int hs = 0, total = 0;
+  for (Km km = 0.0; km < view_.total_physical_km(); km += 2.0) {
+    hs += d.has(Technology::NrMid, km) || d.has(Technology::NrMmWave, km);
+    ++total;
+  }
+  EXPECT_LT(static_cast<double>(hs) / total, 0.12);
+}
+
+TEST_F(DeploymentTest, CoveringCellIsNearest) {
+  Deployment d{view_, Carrier::TMobile, Rng{100}};
+  for (Km km = 100.0; km < 200.0; km += 1.0) {
+    const CellSite* c = d.covering_cell(Technology::Lte, km);
+    ASSERT_NE(c, nullptr);
+    EXPECT_TRUE(c->covers(km));
+    // No other LTE cell is strictly closer.
+    for (const auto& other : d.cells()) {
+      if (other.tech != Technology::Lte || other.id == c->id) continue;
+      if (other.covers(km)) {
+        EXPECT_LE(std::abs(c->center_km - km),
+                  std::abs(other.center_km - km) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(DeploymentProbability, PolicyShapesMatchPaper) {
+  using geo::RegionType;
+  using geo::Timezone;
+  // Verizon mmWave urban ≫ highway.
+  EXPECT_GT(availability_probability(Carrier::Verizon, Technology::NrMmWave,
+                                     Timezone::Eastern, RegionType::Urban),
+            20 * availability_probability(Carrier::Verizon,
+                                          Technology::NrMmWave,
+                                          Timezone::Eastern,
+                                          RegionType::Highway));
+  // T-Mobile midband stronger in Pacific than Mountain.
+  EXPECT_GT(availability_probability(Carrier::TMobile, Technology::NrMid,
+                                     Timezone::Pacific, RegionType::Highway),
+            availability_probability(Carrier::TMobile, Technology::NrMid,
+                                     Timezone::Mountain, RegionType::Highway));
+  // AT&T 5G-low much weaker in Mountain than Pacific (Fig. 2c).
+  EXPECT_LT(availability_probability(Carrier::Att, Technology::NrLow,
+                                     Timezone::Mountain, RegionType::Highway),
+            0.5 * availability_probability(Carrier::Att, Technology::NrLow,
+                                           Timezone::Pacific,
+                                           RegionType::Highway));
+  // Probabilities stay in [0, 0.95].
+  for (Carrier c : kAllCarriers) {
+    for (Technology t : kAllTechnologies) {
+      for (int tz = 0; tz < geo::kTimezoneCount; ++tz) {
+        for (RegionType r : {RegionType::Urban, RegionType::Suburban,
+                             RegionType::Highway}) {
+          const double p = availability_probability(
+              c, t, static_cast<Timezone>(tz), r);
+          EXPECT_GE(p, 0.0);
+          EXPECT_LE(p, 1.0);
+        }
+      }
+    }
+  }
+}
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  CellSite make_cell(Technology tech, Km radius = 1.0) {
+    CellSite c;
+    c.id = 1;
+    c.carrier = Carrier::Verizon;
+    c.tech = tech;
+    c.center_km = 100.0;
+    c.radius_km = radius;
+    return c;
+  }
+};
+
+TEST_F(ChannelTest, StaticMmWaveDeliversGigabit) {
+  const CellSite cell = make_cell(Technology::NrMmWave, 0.2);
+  ChannelModel ch{Carrier::Verizon, Rng{7}};
+  ch.attach(cell);
+  double sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const LinkKpis k = ch.sample_static_best(cell, 500.0);
+    sum += k.capacity_dl;
+    ++n;
+  }
+  const double mean = sum / n;
+  EXPECT_GT(mean, 700.0);
+  EXPECT_LT(mean, 3500.0);
+}
+
+TEST_F(ChannelTest, DeviceCapsRespected) {
+  const CellSite cell = make_cell(Technology::NrMmWave, 0.2);
+  ChannelModel ch{Carrier::Att, Rng{8}};
+  ch.attach(cell);
+  for (int i = 0; i < 3000; ++i) {
+    const LinkKpis k = ch.sample_static_best(cell, 500.0);
+    EXPECT_LE(k.capacity_dl, kDeviceCapDl);
+    EXPECT_LE(k.capacity_ul, kDeviceCapUl);
+    EXPECT_GE(k.capacity_dl, 0.0);
+    EXPECT_GE(k.capacity_ul, 0.0);
+  }
+}
+
+TEST_F(ChannelTest, DrivingSlowerThanStatic) {
+  const CellSite cell = make_cell(Technology::NrMid, 1.3);
+  ChannelModel ch_static{Carrier::TMobile, Rng{9}};
+  ChannelModel ch_drive{Carrier::TMobile, Rng{9}};
+  ch_static.attach(cell);
+  ch_drive.attach(cell);
+  double s = 0.0, d = 0.0;
+  constexpr int n = 4000;
+  Km km = 99.2;
+  for (int i = 0; i < n; ++i) {
+    s += ch_static.sample_static_best(cell, 500.0).capacity_dl;
+    km += km_per_ms_from_mph(65.0) * 500.0;
+    if (km > 100.8) km = 99.2;
+    d += ch_drive.sample(cell, km, 65.0, 500.0).capacity_dl;
+  }
+  EXPECT_GT(s / n, 2.5 * (d / n));
+}
+
+TEST_F(ChannelTest, UplinkMuchSlowerThanDownlink) {
+  const CellSite cell = make_cell(Technology::NrMmWave, 0.2);
+  ChannelModel ch{Carrier::Verizon, Rng{10}};
+  ch.attach(cell);
+  double dl = 0.0, ul = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const LinkKpis k = ch.sample_static_best(cell, 500.0);
+    dl += k.capacity_dl;
+    ul += k.capacity_ul;
+  }
+  EXPECT_GT(dl, 4.0 * ul);
+}
+
+TEST_F(ChannelTest, KpisInRange) {
+  const CellSite cell = make_cell(Technology::LteA, 2.3);
+  ChannelModel ch{Carrier::Att, Rng{11}};
+  ch.attach(cell);
+  Km km = 98.0;
+  for (int i = 0; i < 5000; ++i) {
+    km += km_per_ms_from_mph(40.0) * 500.0;
+    if (km > 102.0) km = 98.0;
+    const LinkKpis k = ch.sample(cell, km, 40.0, 500.0);
+    EXPECT_GE(k.mcs_dl, 0);
+    EXPECT_LE(k.mcs_dl, 28);
+    EXPECT_GE(k.bler_dl, 0.0);
+    EXPECT_LE(k.bler_dl, 1.0);
+    EXPECT_GE(k.cc_dl, 1);
+    EXPECT_LE(k.cc_dl, band_plan(Carrier::Att, Technology::LteA).max_cc_dl);
+    EXPECT_EQ(k.cc_ul, 1);  // LTE-A UL has a single carrier
+    EXPECT_LT(k.rsrp, -40.0);
+    EXPECT_GT(k.rsrp, -160.0);
+  }
+}
+
+TEST_F(ChannelTest, OutagesProduceLowThroughputTail) {
+  const CellSite cell = make_cell(Technology::NrMid, 1.3);
+  ChannelModel ch{Carrier::TMobile, Rng{12}};
+  ch.attach(cell);
+  int low = 0, outages = 0;
+  constexpr int n = 8000;
+  Km km = 99.0;
+  for (int i = 0; i < n; ++i) {
+    km += km_per_ms_from_mph(65.0) * 500.0;
+    if (km > 101.0) km = 99.0;
+    const LinkKpis k = ch.sample(cell, km, 65.0, 500.0);
+    low += k.capacity_dl < 5.0;
+    outages += k.outage;
+  }
+  // T-Mobile midband under driving: a sizeable low-throughput tail (§5.2).
+  // (The full 40%-below-2-Mbps shape needs cell-edge geometry and appears in
+  // campaign data; this synthetic single-cell check asserts the mechanism.)
+  EXPECT_GT(static_cast<double>(low) / n, 0.10);
+  EXPECT_GT(outages, 0);
+  EXPECT_LT(static_cast<double>(outages) / n, 0.8);
+}
+
+TEST_F(ChannelTest, VerizonRarelyAggregatesUplink) {
+  const CellSite cell = make_cell(Technology::NrMmWave, 0.2);
+  ChannelModel v{Carrier::Verizon, Rng{13}};
+  ChannelModel t{Carrier::TMobile, Rng{13}};
+  CellSite tcell = cell;
+  tcell.carrier = Carrier::TMobile;
+  v.attach(cell);
+  t.attach(tcell);
+  int v2 = 0, t2 = 0;
+  constexpr int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    v2 += v.sample_static_best(cell, 500.0).cc_ul == 2;
+    t2 += t.sample_static_best(tcell, 500.0).cc_ul == 2;
+  }
+  EXPECT_LT(static_cast<double>(v2) / n, 0.15);
+  EXPECT_GT(static_cast<double>(t2) / n, 0.4);
+}
+
+}  // namespace
+}  // namespace wheels::radio

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "geo/drive_trace.hpp"
+#include "geo/scaled_route.hpp"
+#include "radio/deployment.hpp"
+#include "ran/handover.hpp"
+#include "ran/service_policy.hpp"
+#include "ran/session.hpp"
+
+namespace wheels::ran {
+namespace {
+
+using radio::Carrier;
+using radio::Technology;
+
+const std::vector<Technology> kAllAvailable{
+    Technology::Lte, Technology::LteA, Technology::NrLow, Technology::NrMid,
+    Technology::NrMmWave};
+
+double selection_rate(Carrier c, TrafficProfile traffic, Technology want,
+                      geo::Timezone tz = geo::Timezone::Central,
+                      int n = 4000) {
+  Rng rng{55};
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    hits += select_technology(c, kAllAvailable, traffic, tz, rng) == want;
+  }
+  return static_cast<double>(hits) / n;
+}
+
+TEST(ServicePolicy, IdlePingStaysOn4G) {
+  // AT&T never upgrades idle UEs (Fig. 1d: LTE/LTE-A only).
+  EXPECT_DOUBLE_EQ(selection_rate(Carrier::Att, TrafficProfile::IdlePing,
+                                  Technology::LteA),
+                   1.0);
+  // Verizon idles on 4G almost always.
+  EXPECT_GT(selection_rate(Carrier::Verizon, TrafficProfile::IdlePing,
+                           Technology::LteA),
+            0.85);
+}
+
+TEST(ServicePolicy, TMobileIdlePolicyDiffersEastWest) {
+  // Fig. 1c vs 1f: passive and active views agree in the east only.
+  const double east = selection_rate(Carrier::TMobile, TrafficProfile::IdlePing,
+                                     Technology::NrMid, geo::Timezone::Eastern);
+  const double west = selection_rate(Carrier::TMobile, TrafficProfile::IdlePing,
+                                     Technology::NrMid, geo::Timezone::Pacific);
+  EXPECT_GT(east, 0.5);
+  EXPECT_LT(west, 0.15);
+}
+
+TEST(ServicePolicy, BackloggedDownlinkGrabsTopTier) {
+  for (Carrier c : radio::kAllCarriers) {
+    EXPECT_GT(selection_rate(c, TrafficProfile::BackloggedDownlink,
+                             Technology::NrMmWave),
+              0.9);
+  }
+}
+
+TEST(ServicePolicy, UplinkPrefersLowerTiersThanDownlink) {
+  for (Carrier c : radio::kAllCarriers) {
+    const double dl_hs =
+        selection_rate(c, TrafficProfile::BackloggedDownlink,
+                       Technology::NrMmWave) +
+        selection_rate(c, TrafficProfile::BackloggedDownlink,
+                       Technology::NrMid);
+    const double ul_hs =
+        selection_rate(c, TrafficProfile::BackloggedUplink,
+                       Technology::NrMmWave) +
+        selection_rate(c, TrafficProfile::BackloggedUplink, Technology::NrMid);
+    EXPECT_LT(ul_hs, dl_hs) << radio::carrier_name(c);
+  }
+}
+
+TEST(ServicePolicy, FallsBackToBest4G) {
+  Rng rng{56};
+  const std::vector<Technology> only4g{Technology::Lte, Technology::LteA};
+  EXPECT_EQ(select_technology(Carrier::Verizon, only4g,
+                              TrafficProfile::BackloggedDownlink,
+                              geo::Timezone::Central, rng),
+            Technology::LteA);
+  const std::vector<Technology> only_lte{Technology::Lte};
+  EXPECT_EQ(select_technology(Carrier::Verizon, only_lte,
+                              TrafficProfile::BackloggedDownlink,
+                              geo::Timezone::Central, rng),
+            Technology::Lte);
+}
+
+TEST(Handover, Classification) {
+  EXPECT_EQ(classify_handover(Technology::Lte, Technology::LteA),
+            HandoverType::FourToFour);
+  EXPECT_EQ(classify_handover(Technology::LteA, Technology::NrMid),
+            HandoverType::FourToFive);
+  EXPECT_EQ(classify_handover(Technology::NrMmWave, Technology::Lte),
+            HandoverType::FiveToFour);
+  EXPECT_EQ(classify_handover(Technology::NrLow, Technology::NrMid),
+            HandoverType::FiveToFive);
+  EXPECT_TRUE(is_vertical(HandoverType::FourToFive));
+  EXPECT_TRUE(is_vertical(HandoverType::FiveToFour));
+  EXPECT_FALSE(is_vertical(HandoverType::FourToFour));
+  EXPECT_FALSE(is_vertical(HandoverType::FiveToFive));
+}
+
+TEST(Handover, DurationMediansMatchPaper) {
+  // Fig. 11b medians: 53/76/58 ms DL, 49/75/57 ms UL.
+  struct Case {
+    Carrier c;
+    radio::Direction d;
+    double median;
+  };
+  const Case cases[] = {
+      {Carrier::Verizon, radio::Direction::Downlink, 53.0},
+      {Carrier::TMobile, radio::Direction::Downlink, 76.0},
+      {Carrier::Att, radio::Direction::Downlink, 58.0},
+      {Carrier::Verizon, radio::Direction::Uplink, 49.0},
+      {Carrier::TMobile, radio::Direction::Uplink, 75.0},
+      {Carrier::Att, radio::Direction::Uplink, 57.0},
+  };
+  for (const Case& k : cases) {
+    Rng rng{57};
+    std::vector<double> xs(8001);
+    for (auto& x : xs) {
+      x = sample_handover_duration(k.c, k.d, false, rng);
+    }
+    std::nth_element(xs.begin(), xs.begin() + 4000, xs.end());
+    EXPECT_NEAR(xs[4000], k.median, k.median * 0.06)
+        << radio::carrier_name(k.c);
+  }
+}
+
+TEST(Handover, VerticalTakesLonger) {
+  Rng rng{58};
+  double h = 0.0, v = 0.0;
+  constexpr int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    h += sample_handover_duration(Carrier::Verizon, radio::Direction::Downlink,
+                                  false, rng);
+    v += sample_handover_duration(Carrier::Verizon, radio::Direction::Downlink,
+                                  true, rng);
+  }
+  EXPECT_GT(v / n, 1.2 * (h / n));
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest()
+      : route_(geo::Route::cross_country()),
+        view_(route_, kScale),
+        deployment_(view_, Carrier::TMobile, Rng{200}.fork("deploy")) {}
+
+  static constexpr double kScale = 0.05;
+  geo::Route route_;
+  geo::ScaledRoute view_;
+  radio::Deployment deployment_;
+};
+
+TEST_F(SessionTest, TicksProduceValidState) {
+  RadioSession session{deployment_, TrafficProfile::BackloggedDownlink,
+                       Rng{201}};
+  geo::DriveTraceConfig cfg;
+  cfg.scale = kScale;
+  geo::DriveTraceGenerator gen{route_, cfg, Rng{202}};
+  int n = 0;
+  while (auto s = gen.next()) {
+    const RadioTick tick = session.tick(*s, 500.0);
+    EXPECT_GT(tick.cell_id, 0u);
+    EXPECT_GE(tick.kpis.capacity_dl, 0.0);
+    EXPECT_LE(tick.interruption, 500.0);
+    if (++n > 30'000) break;
+  }
+  EXPECT_GT(n, 1000);
+}
+
+TEST_F(SessionTest, HandoverRatePerMileIsPlausible) {
+  RadioSession session{deployment_, TrafficProfile::BackloggedDownlink,
+                       Rng{203}};
+  geo::DriveTraceConfig cfg;
+  cfg.scale = kScale;
+  geo::DriveTraceGenerator gen{route_, cfg, Rng{204}};
+  int hos = 0;
+  Km first = -1.0, last = 0.0;
+  while (auto s = gen.next()) {
+    if (first < 0.0) first = s->km;
+    last = s->km;
+    hos += static_cast<int>(session.tick(*s, 500.0).handovers.size());
+  }
+  const double miles = (last - first) * kMilesPerKm;
+  const double per_mile = hos / miles;
+  // Fig. 11a: median 1-3 per mile; allow a generous band for the mean.
+  EXPECT_GT(per_mile, 0.3);
+  EXPECT_LT(per_mile, 8.0);
+}
+
+TEST_F(SessionTest, HandoversChangeCell) {
+  RadioSession session{deployment_, TrafficProfile::BackloggedDownlink,
+                       Rng{205}};
+  geo::DriveTraceConfig cfg;
+  cfg.scale = kScale;
+  geo::DriveTraceGenerator gen{route_, cfg, Rng{206}};
+  std::uint32_t prev_cell = 0;
+  while (auto s = gen.next()) {
+    const RadioTick tick = session.tick(*s, 500.0);
+    for (const HandoverEvent& ho : tick.handovers) {
+      EXPECT_NE(ho.from_cell, ho.to_cell);
+      EXPECT_GT(ho.duration, 0.0);
+      // Serving-cell changes (target id == new serving cell) must leave the
+      // previous serving cell; anchor/sector events carry their own ids.
+      if (ho.to_cell == tick.cell_id && prev_cell != 0) {
+        EXPECT_EQ(ho.from_cell, prev_cell);
+      }
+    }
+    prev_cell = tick.cell_id;
+  }
+}
+
+TEST_F(SessionTest, BackloggedDownlinkSees5GMoreThanIdle) {
+  geo::DriveTraceConfig cfg;
+  cfg.scale = kScale;
+
+  auto five_g_share = [&](TrafficProfile traffic, std::uint64_t seed) {
+    RadioSession session{deployment_, traffic, Rng{seed}};
+    geo::DriveTraceGenerator gen{route_, cfg, Rng{207}};
+    int n5 = 0, n = 0;
+    while (auto s = gen.next()) {
+      n5 += radio::is_5g(session.tick(*s, 500.0).tech);
+      ++n;
+    }
+    return static_cast<double>(n5) / n;
+  };
+
+  const double active = five_g_share(TrafficProfile::BackloggedDownlink, 208);
+  const double idle = five_g_share(TrafficProfile::IdlePing, 209);
+  EXPECT_GT(active, idle + 0.15);  // the Fig. 1 disparity
+  EXPECT_GT(active, 0.4);          // T-Mobile ≈68% 5G under load
+}
+
+TEST_F(SessionTest, InterruptionSuppressesCapacity) {
+  RadioSession session{deployment_, TrafficProfile::BackloggedDownlink,
+                       Rng{210}};
+  geo::DriveTraceConfig cfg;
+  cfg.scale = kScale;
+  geo::DriveTraceGenerator gen{route_, cfg, Rng{211}};
+  // On ticks with a long interruption, capacity is scaled down; verify the
+  // arithmetic never produces negative capacity.
+  while (auto s = gen.next()) {
+    const RadioTick t = session.tick(*s, 500.0);
+    EXPECT_GE(t.kpis.capacity_dl, 0.0);
+    EXPECT_GE(t.kpis.capacity_ul, 0.0);
+  }
+}
+
+TEST_F(SessionTest, StaticSessionPrefersMmWaveOverMid) {
+  // Verizon downtown LA should usually have an mmWave site.
+  radio::Deployment vz{view_, Carrier::Verizon, Rng{212}.fork("deploy")};
+  int mmwave = 0, any = 0;
+  for (std::size_t city = 0; city < route_.waypoints().size(); ++city) {
+    // Search radius is physical km: cell geometry does not shrink with the
+    // map scale, so neither should the search.
+    auto s = StaticSession::try_create(vz, view_.physical_city_km(city), 10.0,
+                                       Rng{213});
+    if (s.has_value()) {
+      ++any;
+      mmwave += s->tech() == Technology::NrMmWave;
+      const RadioTick tick = s->tick(500.0);
+      EXPECT_TRUE(radio::is_high_speed_5g(tick.tech));
+      EXPECT_GT(tick.kpis.capacity_dl, 0.0);
+    }
+  }
+  EXPECT_GT(any, 2);
+}
+
+TEST_F(SessionTest, StaticSessionRespectsSearchRadius) {
+  // A zero search radius cannot find a site unless one sits exactly at the
+  // city centre.
+  auto s = StaticSession::try_create(deployment_, 1e7, 1.0, Rng{214});
+  EXPECT_FALSE(s.has_value());
+}
+
+TEST_F(SessionTest, TrafficSwitchTriggersReevaluation) {
+  RadioSession session{deployment_, TrafficProfile::IdlePing, Rng{215}};
+  geo::DriveTraceConfig cfg;
+  cfg.scale = kScale;
+  geo::DriveTraceGenerator gen{route_, cfg, Rng{216}};
+  // Warm up on idle.
+  for (int i = 0; i < 200; ++i) {
+    auto s = gen.next();
+    ASSERT_TRUE(s.has_value());
+    session.tick(*s, 500.0);
+  }
+  session.set_traffic(TrafficProfile::BackloggedDownlink);
+  EXPECT_EQ(session.traffic(), TrafficProfile::BackloggedDownlink);
+  int n5 = 0, n = 0;
+  while (auto s = gen.next()) {
+    n5 += radio::is_5g(session.tick(*s, 500.0).tech);
+    if (++n > 5000) break;
+  }
+  EXPECT_GT(static_cast<double>(n5) / n, 0.3);
+}
+
+}  // namespace
+}  // namespace wheels::ran

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/regression.hpp"
+#include "analysis/segments.hpp"
+#include "analysis/stats.hpp"
+#include "core/rng.hpp"
+
+namespace wheels::analysis {
+namespace {
+
+TEST(LinearSolver, SolvesKnownSystem) {
+  // 2x + y = 5, x + 3y = 10  ->  x = 1, y = 3.
+  const auto x = solve_linear_system({{2, 1}, {1, 3}}, {5, 10});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(LinearSolver, HandlesPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_linear_system({{0, 2}, {3, 1}}, {4, 5});
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(LinearSolver, ThrowsOnSingular) {
+  EXPECT_THROW(solve_linear_system({{1, 2}, {2, 4}}, {1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(solve_linear_system({}, {}), std::invalid_argument);
+}
+
+TEST(Ols, RecoversExactLinearModel) {
+  // y = 2*x1 - x2, noise-free: R² = 1 and betas reflect the weights.
+  Rng rng{5};
+  std::vector<double> x1(500), x2(500), y(500);
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    x1[i] = rng.normal(0, 1);
+    x2[i] = rng.normal(0, 1);
+    y[i] = 2.0 * x1[i] - x2[i];
+  }
+  const std::vector<std::vector<double>> cols{x1, x2};
+  const RegressionResult fit = ols_standardized(cols, y);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-6);
+  EXPECT_GT(fit.beta[0], 0.0);
+  EXPECT_LT(fit.beta[1], 0.0);
+  // 2:1 weight ratio roughly preserved on the standardised scale (exact
+  // only in expectation: sample SDs and cross-correlation perturb it).
+  EXPECT_NEAR(fit.beta[0] / -fit.beta[1], 2.0, 0.2);
+}
+
+TEST(Ols, SingleRegressorBetaEqualsPearson) {
+  Rng rng{6};
+  std::vector<double> x(2000), y(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal(0, 1);
+    y[i] = 0.5 * x[i] + rng.normal(0, 1);
+  }
+  const std::vector<std::vector<double>> cols{x};
+  const RegressionResult fit = ols_standardized(cols, y);
+  EXPECT_NEAR(fit.beta[0], pearson(x, y), 1e-9);
+  EXPECT_NEAR(fit.r_squared, fit.beta[0] * fit.beta[0], 1e-9);
+}
+
+TEST(Ols, ConstantColumnGetsZeroBeta) {
+  Rng rng{7};
+  std::vector<double> x(300), c(300, 5.0), y(300);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal(0, 1);
+    y[i] = x[i];
+  }
+  const std::vector<std::vector<double>> cols{c, x};
+  const RegressionResult fit = ols_standardized(cols, y);
+  EXPECT_DOUBLE_EQ(fit.beta[0], 0.0);
+  EXPECT_NEAR(fit.beta[1], 1.0, 1e-6);
+}
+
+TEST(Ols, CollinearColumnsDoNotExplode) {
+  Rng rng{8};
+  std::vector<double> x(300), y(300);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal(0, 1);
+    y[i] = x[i] + rng.normal(0, 0.1);
+  }
+  std::vector<double> x2 = x;  // perfectly collinear copy
+  const std::vector<std::vector<double>> cols{x, x2};
+  const RegressionResult fit = ols_standardized(cols, y);
+  EXPECT_TRUE(std::isfinite(fit.beta[0]));
+  EXPECT_TRUE(std::isfinite(fit.beta[1]));
+  EXPECT_GT(fit.r_squared, 0.9);
+  EXPECT_LE(fit.r_squared, 1.0 + 1e-9);
+}
+
+TEST(Ols, ConstantTargetYieldsZeroFit) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{7, 7, 7, 7};
+  const std::vector<std::vector<double>> cols{x};
+  const RegressionResult fit = ols_standardized(cols, y);
+  EXPECT_DOUBLE_EQ(fit.beta[0], 0.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+}
+
+TEST(Ols, ThrowsOnBadInput) {
+  const std::vector<double> y{1.0};
+  EXPECT_THROW((void)ols_standardized({}, y), std::invalid_argument);
+  const std::vector<std::vector<double>> ragged{{1, 2, 3}};
+  const std::vector<double> y2{1, 2};
+  EXPECT_THROW((void)ols_standardized(ragged, y2), std::invalid_argument);
+}
+
+measure::ConsolidatedDb segment_db() {
+  measure::ConsolidatedDb db;
+  // Two segments of a 200 km route: Verizon wins the first, T-Mobile the
+  // second; AT&T has no data in segment 2.
+  auto add = [&](radio::Carrier c, Km map_km, double tput, SimMillis t) {
+    measure::KpiRecord k;
+    k.carrier = c;
+    k.direction = radio::Direction::Downlink;
+    k.map_km = map_km;
+    k.throughput = tput;
+    k.t = t;
+    db.kpis.push_back(k);
+  };
+  for (int i = 0; i < 5; ++i) {
+    add(radio::Carrier::Verizon, 10.0, 50.0, i);
+    add(radio::Carrier::TMobile, 10.0, 20.0, i);
+    add(radio::Carrier::Att, 10.0, 10.0, i);
+    add(radio::Carrier::Verizon, 150.0, 5.0, 1000 + i);
+    add(radio::Carrier::TMobile, 150.0, 30.0, 1000 + i);
+  }
+  return db;
+}
+
+TEST(Segments, WinnersAndMedians) {
+  const auto db = segment_db();
+  const auto segs = segment_quality(db, 200.0, 100.0);
+  ASSERT_EQ(segs.size(), 2u);
+  ASSERT_TRUE(segs[0].best.has_value());
+  EXPECT_EQ(*segs[0].best, radio::Carrier::Verizon);
+  EXPECT_DOUBLE_EQ(segs[0].best_median, 50.0);
+  ASSERT_TRUE(segs[1].best.has_value());
+  EXPECT_EQ(*segs[1].best, radio::Carrier::TMobile);
+  EXPECT_FALSE(
+      segs[1].median_dl[measure::carrier_index(radio::Carrier::Att)]
+          .has_value());
+}
+
+TEST(Segments, BestOfAllUsesConcurrentMax) {
+  const auto db = segment_db();
+  const auto segs = segment_quality(db, 200.0, 100.0);
+  ASSERT_TRUE(segs[0].best_of_all_median.has_value());
+  // Concurrent max in segment 0 is always Verizon's 50.
+  EXPECT_DOUBLE_EQ(*segs[0].best_of_all_median, 50.0);
+  ASSERT_TRUE(segs[1].best_of_all_median.has_value());
+  EXPECT_DOUBLE_EQ(*segs[1].best_of_all_median, 30.0);
+}
+
+TEST(Segments, FlipsAndWinShare) {
+  const auto db = segment_db();
+  const auto segs = segment_quality(db, 200.0, 100.0);
+  EXPECT_EQ(operator_flips(segs), 1);
+  EXPECT_DOUBLE_EQ(win_share(segs, radio::Carrier::Verizon), 0.5);
+  EXPECT_DOUBLE_EQ(win_share(segs, radio::Carrier::TMobile), 0.5);
+  EXPECT_DOUBLE_EQ(win_share(segs, radio::Carrier::Att), 0.0);
+}
+
+TEST(Segments, EmptyDbYieldsWinnerlessSegments) {
+  measure::ConsolidatedDb db;
+  const auto segs = segment_quality(db, 500.0, 100.0);
+  EXPECT_EQ(segs.size(), 5u);
+  for (const auto& s : segs) {
+    EXPECT_FALSE(s.best.has_value());
+    EXPECT_FALSE(s.best_of_all_median.has_value());
+  }
+  EXPECT_EQ(operator_flips(segs), 0);
+}
+
+TEST(Segments, StaticAndUplinkExcluded) {
+  measure::ConsolidatedDb db;
+  measure::KpiRecord k;
+  k.carrier = radio::Carrier::Verizon;
+  k.direction = radio::Direction::Uplink;
+  k.map_km = 10.0;
+  k.throughput = 99.0;
+  db.kpis.push_back(k);
+  k.direction = radio::Direction::Downlink;
+  k.is_static = true;
+  db.kpis.push_back(k);
+  const auto segs = segment_quality(db, 100.0, 100.0);
+  EXPECT_FALSE(segs[0].best.has_value());
+}
+
+}  // namespace
+}  // namespace wheels::analysis

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "ran/rrc.hpp"
+
+namespace wheels::ran {
+namespace {
+
+TEST(Rrc, StartsIdleAndPromotesOnFirstPacket) {
+  RrcMachine rrc{Rng{1}};
+  EXPECT_EQ(rrc.state_at(0), RrcState::Idle);
+  const Millis delay = rrc.on_traffic(0);
+  EXPECT_GT(delay, 50.0);
+  EXPECT_LT(delay, 1'000.0);
+  EXPECT_EQ(rrc.state_at(0), RrcState::Connected);
+}
+
+TEST(Rrc, KeepAliveCadenceNeverPromotes) {
+  // The paper's 200 ms ping cadence exists exactly to keep the radio awake.
+  RrcMachine rrc{Rng{2}};
+  (void)rrc.on_traffic(0);
+  for (SimMillis t = 200; t < 600'000; t += 200) {
+    EXPECT_DOUBLE_EQ(rrc.on_traffic(t), 0.0) << "t=" << t;
+  }
+}
+
+TEST(Rrc, IdleGapTriggersPromotion) {
+  RrcMachine rrc{Rng{3}};
+  (void)rrc.on_traffic(0);
+  EXPECT_DOUBLE_EQ(rrc.on_traffic(5'000), 0.0);
+  // 15 s of silence exceeds the 10 s inactivity timer.
+  EXPECT_GT(rrc.on_traffic(20'000), 0.0);
+  // And we are connected again afterwards.
+  EXPECT_DOUBLE_EQ(rrc.on_traffic(20'200), 0.0);
+}
+
+TEST(Rrc, StateAtRespectsTimeout) {
+  RrcMachine rrc{Rng{4}, 2'000.0};
+  (void)rrc.on_traffic(1'000);
+  EXPECT_EQ(rrc.state_at(2'500), RrcState::Connected);
+  EXPECT_EQ(rrc.state_at(3'500), RrcState::Idle);
+}
+
+TEST(Rrc, PromotionDelayDistribution) {
+  Rng rng{5};
+  std::vector<double> xs(4001);
+  for (auto& x : xs) x = RrcMachine::sample_promotion_delay(rng);
+  std::nth_element(xs.begin(), xs.begin() + 2000, xs.end());
+  EXPECT_NEAR(xs[2000], 180.0, 20.0);
+}
+
+TEST(Rrc, CustomTimeout) {
+  RrcMachine rrc{Rng{6}, 500.0};
+  EXPECT_DOUBLE_EQ(rrc.inactivity_timeout(), 500.0);
+  (void)rrc.on_traffic(0);
+  EXPECT_GT(rrc.on_traffic(1'000), 0.0);  // 1 s gap > 0.5 s timeout
+}
+
+}  // namespace
+}  // namespace wheels::ran

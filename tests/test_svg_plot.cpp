@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/svg_plot.hpp"
+#include "core/rng.hpp"
+
+namespace wheels::analysis {
+namespace {
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(NiceTicks, ProducesRoundNumbersCoveringRange) {
+  const auto ticks = nice_ticks(0.0, 100.0);
+  ASSERT_FALSE(ticks.empty());
+  EXPECT_GE(ticks.front(), 0.0);
+  EXPECT_LE(ticks.back(), 100.0 + 1e-9);
+  for (std::size_t i = 1; i < ticks.size(); ++i) {
+    EXPECT_GT(ticks[i], ticks[i - 1]);
+  }
+}
+
+TEST(NiceTicks, HandlesDegenerateRange) {
+  const auto ticks = nice_ticks(5.0, 5.0);
+  EXPECT_FALSE(ticks.empty());
+}
+
+TEST(NiceTicks, TinyRange) {
+  const auto ticks = nice_ticks(0.001, 0.004);
+  EXPECT_GE(ticks.size(), 2u);
+  for (double t : ticks) {
+    EXPECT_GE(t, 0.0009);
+    EXPECT_LE(t, 0.0041);
+  }
+}
+
+TEST(SvgPlot, RendersWellFormedDocument) {
+  SvgPlot plot{"Title <with> markup", "x & y", "CDF"};
+  plot.add_line({{0, 0}, {1, 0.5}, {2, 1.0}}, "series-a");
+  const std::string svg = plot.render();
+  EXPECT_EQ(count_occurrences(svg, "<svg"), 1);
+  EXPECT_EQ(count_occurrences(svg, "</svg>"), 1);
+  EXPECT_EQ(count_occurrences(svg, "<polyline"), 1);
+  // Markup in labels must be escaped.
+  EXPECT_NE(svg.find("Title &lt;with&gt; markup"), std::string::npos);
+  EXPECT_NE(svg.find("x &amp; y"), std::string::npos);
+  EXPECT_EQ(svg.find("<with>"), std::string::npos);
+}
+
+TEST(SvgPlot, OnePolylinePerLineSeriesOneCirclePerPoint) {
+  SvgPlot plot{"t", "x", "y"};
+  plot.add_line({{0, 0}, {1, 1}}, "l1");
+  plot.add_line({{0, 1}, {1, 0}}, "l2");
+  plot.add_scatter({{0.2, 0.2}, {0.4, 0.4}, {0.6, 0.6}}, "s1");
+  const std::string svg = plot.render();
+  EXPECT_EQ(count_occurrences(svg, "<polyline"), 2);
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 3);
+  EXPECT_EQ(plot.series_count(), 3u);
+}
+
+TEST(SvgPlot, CdfSeriesMonotone) {
+  wheels::Rng rng{1};
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.lognormal(2.0, 1.0);
+  SvgPlot plot{"t", "x", "CDF"};
+  plot.add_cdf(Cdf{xs}, "cdf");
+  const std::string svg = plot.render();
+  EXPECT_EQ(count_occurrences(svg, "<polyline"), 1);
+}
+
+TEST(SvgPlot, EmptyPlotStillRenders) {
+  SvgPlot plot{"empty", "x", "y"};
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  plot.add_cdf(Cdf{{}}, "nothing");
+  EXPECT_NE(plot.render().find("</svg>"), std::string::npos);
+}
+
+TEST(SvgPlot, LogAxisDropsNonPositive) {
+  SvgPlot plot{"t", "x", "y"};
+  plot.set_log_x(true);
+  plot.add_scatter({{-1.0, 0.5}, {0.0, 0.5}, {10.0, 0.5}, {100.0, 0.6}},
+                   "mixed");
+  const std::string svg = plot.render();
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 2);  // only positive x kept
+  // Decade ticks present.
+  EXPECT_NE(svg.find(">10<"), std::string::npos);
+  EXPECT_NE(svg.find(">100<"), std::string::npos);
+}
+
+TEST(SvgPlot, SaveCreatesDirectoriesAndFile) {
+  const std::string dir = "/tmp/wheels-svg-test/nested";
+  std::filesystem::remove_all("/tmp/wheels-svg-test");
+  SvgPlot plot{"t", "x", "y"};
+  plot.add_line({{0, 0}, {1, 1}}, "l");
+  plot.save(dir + "/plot.svg");
+  EXPECT_TRUE(std::filesystem::exists(dir + "/plot.svg"));
+  std::ifstream is{dir + "/plot.svg"};
+  std::string first;
+  std::getline(is, first);
+  EXPECT_NE(first.find("<svg"), std::string::npos);
+  std::filesystem::remove_all("/tmp/wheels-svg-test");
+}
+
+TEST(SvgPlot, DistinctColorsPerSeries) {
+  SvgPlot plot{"t", "x", "y"};
+  plot.add_line({{0, 0}, {1, 1}}, "a");
+  plot.add_line({{0, 0}, {1, 1}}, "b");
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("#c23b3b"), std::string::npos);
+  EXPECT_NE(svg.find("#2b6fb3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wheels::analysis

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "transport/cubic.hpp"
+#include "transport/tcp_flow.hpp"
+
+namespace wheels::transport {
+namespace {
+
+TEST(Cubic, SlowStartDoublesPerRtt) {
+  Cubic c;
+  EXPECT_TRUE(c.in_slow_start());
+  const double w0 = c.cwnd_segments();
+  // One RTT's worth of ACKs ≈ cwnd segments → window doubles.
+  c.on_ack(w0, 50.0, 50.0);
+  EXPECT_NEAR(c.cwnd_segments(), 2.0 * w0, 1e-9);
+}
+
+TEST(Cubic, LossMultiplicativeDecrease) {
+  Cubic c;
+  for (int i = 0; i < 10; ++i) c.on_ack(c.cwnd_segments(), 50.0, i * 50.0);
+  const double before = c.cwnd_segments();
+  c.on_loss(500.0);
+  EXPECT_NEAR(c.cwnd_segments(), before * Cubic::kBeta, 1e-9);
+  EXPECT_FALSE(c.in_slow_start());
+}
+
+TEST(Cubic, CwndNeverBelowMinimum) {
+  Cubic c;
+  for (int i = 0; i < 50; ++i) c.on_loss(i * 10.0);
+  EXPECT_GE(c.cwnd_segments(), Cubic::kMinCwnd);
+}
+
+TEST(Cubic, ConcaveRecoveryTowardWmax) {
+  Cubic c;
+  for (int i = 0; i < 12; ++i) c.on_ack(c.cwnd_segments(), 50.0, i * 50.0);
+  const double w_max = c.cwnd_segments();
+  c.on_loss(600.0);
+  // Drive ACKs for a while: window should approach w_max again but not
+  // wildly overshoot quickly.
+  Millis now = 600.0;
+  for (int i = 0; i < 200; ++i) {
+    now += 50.0;
+    c.on_ack(c.cwnd_segments(), 50.0, now);
+  }
+  EXPECT_GT(c.cwnd_segments(), 0.9 * w_max);
+}
+
+TEST(Cubic, GrowthIsSlowerRightAfterLoss) {
+  Cubic c;
+  for (int i = 0; i < 12; ++i) c.on_ack(c.cwnd_segments(), 50.0, i * 50.0);
+  c.on_loss(600.0);
+  const double just_after = c.cwnd_segments();
+  c.on_ack(just_after, 50.0, 650.0);
+  const double growth_early = c.cwnd_segments() - just_after;
+  // Growth in one RTT right after loss is small relative to the window.
+  EXPECT_LT(growth_early, 0.35 * just_after);
+}
+
+TEST(TcpFlow, SaturatesStableLink) {
+  TcpBulkFlow flow{50.0, Rng{41}};
+  // Warm up past slow start.
+  for (int i = 0; i < 20; ++i) flow.advance(100.0, 500.0);
+  double delivered = 0.0;
+  constexpr int n = 40;
+  for (int i = 0; i < n; ++i) delivered += flow.advance(100.0, 500.0);
+  const Mbps rate = delivered * 8.0 / 1e6 / (n * 0.5);
+  EXPECT_GT(rate, 85.0);
+  EXPECT_LE(rate, 100.5);
+}
+
+TEST(TcpFlow, SlowStartRampVisibleInFirstSamples) {
+  TcpBulkFlow flow{60.0, Rng{42}};
+  const double first = flow.advance(500.0, 500.0);
+  double later = 0.0;
+  for (int i = 0; i < 20; ++i) later = flow.advance(500.0, 500.0);
+  EXPECT_LT(first, later);
+}
+
+TEST(TcpFlow, TracksCapacityDrops) {
+  TcpBulkFlow flow{50.0, Rng{43}};
+  for (int i = 0; i < 20; ++i) flow.advance(200.0, 500.0);
+  // Capacity collapses to 2 Mbps (outage).
+  double low = 0.0;
+  for (int i = 0; i < 20; ++i) low += flow.advance(2.0, 500.0);
+  const Mbps low_rate = low * 8.0 / 1e6 / 10.0;
+  EXPECT_LT(low_rate, 4.0);
+  // And recovers.
+  double high = 0.0;
+  for (int i = 0; i < 40; ++i) high += flow.advance(200.0, 500.0);
+  const Mbps high_rate = high * 8.0 / 1e6 / 20.0;
+  EXPECT_GT(high_rate, 100.0);
+}
+
+TEST(TcpFlow, BufferbloatInflatesQueueDelay) {
+  TcpBulkFlow flow{50.0, Rng{44}};
+  for (int i = 0; i < 30; ++i) flow.advance(50.0, 500.0);
+  // Squeeze the link: the standing queue drains slowly → queueing delay.
+  for (int i = 0; i < 4; ++i) flow.advance(1.0, 500.0);
+  EXPECT_GT(flow.queue_delay(), 100.0);
+  EXPECT_GT(flow.srtt(), flow.queue_delay());
+}
+
+TEST(TcpFlow, ZeroCapacityStallsWithoutNan) {
+  TcpBulkFlow flow{50.0, Rng{45}};
+  for (int i = 0; i < 10; ++i) flow.advance(100.0, 500.0);
+  for (int i = 0; i < 10; ++i) {
+    const double d = flow.advance(0.0, 500.0);
+    EXPECT_DOUBLE_EQ(d, 0.0);
+  }
+  EXPECT_TRUE(std::isfinite(flow.queue_delay()));
+  // Recovery still works.
+  double rec = 0.0;
+  for (int i = 0; i < 30; ++i) rec += flow.advance(100.0, 500.0);
+  EXPECT_GT(rec, 0.0);
+}
+
+TEST(TcpFlow, DeliveredAccountingConsistent) {
+  TcpBulkFlow flow{40.0, Rng{46}};
+  double sum = 0.0;
+  for (int i = 0; i < 25; ++i) sum += flow.advance(80.0, 500.0);
+  EXPECT_NEAR(sum, flow.total_delivered_bytes(), 1e-6);
+}
+
+TEST(TcpFlow, Deterministic) {
+  TcpBulkFlow a{40.0, Rng{47}};
+  TcpBulkFlow b{40.0, Rng{47}};
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(a.advance(120.0, 500.0), b.advance(120.0, 500.0));
+  }
+}
+
+TEST(TcpFlow, HigherRttSlowsRamp) {
+  TcpBulkFlow fast{20.0, Rng{48}};
+  TcpBulkFlow slow{200.0, Rng{48}};
+  // Compare the slow-start phase only: within ~1.5 s the short-RTT flow has
+  // finished ramping while the long-RTT flow is still doubling.
+  double fast_sum = 0.0, slow_sum = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    fast_sum += fast.advance(300.0, 500.0);
+    slow_sum += slow.advance(300.0, 500.0);
+  }
+  EXPECT_GT(fast_sum, 1.5 * slow_sum);
+}
+
+class TcpFlowSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpFlowSweep, UtilizationReasonableAcrossCapacities) {
+  const Mbps cap = GetParam();
+  TcpBulkFlow flow{60.0, Rng{49}};
+  for (int i = 0; i < 30; ++i) flow.advance(cap, 500.0);
+  double sum = 0.0;
+  constexpr int n = 60;
+  for (int i = 0; i < n; ++i) sum += flow.advance(cap, 500.0);
+  const Mbps rate = sum * 8.0 / 1e6 / (n * 0.5);
+  EXPECT_GT(rate, 0.6 * cap);
+  EXPECT_LE(rate, 1.02 * cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, TcpFlowSweep,
+                         ::testing::Values(1.0, 5.0, 20.0, 100.0, 400.0,
+                                           1500.0));
+
+}  // namespace
+}  // namespace wheels::transport

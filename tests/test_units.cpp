@@ -1,0 +1,71 @@
+#include "core/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/math_util.hpp"
+
+namespace wheels {
+namespace {
+
+TEST(Units, MphKmhRoundTrip) {
+  EXPECT_NEAR(mph_from_kmh(kmh_from_mph(60.0)), 60.0, 1e-9);
+  EXPECT_NEAR(kmh_from_mph(60.0), 96.56, 0.01);
+}
+
+TEST(Units, KmPerMsAtHighwaySpeed) {
+  // 60 mph ≈ 96.56 km/h ≈ 0.0268 m/ms → over 500 ms ≈ 13.4 m.
+  EXPECT_NEAR(km_per_ms_from_mph(60.0) * 500.0, 0.01341, 0.0001);
+}
+
+TEST(Units, MegabytesTransferred) {
+  // 80 Mbps for 1 s = 10 MB.
+  EXPECT_NEAR(megabytes_transferred(80.0, 1000.0), 10.0, 1e-9);
+}
+
+TEST(Units, TransferTime) {
+  // 1 MB at 8 Mbps = 1 s.
+  EXPECT_NEAR(transfer_time_ms(1e6, 8.0), 1000.0, 1e-6);
+}
+
+TEST(Units, TransferTimeZeroRateIsFiniteAndHuge) {
+  const Millis t = transfer_time_ms(1e6, 0.0);
+  EXPECT_GT(t, 1e9);
+  EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(MathUtil, DbRoundTrip) {
+  EXPECT_NEAR(linear_to_db(db_to_linear(13.0)), 13.0, 1e-9);
+  EXPECT_NEAR(db_to_linear(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(10.0), 10.0, 1e-9);
+}
+
+TEST(MathUtil, LerpAndInverse) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 6.0, 0.25), 3.0);
+  EXPECT_DOUBLE_EQ(inverse_lerp(2.0, 6.0, 3.0), 0.25);
+}
+
+TEST(MathUtil, Clamp01) {
+  EXPECT_DOUBLE_EQ(clamp01(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(clamp01(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(clamp01(1.5), 1.0);
+}
+
+TEST(MathUtil, LogisticShape) {
+  EXPECT_NEAR(logistic(0.0, 0.0, 1.0), 0.5, 1e-12);
+  EXPECT_GT(logistic(10.0, 0.0, 1.0), 0.99);
+  EXPECT_LT(logistic(-10.0, 0.0, 1.0), 0.01);
+}
+
+TEST(MathUtil, ShannonEfficiencyMonotoneAndCapped) {
+  double prev = -1.0;
+  for (double snr = -10.0; snr <= 40.0; snr += 1.0) {
+    const double eff = shannon_efficiency(snr);
+    EXPECT_GE(eff, prev);
+    prev = eff;
+  }
+  EXPECT_DOUBLE_EQ(shannon_efficiency(100.0), 7.4);
+  EXPECT_GE(shannon_efficiency(-100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace wheels
