@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_abr"
+  "../bench/ablation_abr.pdb"
+  "CMakeFiles/ablation_abr.dir/ablation_abr.cpp.o"
+  "CMakeFiles/ablation_abr.dir/ablation_abr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

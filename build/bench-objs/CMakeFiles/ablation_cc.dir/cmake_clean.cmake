@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cc"
+  "../bench/ablation_cc.pdb"
+  "CMakeFiles/ablation_cc.dir/ablation_cc.cpp.o"
+  "CMakeFiles/ablation_cc.dir/ablation_cc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

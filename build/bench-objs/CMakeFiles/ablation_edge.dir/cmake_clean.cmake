@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_edge"
+  "../bench/ablation_edge.pdb"
+  "CMakeFiles/ablation_edge.dir/ablation_edge.cpp.o"
+  "CMakeFiles/ablation_edge.dir/ablation_edge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multipath"
+  "../bench/ablation_multipath.pdb"
+  "CMakeFiles/ablation_multipath.dir/ablation_multipath.cpp.o"
+  "CMakeFiles/ablation_multipath.dir/ablation_multipath.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_future_deployment"
+  "../bench/ext_future_deployment.pdb"
+  "CMakeFiles/ext_future_deployment.dir/ext_future_deployment.cpp.o"
+  "CMakeFiles/ext_future_deployment.dir/ext_future_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_future_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_multivariate.cpp" "bench-objs/CMakeFiles/ext_multivariate.dir/ext_multivariate.cpp.o" "gcc" "bench-objs/CMakeFiles/ext_multivariate.dir/ext_multivariate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wheels_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wheels_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wheels_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/wheels_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wheels_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wheels_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/wheels_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/wheels_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/campaign/CMakeFiles/wheels_campaign.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/wheels_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

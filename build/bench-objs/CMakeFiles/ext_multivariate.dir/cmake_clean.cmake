@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multivariate"
+  "../bench/ext_multivariate.pdb"
+  "CMakeFiles/ext_multivariate.dir/ext_multivariate.cpp.o"
+  "CMakeFiles/ext_multivariate.dir/ext_multivariate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multivariate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_coverage_views"
+  "../bench/fig01_coverage_views.pdb"
+  "CMakeFiles/fig01_coverage_views.dir/fig01_coverage_views.cpp.o"
+  "CMakeFiles/fig01_coverage_views.dir/fig01_coverage_views.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_coverage_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

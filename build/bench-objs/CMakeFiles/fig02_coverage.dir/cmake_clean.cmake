@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_coverage"
+  "../bench/fig02_coverage.pdb"
+  "CMakeFiles/fig02_coverage.dir/fig02_coverage.cpp.o"
+  "CMakeFiles/fig02_coverage.dir/fig02_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_static_vs_driving"
+  "../bench/fig03_static_vs_driving.pdb"
+  "CMakeFiles/fig03_static_vs_driving.dir/fig03_static_vs_driving.cpp.o"
+  "CMakeFiles/fig03_static_vs_driving.dir/fig03_static_vs_driving.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_static_vs_driving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

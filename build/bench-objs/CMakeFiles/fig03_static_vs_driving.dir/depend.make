@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_static_vs_driving.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_tech_performance"
+  "../bench/fig04_tech_performance.pdb"
+  "CMakeFiles/fig04_tech_performance.dir/fig04_tech_performance.cpp.o"
+  "CMakeFiles/fig04_tech_performance.dir/fig04_tech_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_tech_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

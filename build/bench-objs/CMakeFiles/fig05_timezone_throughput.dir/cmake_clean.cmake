@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_timezone_throughput"
+  "../bench/fig05_timezone_throughput.pdb"
+  "CMakeFiles/fig05_timezone_throughput.dir/fig05_timezone_throughput.cpp.o"
+  "CMakeFiles/fig05_timezone_throughput.dir/fig05_timezone_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_timezone_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_operator_diversity"
+  "../bench/fig06_operator_diversity.pdb"
+  "CMakeFiles/fig06_operator_diversity.dir/fig06_operator_diversity.cpp.o"
+  "CMakeFiles/fig06_operator_diversity.dir/fig06_operator_diversity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_operator_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

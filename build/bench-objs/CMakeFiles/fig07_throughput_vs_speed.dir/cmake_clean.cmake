@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_throughput_vs_speed"
+  "../bench/fig07_throughput_vs_speed.pdb"
+  "CMakeFiles/fig07_throughput_vs_speed.dir/fig07_throughput_vs_speed.cpp.o"
+  "CMakeFiles/fig07_throughput_vs_speed.dir/fig07_throughput_vs_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_throughput_vs_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

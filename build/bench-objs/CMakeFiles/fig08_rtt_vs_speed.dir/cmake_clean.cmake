@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_rtt_vs_speed"
+  "../bench/fig08_rtt_vs_speed.pdb"
+  "CMakeFiles/fig08_rtt_vs_speed.dir/fig08_rtt_vs_speed.cpp.o"
+  "CMakeFiles/fig08_rtt_vs_speed.dir/fig08_rtt_vs_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_rtt_vs_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

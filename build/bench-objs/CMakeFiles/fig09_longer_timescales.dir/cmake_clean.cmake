@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_longer_timescales"
+  "../bench/fig09_longer_timescales.pdb"
+  "CMakeFiles/fig09_longer_timescales.dir/fig09_longer_timescales.cpp.o"
+  "CMakeFiles/fig09_longer_timescales.dir/fig09_longer_timescales.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_longer_timescales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

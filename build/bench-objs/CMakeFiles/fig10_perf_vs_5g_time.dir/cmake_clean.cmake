@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_perf_vs_5g_time"
+  "../bench/fig10_perf_vs_5g_time.pdb"
+  "CMakeFiles/fig10_perf_vs_5g_time.dir/fig10_perf_vs_5g_time.cpp.o"
+  "CMakeFiles/fig10_perf_vs_5g_time.dir/fig10_perf_vs_5g_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_perf_vs_5g_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

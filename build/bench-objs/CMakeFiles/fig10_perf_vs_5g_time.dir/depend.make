@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_perf_vs_5g_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_handover_stats"
+  "../bench/fig11_handover_stats.pdb"
+  "CMakeFiles/fig11_handover_stats.dir/fig11_handover_stats.cpp.o"
+  "CMakeFiles/fig11_handover_stats.dir/fig11_handover_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_handover_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

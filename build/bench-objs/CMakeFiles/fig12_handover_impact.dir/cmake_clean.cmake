@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_handover_impact"
+  "../bench/fig12_handover_impact.pdb"
+  "CMakeFiles/fig12_handover_impact.dir/fig12_handover_impact.cpp.o"
+  "CMakeFiles/fig12_handover_impact.dir/fig12_handover_impact.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_handover_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_ar_app"
+  "../bench/fig13_ar_app.pdb"
+  "CMakeFiles/fig13_ar_app.dir/fig13_ar_app.cpp.o"
+  "CMakeFiles/fig13_ar_app.dir/fig13_ar_app.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ar_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_cav_app"
+  "../bench/fig14_cav_app.pdb"
+  "CMakeFiles/fig14_cav_app.dir/fig14_cav_app.cpp.o"
+  "CMakeFiles/fig14_cav_app.dir/fig14_cav_app.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cav_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_video_streaming"
+  "../bench/fig15_video_streaming.pdb"
+  "CMakeFiles/fig15_video_streaming.dir/fig15_video_streaming.cpp.o"
+  "CMakeFiles/fig15_video_streaming.dir/fig15_video_streaming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_video_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_cloud_gaming"
+  "../bench/fig16_cloud_gaming.pdb"
+  "CMakeFiles/fig16_cloud_gaming.dir/fig16_cloud_gaming.cpp.o"
+  "CMakeFiles/fig16_cloud_gaming.dir/fig16_cloud_gaming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cloud_gaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

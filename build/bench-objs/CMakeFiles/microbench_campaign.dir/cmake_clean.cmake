@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microbench_campaign"
+  "../bench/microbench_campaign.pdb"
+  "CMakeFiles/microbench_campaign.dir/microbench_campaign.cpp.o"
+  "CMakeFiles/microbench_campaign.dir/microbench_campaign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

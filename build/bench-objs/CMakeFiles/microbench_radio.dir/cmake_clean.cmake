@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microbench_radio"
+  "../bench/microbench_radio.pdb"
+  "CMakeFiles/microbench_radio.dir/microbench_radio.cpp.o"
+  "CMakeFiles/microbench_radio.dir/microbench_radio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microbench_transport"
+  "../bench/microbench_transport.pdb"
+  "CMakeFiles/microbench_transport.dir/microbench_transport.cpp.o"
+  "CMakeFiles/microbench_transport.dir/microbench_transport.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_dataset_stats"
+  "../bench/tab01_dataset_stats.pdb"
+  "CMakeFiles/tab01_dataset_stats.dir/tab01_dataset_stats.cpp.o"
+  "CMakeFiles/tab01_dataset_stats.dir/tab01_dataset_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_dataset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_correlations"
+  "../bench/tab02_correlations.pdb"
+  "CMakeFiles/tab02_correlations.dir/tab02_correlations.cpp.o"
+  "CMakeFiles/tab02_correlations.dir/tab02_correlations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

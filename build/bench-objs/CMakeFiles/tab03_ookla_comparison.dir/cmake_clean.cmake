@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab03_ookla_comparison"
+  "../bench/tab03_ookla_comparison.pdb"
+  "CMakeFiles/tab03_ookla_comparison.dir/tab03_ookla_comparison.cpp.o"
+  "CMakeFiles/tab03_ookla_comparison.dir/tab03_ookla_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_ookla_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

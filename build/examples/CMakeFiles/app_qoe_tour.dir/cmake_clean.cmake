@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_qoe_tour.dir/app_qoe_tour.cpp.o"
+  "CMakeFiles/app_qoe_tour.dir/app_qoe_tour.cpp.o.d"
+  "app_qoe_tour"
+  "app_qoe_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_qoe_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_atlas.dir/coverage_atlas.cpp.o"
+  "CMakeFiles/coverage_atlas.dir/coverage_atlas.cpp.o.d"
+  "coverage_atlas"
+  "coverage_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_vs_cloud.dir/edge_vs_cloud.cpp.o"
+  "CMakeFiles/edge_vs_cloud.dir/edge_vs_cloud.cpp.o.d"
+  "edge_vs_cloud"
+  "edge_vs_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_vs_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bootstrap.cpp" "src/analysis/CMakeFiles/wheels_analysis.dir/bootstrap.cpp.o" "gcc" "src/analysis/CMakeFiles/wheels_analysis.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/analysis/correlations.cpp" "src/analysis/CMakeFiles/wheels_analysis.dir/correlations.cpp.o" "gcc" "src/analysis/CMakeFiles/wheels_analysis.dir/correlations.cpp.o.d"
+  "/root/repo/src/analysis/coverage.cpp" "src/analysis/CMakeFiles/wheels_analysis.dir/coverage.cpp.o" "gcc" "src/analysis/CMakeFiles/wheels_analysis.dir/coverage.cpp.o.d"
+  "/root/repo/src/analysis/handover_impact.cpp" "src/analysis/CMakeFiles/wheels_analysis.dir/handover_impact.cpp.o" "gcc" "src/analysis/CMakeFiles/wheels_analysis.dir/handover_impact.cpp.o.d"
+  "/root/repo/src/analysis/pairing.cpp" "src/analysis/CMakeFiles/wheels_analysis.dir/pairing.cpp.o" "gcc" "src/analysis/CMakeFiles/wheels_analysis.dir/pairing.cpp.o.d"
+  "/root/repo/src/analysis/queries.cpp" "src/analysis/CMakeFiles/wheels_analysis.dir/queries.cpp.o" "gcc" "src/analysis/CMakeFiles/wheels_analysis.dir/queries.cpp.o.d"
+  "/root/repo/src/analysis/regression.cpp" "src/analysis/CMakeFiles/wheels_analysis.dir/regression.cpp.o" "gcc" "src/analysis/CMakeFiles/wheels_analysis.dir/regression.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/wheels_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/wheels_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/segments.cpp" "src/analysis/CMakeFiles/wheels_analysis.dir/segments.cpp.o" "gcc" "src/analysis/CMakeFiles/wheels_analysis.dir/segments.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/wheels_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/wheels_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/svg_plot.cpp" "src/analysis/CMakeFiles/wheels_analysis.dir/svg_plot.cpp.o" "gcc" "src/analysis/CMakeFiles/wheels_analysis.dir/svg_plot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wheels_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wheels_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wheels_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/wheels_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wheels_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/wheels_measure.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wheels_analysis.dir/bootstrap.cpp.o"
+  "CMakeFiles/wheels_analysis.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/wheels_analysis.dir/correlations.cpp.o"
+  "CMakeFiles/wheels_analysis.dir/correlations.cpp.o.d"
+  "CMakeFiles/wheels_analysis.dir/coverage.cpp.o"
+  "CMakeFiles/wheels_analysis.dir/coverage.cpp.o.d"
+  "CMakeFiles/wheels_analysis.dir/handover_impact.cpp.o"
+  "CMakeFiles/wheels_analysis.dir/handover_impact.cpp.o.d"
+  "CMakeFiles/wheels_analysis.dir/pairing.cpp.o"
+  "CMakeFiles/wheels_analysis.dir/pairing.cpp.o.d"
+  "CMakeFiles/wheels_analysis.dir/queries.cpp.o"
+  "CMakeFiles/wheels_analysis.dir/queries.cpp.o.d"
+  "CMakeFiles/wheels_analysis.dir/regression.cpp.o"
+  "CMakeFiles/wheels_analysis.dir/regression.cpp.o.d"
+  "CMakeFiles/wheels_analysis.dir/report.cpp.o"
+  "CMakeFiles/wheels_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/wheels_analysis.dir/segments.cpp.o"
+  "CMakeFiles/wheels_analysis.dir/segments.cpp.o.d"
+  "CMakeFiles/wheels_analysis.dir/stats.cpp.o"
+  "CMakeFiles/wheels_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/wheels_analysis.dir/svg_plot.cpp.o"
+  "CMakeFiles/wheels_analysis.dir/svg_plot.cpp.o.d"
+  "libwheels_analysis.a"
+  "libwheels_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wheels_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

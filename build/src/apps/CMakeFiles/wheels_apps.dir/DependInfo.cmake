@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/gaming.cpp" "src/apps/CMakeFiles/wheels_apps.dir/gaming.cpp.o" "gcc" "src/apps/CMakeFiles/wheels_apps.dir/gaming.cpp.o.d"
+  "/root/repo/src/apps/link_trace.cpp" "src/apps/CMakeFiles/wheels_apps.dir/link_trace.cpp.o" "gcc" "src/apps/CMakeFiles/wheels_apps.dir/link_trace.cpp.o.d"
+  "/root/repo/src/apps/offload.cpp" "src/apps/CMakeFiles/wheels_apps.dir/offload.cpp.o" "gcc" "src/apps/CMakeFiles/wheels_apps.dir/offload.cpp.o.d"
+  "/root/repo/src/apps/video.cpp" "src/apps/CMakeFiles/wheels_apps.dir/video.cpp.o" "gcc" "src/apps/CMakeFiles/wheels_apps.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wheels_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wheels_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wheels_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

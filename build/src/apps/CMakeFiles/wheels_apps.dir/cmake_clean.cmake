@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wheels_apps.dir/gaming.cpp.o"
+  "CMakeFiles/wheels_apps.dir/gaming.cpp.o.d"
+  "CMakeFiles/wheels_apps.dir/link_trace.cpp.o"
+  "CMakeFiles/wheels_apps.dir/link_trace.cpp.o.d"
+  "CMakeFiles/wheels_apps.dir/offload.cpp.o"
+  "CMakeFiles/wheels_apps.dir/offload.cpp.o.d"
+  "CMakeFiles/wheels_apps.dir/video.cpp.o"
+  "CMakeFiles/wheels_apps.dir/video.cpp.o.d"
+  "libwheels_apps.a"
+  "libwheels_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wheels_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

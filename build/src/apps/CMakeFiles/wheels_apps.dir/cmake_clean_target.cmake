@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwheels_apps.a"
+)

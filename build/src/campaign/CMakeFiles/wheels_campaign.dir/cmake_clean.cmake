@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wheels_campaign.dir/campaign.cpp.o"
+  "CMakeFiles/wheels_campaign.dir/campaign.cpp.o.d"
+  "libwheels_campaign.a"
+  "libwheels_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wheels_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

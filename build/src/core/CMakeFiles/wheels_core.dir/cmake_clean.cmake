@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wheels_core.dir/rng.cpp.o"
+  "CMakeFiles/wheels_core.dir/rng.cpp.o.d"
+  "CMakeFiles/wheels_core.dir/sim_time.cpp.o"
+  "CMakeFiles/wheels_core.dir/sim_time.cpp.o.d"
+  "libwheels_core.a"
+  "libwheels_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wheels_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/drive_trace.cpp" "src/geo/CMakeFiles/wheels_geo.dir/drive_trace.cpp.o" "gcc" "src/geo/CMakeFiles/wheels_geo.dir/drive_trace.cpp.o.d"
+  "/root/repo/src/geo/latlon.cpp" "src/geo/CMakeFiles/wheels_geo.dir/latlon.cpp.o" "gcc" "src/geo/CMakeFiles/wheels_geo.dir/latlon.cpp.o.d"
+  "/root/repo/src/geo/route.cpp" "src/geo/CMakeFiles/wheels_geo.dir/route.cpp.o" "gcc" "src/geo/CMakeFiles/wheels_geo.dir/route.cpp.o.d"
+  "/root/repo/src/geo/speed_profile.cpp" "src/geo/CMakeFiles/wheels_geo.dir/speed_profile.cpp.o" "gcc" "src/geo/CMakeFiles/wheels_geo.dir/speed_profile.cpp.o.d"
+  "/root/repo/src/geo/timezone.cpp" "src/geo/CMakeFiles/wheels_geo.dir/timezone.cpp.o" "gcc" "src/geo/CMakeFiles/wheels_geo.dir/timezone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wheels_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

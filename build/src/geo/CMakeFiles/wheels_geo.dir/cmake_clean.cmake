@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wheels_geo.dir/drive_trace.cpp.o"
+  "CMakeFiles/wheels_geo.dir/drive_trace.cpp.o.d"
+  "CMakeFiles/wheels_geo.dir/latlon.cpp.o"
+  "CMakeFiles/wheels_geo.dir/latlon.cpp.o.d"
+  "CMakeFiles/wheels_geo.dir/route.cpp.o"
+  "CMakeFiles/wheels_geo.dir/route.cpp.o.d"
+  "CMakeFiles/wheels_geo.dir/speed_profile.cpp.o"
+  "CMakeFiles/wheels_geo.dir/speed_profile.cpp.o.d"
+  "CMakeFiles/wheels_geo.dir/timezone.cpp.o"
+  "CMakeFiles/wheels_geo.dir/timezone.cpp.o.d"
+  "libwheels_geo.a"
+  "libwheels_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wheels_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/csv_export.cpp" "src/measure/CMakeFiles/wheels_measure.dir/csv_export.cpp.o" "gcc" "src/measure/CMakeFiles/wheels_measure.dir/csv_export.cpp.o.d"
+  "/root/repo/src/measure/log_sync.cpp" "src/measure/CMakeFiles/wheels_measure.dir/log_sync.cpp.o" "gcc" "src/measure/CMakeFiles/wheels_measure.dir/log_sync.cpp.o.d"
+  "/root/repo/src/measure/logfile.cpp" "src/measure/CMakeFiles/wheels_measure.dir/logfile.cpp.o" "gcc" "src/measure/CMakeFiles/wheels_measure.dir/logfile.cpp.o.d"
+  "/root/repo/src/measure/passive_logger.cpp" "src/measure/CMakeFiles/wheels_measure.dir/passive_logger.cpp.o" "gcc" "src/measure/CMakeFiles/wheels_measure.dir/passive_logger.cpp.o.d"
+  "/root/repo/src/measure/records.cpp" "src/measure/CMakeFiles/wheels_measure.dir/records.cpp.o" "gcc" "src/measure/CMakeFiles/wheels_measure.dir/records.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wheels_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wheels_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wheels_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/wheels_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wheels_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

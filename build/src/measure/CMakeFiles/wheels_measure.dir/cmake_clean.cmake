@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wheels_measure.dir/csv_export.cpp.o"
+  "CMakeFiles/wheels_measure.dir/csv_export.cpp.o.d"
+  "CMakeFiles/wheels_measure.dir/log_sync.cpp.o"
+  "CMakeFiles/wheels_measure.dir/log_sync.cpp.o.d"
+  "CMakeFiles/wheels_measure.dir/logfile.cpp.o"
+  "CMakeFiles/wheels_measure.dir/logfile.cpp.o.d"
+  "CMakeFiles/wheels_measure.dir/passive_logger.cpp.o"
+  "CMakeFiles/wheels_measure.dir/passive_logger.cpp.o.d"
+  "CMakeFiles/wheels_measure.dir/records.cpp.o"
+  "CMakeFiles/wheels_measure.dir/records.cpp.o.d"
+  "libwheels_measure.a"
+  "libwheels_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wheels_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

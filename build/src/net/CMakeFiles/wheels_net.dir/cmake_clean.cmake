@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wheels_net.dir/latency.cpp.o"
+  "CMakeFiles/wheels_net.dir/latency.cpp.o.d"
+  "CMakeFiles/wheels_net.dir/server.cpp.o"
+  "CMakeFiles/wheels_net.dir/server.cpp.o.d"
+  "libwheels_net.a"
+  "libwheels_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wheels_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/band_plan.cpp" "src/radio/CMakeFiles/wheels_radio.dir/band_plan.cpp.o" "gcc" "src/radio/CMakeFiles/wheels_radio.dir/band_plan.cpp.o.d"
+  "/root/repo/src/radio/channel.cpp" "src/radio/CMakeFiles/wheels_radio.dir/channel.cpp.o" "gcc" "src/radio/CMakeFiles/wheels_radio.dir/channel.cpp.o.d"
+  "/root/repo/src/radio/deployment.cpp" "src/radio/CMakeFiles/wheels_radio.dir/deployment.cpp.o" "gcc" "src/radio/CMakeFiles/wheels_radio.dir/deployment.cpp.o.d"
+  "/root/repo/src/radio/technology.cpp" "src/radio/CMakeFiles/wheels_radio.dir/technology.cpp.o" "gcc" "src/radio/CMakeFiles/wheels_radio.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wheels_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wheels_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wheels_radio.dir/band_plan.cpp.o"
+  "CMakeFiles/wheels_radio.dir/band_plan.cpp.o.d"
+  "CMakeFiles/wheels_radio.dir/channel.cpp.o"
+  "CMakeFiles/wheels_radio.dir/channel.cpp.o.d"
+  "CMakeFiles/wheels_radio.dir/deployment.cpp.o"
+  "CMakeFiles/wheels_radio.dir/deployment.cpp.o.d"
+  "CMakeFiles/wheels_radio.dir/technology.cpp.o"
+  "CMakeFiles/wheels_radio.dir/technology.cpp.o.d"
+  "libwheels_radio.a"
+  "libwheels_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wheels_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ran/handover.cpp" "src/ran/CMakeFiles/wheels_ran.dir/handover.cpp.o" "gcc" "src/ran/CMakeFiles/wheels_ran.dir/handover.cpp.o.d"
+  "/root/repo/src/ran/rrc.cpp" "src/ran/CMakeFiles/wheels_ran.dir/rrc.cpp.o" "gcc" "src/ran/CMakeFiles/wheels_ran.dir/rrc.cpp.o.d"
+  "/root/repo/src/ran/service_policy.cpp" "src/ran/CMakeFiles/wheels_ran.dir/service_policy.cpp.o" "gcc" "src/ran/CMakeFiles/wheels_ran.dir/service_policy.cpp.o.d"
+  "/root/repo/src/ran/session.cpp" "src/ran/CMakeFiles/wheels_ran.dir/session.cpp.o" "gcc" "src/ran/CMakeFiles/wheels_ran.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wheels_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wheels_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wheels_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

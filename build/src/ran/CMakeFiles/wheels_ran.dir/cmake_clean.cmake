@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wheels_ran.dir/handover.cpp.o"
+  "CMakeFiles/wheels_ran.dir/handover.cpp.o.d"
+  "CMakeFiles/wheels_ran.dir/rrc.cpp.o"
+  "CMakeFiles/wheels_ran.dir/rrc.cpp.o.d"
+  "CMakeFiles/wheels_ran.dir/service_policy.cpp.o"
+  "CMakeFiles/wheels_ran.dir/service_policy.cpp.o.d"
+  "CMakeFiles/wheels_ran.dir/session.cpp.o"
+  "CMakeFiles/wheels_ran.dir/session.cpp.o.d"
+  "libwheels_ran.a"
+  "libwheels_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wheels_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/cubic.cpp" "src/transport/CMakeFiles/wheels_transport.dir/cubic.cpp.o" "gcc" "src/transport/CMakeFiles/wheels_transport.dir/cubic.cpp.o.d"
+  "/root/repo/src/transport/multipath.cpp" "src/transport/CMakeFiles/wheels_transport.dir/multipath.cpp.o" "gcc" "src/transport/CMakeFiles/wheels_transport.dir/multipath.cpp.o.d"
+  "/root/repo/src/transport/packet_tcp.cpp" "src/transport/CMakeFiles/wheels_transport.dir/packet_tcp.cpp.o" "gcc" "src/transport/CMakeFiles/wheels_transport.dir/packet_tcp.cpp.o.d"
+  "/root/repo/src/transport/tcp_flow.cpp" "src/transport/CMakeFiles/wheels_transport.dir/tcp_flow.cpp.o" "gcc" "src/transport/CMakeFiles/wheels_transport.dir/tcp_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wheels_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wheels_transport.dir/cubic.cpp.o"
+  "CMakeFiles/wheels_transport.dir/cubic.cpp.o.d"
+  "CMakeFiles/wheels_transport.dir/multipath.cpp.o"
+  "CMakeFiles/wheels_transport.dir/multipath.cpp.o.d"
+  "CMakeFiles/wheels_transport.dir/packet_tcp.cpp.o"
+  "CMakeFiles/wheels_transport.dir/packet_tcp.cpp.o.d"
+  "CMakeFiles/wheels_transport.dir/tcp_flow.cpp.o"
+  "CMakeFiles/wheels_transport.dir/tcp_flow.cpp.o.d"
+  "libwheels_transport.a"
+  "libwheels_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wheels_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

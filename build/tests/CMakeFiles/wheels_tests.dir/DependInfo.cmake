@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/wheels_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/wheels_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_bbr_bootstrap.cpp" "tests/CMakeFiles/wheels_tests.dir/test_bbr_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_bbr_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_campaign.cpp" "tests/CMakeFiles/wheels_tests.dir/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_campaign.cpp.o.d"
+  "/root/repo/tests/test_campaign_fullscale.cpp" "tests/CMakeFiles/wheels_tests.dir/test_campaign_fullscale.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_campaign_fullscale.cpp.o.d"
+  "/root/repo/tests/test_csv_export.cpp" "tests/CMakeFiles/wheels_tests.dir/test_csv_export.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_csv_export.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/wheels_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_geo_route.cpp" "tests/CMakeFiles/wheels_tests.dir/test_geo_route.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_geo_route.cpp.o.d"
+  "/root/repo/tests/test_geo_trace.cpp" "tests/CMakeFiles/wheels_tests.dir/test_geo_trace.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_geo_trace.cpp.o.d"
+  "/root/repo/tests/test_measure.cpp" "tests/CMakeFiles/wheels_tests.dir/test_measure.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_measure.cpp.o.d"
+  "/root/repo/tests/test_multipath.cpp" "tests/CMakeFiles/wheels_tests.dir/test_multipath.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_multipath.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/wheels_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_packet_tcp.cpp" "tests/CMakeFiles/wheels_tests.dir/test_packet_tcp.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_packet_tcp.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/wheels_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_radio.cpp" "tests/CMakeFiles/wheels_tests.dir/test_radio.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_radio.cpp.o.d"
+  "/root/repo/tests/test_ran.cpp" "tests/CMakeFiles/wheels_tests.dir/test_ran.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_ran.cpp.o.d"
+  "/root/repo/tests/test_regression_segments.cpp" "tests/CMakeFiles/wheels_tests.dir/test_regression_segments.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_regression_segments.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/wheels_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rrc.cpp" "tests/CMakeFiles/wheels_tests.dir/test_rrc.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_rrc.cpp.o.d"
+  "/root/repo/tests/test_sim_time.cpp" "tests/CMakeFiles/wheels_tests.dir/test_sim_time.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_sim_time.cpp.o.d"
+  "/root/repo/tests/test_svg_plot.cpp" "tests/CMakeFiles/wheels_tests.dir/test_svg_plot.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_svg_plot.cpp.o.d"
+  "/root/repo/tests/test_transport.cpp" "tests/CMakeFiles/wheels_tests.dir/test_transport.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_transport.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/wheels_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/wheels_tests.dir/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wheels_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wheels_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wheels_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/wheels_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wheels_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wheels_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/wheels_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/wheels_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/campaign/CMakeFiles/wheels_campaign.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/wheels_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
