@@ -5,7 +5,11 @@
 // cellular buffers. A pacing sender that models the bottleneck keeps the
 // standing queue near one BDP: this quantifies how much of the latency tail
 // is congestion-control choice rather than radio.
+#include <array>
+#include <optional>
+
 #include "bench_common.hpp"
+#include "core/thread_pool.hpp"
 #include "transport/tcp_flow.hpp"
 
 using namespace wheels;
@@ -46,13 +50,32 @@ int main() {
          "Congestion control on a driving-like link: CUBIC (paper default) "
          "vs BBR-style pacing");
 
+  // The four (link, cc) arms are self-contained (each seeds its own Rng);
+  // fan them across cores into indexed slots, render the table serially.
+  constexpr double kDips[] = {0.0, 0.06};
+  constexpr transport::CcAlgo kAlgos[] = {transport::CcAlgo::Cubic,
+                                          transport::CcAlgo::Bbr};
+  std::array<std::optional<Outcome>, std::size(kDips) * std::size(kAlgos)>
+      results;
+  std::vector<core::ThreadPool::Task> tasks;
+  for (std::size_t di = 0; di < std::size(kDips); ++di) {
+    for (std::size_t ai = 0; ai < std::size(kAlgos); ++ai) {
+      tasks.push_back([&, di, ai] {
+        results[di * std::size(kAlgos) + ai] = run(kAlgos[ai], kDips[di]);
+      });
+    }
+  }
+  core::ThreadPool pool{core::resolve_threads(0) - 1};
+  pool.run_batch(std::move(tasks));
+
   Table t({"link", "cc", "goodput Mbps", "queue p50 ms", "queue p90 ms",
            "queue max ms"});
-  for (const double dip : {0.0, 0.06}) {
-    const std::string link = dip == 0.0 ? "stable 50 Mbps" : "dipping 50/2";
-    for (const auto algo : {transport::CcAlgo::Cubic, transport::CcAlgo::Bbr}) {
-      const Outcome o = run(algo, dip);
-      t.add_row({link, std::string(transport::cc_algo_name(algo)),
+  for (std::size_t di = 0; di < std::size(kDips); ++di) {
+    const std::string link =
+        kDips[di] == 0.0 ? "stable 50 Mbps" : "dipping 50/2";
+    for (std::size_t ai = 0; ai < std::size(kAlgos); ++ai) {
+      const Outcome& o = *results[di * std::size(kAlgos) + ai];
+      t.add_row({link, std::string(transport::cc_algo_name(kAlgos[ai])),
                  fmt(o.goodput_mbps, 1), fmt(o.queue_delay.quantile(0.5), 0),
                  fmt(o.queue_delay.quantile(0.9), 0),
                  fmt(o.queue_delay.max(), 0)});

@@ -5,8 +5,11 @@
 // Verizon had Wavelength edges in five cities. This ablation runs the AR app
 // over identical radio links but three server policies: cloud-only,
 // paper-like (edge in 5 cities, Verizon semantics) and edge-everywhere.
+#include <array>
+
 #include "apps/offload.hpp"
 #include "bench_common.hpp"
+#include "core/thread_pool.hpp"
 #include "geo/drive_trace.hpp"
 #include "geo/scaled_route.hpp"
 #include "net/latency.hpp"
@@ -29,74 +32,94 @@ int main() {
   const geo::Route route = geo::Route::cross_country();
   const geo::ScaledRoute view{route, cfg.scale};
   const net::ServerFleet fleet = net::ServerFleet::standard(route);
-  Rng root{cfg.seed + 3};
+  const Rng root{cfg.seed + 3};
 
-  radio::Deployment dep{view, radio::Carrier::Verizon, root.fork("deploy")};
   const apps::OffloadApp app{apps::ar_config()};
+
+  constexpr ServerPolicy kPolicies[] = {ServerPolicy::CloudOnly,
+                                        ServerPolicy::FiveCities,
+                                        ServerPolicy::Everywhere};
+  struct ArmResult {
+    std::vector<double> e2e, fps, map;
+  };
+  std::array<ArmResult, std::size(kPolicies)> results;
+
+  // The three policy arms replay identical radio randomness (every fork of
+  // the const root Rng is repeatable) against different server placements;
+  // they share nothing, so fan them across cores and print serially after.
+  std::vector<core::ThreadPool::Task> tasks;
+  for (std::size_t ai = 0; ai < std::size(kPolicies); ++ai) {
+    tasks.push_back([&, ai] {
+      const ServerPolicy policy = kPolicies[ai];
+      ArmResult& out = results[ai];
+      radio::Deployment dep{view, radio::Carrier::Verizon,
+                            root.fork("deploy")};
+      Rng rng = root.fork("run");
+      ran::RadioSession session{dep, ran::TrafficProfile::Interactive,
+                                rng.fork("session")};
+      net::RttProcess rtt{radio::Carrier::Verizon, rng.fork("rtt")};
+
+      geo::DriveTraceConfig tc;
+      tc.scale = cfg.scale;
+      geo::DriveTraceGenerator gen{route, tc, rng.fork("trace")};
+      apps::LinkTrace trace;
+      while (auto s = gen.next()) {
+        const geo::RoutePoint pt = view.at_physical(s->km);
+        const net::Server* edge = fleet.edge_near(route, route.at(pt.km));
+        const net::Server* server = nullptr;
+        switch (policy) {
+          case ServerPolicy::CloudOnly:
+            server = &fleet.cloud_for(s->tz);
+            break;
+          case ServerPolicy::FiveCities:
+            server = edge != nullptr ? edge : &fleet.cloud_for(s->tz);
+            break;
+          case ServerPolicy::Everywhere: {
+            // A hypothetical Wavelength zone in every metro: 2 ms wired RTT.
+            static const net::Server ubiquitous{
+                "edge-everywhere", net::ServerKind::Edge, {0, 0}, 0};
+            server = &ubiquitous;
+            break;
+          }
+        }
+        const ran::RadioTick tick = session.tick(*s, 500.0);
+        apps::LinkTick lt;
+        lt.cap_dl = tick.kpis.capacity_dl;
+        lt.cap_ul = tick.kpis.capacity_ul;
+        lt.rtt = rtt.sample(tick.tech, *server, s->pos, s->speed, 0.0, 0.0);
+        lt.interruption = tick.interruption;
+        lt.handovers = static_cast<int>(tick.handovers.size());
+        lt.tech = tick.tech;
+        trace.push_back(lt);
+
+        if (trace.size() == 40) {  // one 20 s AR run
+          const auto run = app.run(trace, /*compressed=*/true);
+          if (!run.frames.empty()) {
+            out.e2e.push_back(run.median_e2e);
+            out.fps.push_back(run.offload_fps);
+            out.map.push_back(run.map_percent);
+          }
+          trace.clear();
+        }
+      }
+    });
+  }
+  core::ThreadPool pool{core::resolve_threads(0) - 1};
+  pool.run_batch(std::move(tasks));
 
   Table t({"server policy", "runs", "E2E p50 ms", "E2E p90 ms", "FPS p50",
            "mAP p50"});
-  for (const ServerPolicy policy :
-       {ServerPolicy::CloudOnly, ServerPolicy::FiveCities,
-        ServerPolicy::Everywhere}) {
-    // Fresh identical randomness per policy: same radio, different servers.
-    Rng rng = root.fork("run");
-    ran::RadioSession session{dep, ran::TrafficProfile::Interactive,
-                              rng.fork("session")};
-    net::RttProcess rtt{radio::Carrier::Verizon, rng.fork("rtt")};
-
-    std::vector<double> e2e, fps, map;
-    geo::DriveTraceConfig tc;
-    tc.scale = cfg.scale;
-    geo::DriveTraceGenerator gen{route, tc, rng.fork("trace")};
-    apps::LinkTrace trace;
-    while (auto s = gen.next()) {
-      const geo::RoutePoint pt = view.at_physical(s->km);
-      const net::Server* edge = fleet.edge_near(route, route.at(pt.km));
-      const net::Server* server = nullptr;
-      switch (policy) {
-        case ServerPolicy::CloudOnly:
-          server = &fleet.cloud_for(s->tz);
-          break;
-        case ServerPolicy::FiveCities:
-          server = edge != nullptr ? edge : &fleet.cloud_for(s->tz);
-          break;
-        case ServerPolicy::Everywhere: {
-          // A hypothetical Wavelength zone in every metro: 2 ms wired RTT.
-          static const net::Server ubiquitous{
-              "edge-everywhere", net::ServerKind::Edge, {0, 0}, 0};
-          server = &ubiquitous;
-          break;
-        }
-      }
-      const ran::RadioTick tick = session.tick(*s, 500.0);
-      apps::LinkTick lt;
-      lt.cap_dl = tick.kpis.capacity_dl;
-      lt.cap_ul = tick.kpis.capacity_ul;
-      lt.rtt = rtt.sample(tick.tech, *server, s->pos, s->speed, 0.0, 0.0);
-      lt.interruption = tick.interruption;
-      lt.handovers = static_cast<int>(tick.handovers.size());
-      lt.tech = tick.tech;
-      trace.push_back(lt);
-
-      if (trace.size() == 40) {  // one 20 s AR run
-        const auto run = app.run(trace, /*compressed=*/true);
-        if (!run.frames.empty()) {
-          e2e.push_back(run.median_e2e);
-          fps.push_back(run.offload_fps);
-          map.push_back(run.map_percent);
-        }
-        trace.clear();
-      }
-    }
-    const Cdf ec{e2e};
-    const char* name = policy == ServerPolicy::CloudOnly ? "cloud only"
-                       : policy == ServerPolicy::FiveCities
+  for (std::size_t ai = 0; ai < std::size(kPolicies); ++ai) {
+    const ArmResult& arm = results[ai];
+    const Cdf ec{arm.e2e};
+    const char* name = kPolicies[ai] == ServerPolicy::CloudOnly
+                           ? "cloud only"
+                       : kPolicies[ai] == ServerPolicy::FiveCities
                            ? "edge in 5 cities (paper)"
                            : "edge everywhere";
     t.add_row({name, std::to_string(ec.size()), fmt(ec.quantile(0.5), 0),
-               fmt(ec.quantile(0.9), 0), fmt(median_of(fps), 1),
-               fmt(median_of(map), 1)});
+               fmt(ec.quantile(0.9), 0), fmt(median_of(arm.fps), 1),
+               fmt(median_of(arm.map), 1)});
   }
   t.print(std::cout);
 

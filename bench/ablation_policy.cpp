@@ -3,7 +3,10 @@
 // §4.1's lesson is that passive coverage logging under-reports 5G because
 // upgrade policies are traffic-aware. This ablation re-runs the passive
 // handover-logger with three hypothetical policies and quantifies the bias.
+#include <array>
+
 #include "bench_common.hpp"
+#include "core/thread_pool.hpp"
 #include "geo/drive_trace.hpp"
 #include "geo/scaled_route.hpp"
 #include "measure/passive_logger.hpp"
@@ -38,28 +41,52 @@ int main() {
   const auto cfg = campaign::config_from_env(0.25);
   const geo::Route route = geo::Route::cross_country();
   const geo::ScaledRoute view{route, cfg.scale};
-  Rng root{cfg.seed + 2};
+  const Rng root{cfg.seed + 2};
+
+  const struct {
+    ran::TrafficProfile profile;
+    const char* name;
+  } profiles[] = {
+      {ran::TrafficProfile::IdlePing, "idle ping (the paper's logger)"},
+      {ran::TrafficProfile::Interactive, "interactive app"},
+      {ran::TrafficProfile::BackloggedDownlink, "backlogged DL (truth)"},
+  };
+  constexpr std::size_t kProfiles = std::size(profiles);
+
+  // The 3 carriers x (truth + 3 policies) arms draw from independent forked
+  // streams, so fan them across cores into index-addressed slots and print
+  // serially afterwards. Each arm builds its own Deployment from the same
+  // fork (Rng::fork is const and repeatable), keeping arms share-nothing.
+  std::array<TechShares, radio::kCarrierCount*(kProfiles + 1)> results{};
+  std::vector<core::ThreadPool::Task> tasks;
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const std::size_t ci = measure::carrier_index(c);
+    tasks.push_back([&, c, ci] {
+      radio::Deployment dep{view, c, root.fork(radio::carrier_name(c))};
+      results[ci * (kProfiles + 1)] = passive_coverage(
+          dep, route, cfg.scale, ran::TrafficProfile::BackloggedDownlink,
+          root.fork("truth", static_cast<std::uint64_t>(c)));
+    });
+    for (std::size_t pi = 0; pi < kProfiles; ++pi) {
+      tasks.push_back([&, c, ci, pi] {
+        radio::Deployment dep{view, c, root.fork(radio::carrier_name(c))};
+        results[ci * (kProfiles + 1) + 1 + pi] = passive_coverage(
+            dep, route, cfg.scale, profiles[pi].profile,
+            root.fork(profiles[pi].name, static_cast<std::uint64_t>(c)));
+      });
+    }
+  }
+  core::ThreadPool pool{core::resolve_threads(0) - 1};
+  pool.run_batch(std::move(tasks));
 
   Table t({"carrier", "logger traffic", "5G share seen", "hi-speed share",
            "bias vs backlogged-DL"});
   for (radio::Carrier c : radio::kAllCarriers) {
-    radio::Deployment dep{view, c, root.fork(radio::carrier_name(c))};
-    const struct {
-      ran::TrafficProfile profile;
-      const char* name;
-    } profiles[] = {
-        {ran::TrafficProfile::IdlePing, "idle ping (the paper's logger)"},
-        {ran::TrafficProfile::Interactive, "interactive app"},
-        {ran::TrafficProfile::BackloggedDownlink, "backlogged DL (truth)"},
-    };
-    const TechShares truth = passive_coverage(
-        dep, route, cfg.scale, ran::TrafficProfile::BackloggedDownlink,
-        root.fork("truth", static_cast<std::uint64_t>(c)));
-    for (const auto& p : profiles) {
-      const TechShares seen = passive_coverage(
-          dep, route, cfg.scale, p.profile,
-          root.fork(p.name, static_cast<std::uint64_t>(c)));
-      t.add_row({bench::carrier_str(c), p.name,
+    const std::size_t ci = measure::carrier_index(c);
+    const TechShares& truth = results[ci * (kProfiles + 1)];
+    for (std::size_t pi = 0; pi < kProfiles; ++pi) {
+      const TechShares& seen = results[ci * (kProfiles + 1) + 1 + pi];
+      t.add_row({bench::carrier_str(c), profiles[pi].name,
                  fmt_pct(five_g_share(seen)), fmt_pct(high_speed_share(seen)),
                  fmt(five_g_share(seen) - five_g_share(truth), 2)});
     }

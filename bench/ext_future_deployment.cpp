@@ -7,6 +7,7 @@
 // deployment, a 2025-style midband densification (~2x midband zones, +50%
 // low-band), and a saturated buildout, and compare the headline metrics.
 #include "bench_common.hpp"
+#include "campaign/fleet_runner.hpp"
 
 using namespace wheels;
 using namespace wheels::analysis;
@@ -33,10 +34,21 @@ int main() {
   Table t({"scenario", "carrier", "5G share", "hi-speed share",
            "DL p50 Mbps", "DL <5 Mbps", "video QoE p50"});
 
+  // The three scenario campaigns are independent; fan them across cores
+  // (WHEELS_THREADS governs the fleet width; the output is identical for
+  // any value).
+  std::vector<campaign::CampaignConfig> configs;
   for (const Scenario& sc : scenarios) {
     campaign::CampaignConfig cfg = campaign::config_from_env(0.12);
     cfg.deployment = sc.overrides;
-    const measure::ConsolidatedDb db = campaign::DriveCampaign{cfg}.run();
+    configs.push_back(cfg);
+  }
+  const std::vector<measure::ConsolidatedDb> dbs =
+      campaign::FleetRunner{}.run_all(configs);
+
+  for (std::size_t si = 0; si < std::size(scenarios); ++si) {
+    const Scenario& sc = scenarios[si];
+    const measure::ConsolidatedDb& db = dbs[si];
 
     for (radio::Carrier c : radio::kAllCarriers) {
       const auto shares = coverage_from_kpis(

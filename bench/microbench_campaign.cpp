@@ -2,7 +2,10 @@
 // (5,711 km) campaign must stay laptop-fast; this tracks the per-km cost.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "campaign/campaign.hpp"
+#include "campaign/fleet_runner.hpp"
 
 namespace {
 
@@ -12,12 +15,31 @@ void BM_CampaignTiny(benchmark::State& state) {
   campaign::CampaignConfig cfg;
   cfg.scale = 0.01;  // ~57 km
   cfg.seed = 1;
+  cfg.threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     const auto db = campaign::DriveCampaign{cfg}.run();
     benchmark::DoNotOptimize(db.kpis.size());
   }
 }
-BENCHMARK(BM_CampaignTiny)->Unit(benchmark::kMillisecond);
+// threads=1 is the serial path, threads=4 the per-carrier fan-out — both
+// produce the identical database, so this pair measures pure overhead/gain.
+BENCHMARK(BM_CampaignTiny)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_FleetRunner(benchmark::State& state) {
+  std::vector<campaign::CampaignConfig> configs(4);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    configs[i].scale = 0.01;
+    configs[i].seed = i + 1;
+    configs[i].run_apps = false;
+    configs[i].run_static = false;
+  }
+  const campaign::FleetRunner runner{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    const auto dbs = runner.run_all(configs);
+    benchmark::DoNotOptimize(dbs.size());
+  }
+}
+BENCHMARK(BM_FleetRunner)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_CampaignNoApps(benchmark::State& state) {
   campaign::CampaignConfig cfg;

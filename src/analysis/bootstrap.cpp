@@ -5,13 +5,14 @@
 #include <vector>
 
 #include "analysis/stats.hpp"
+#include "core/thread_pool.hpp"
 
 namespace wheels::analysis {
 
 ConfidenceInterval bootstrap_ci(
     std::span<const double> samples,
     const std::function<double(std::span<const double>)>& statistic, Rng& rng,
-    double level, int iterations) {
+    double level, int iterations, int threads) {
   if (samples.empty()) {
     throw std::invalid_argument{"bootstrap_ci: empty sample set"};
   }
@@ -23,16 +24,37 @@ ConfidenceInterval bootstrap_ci(
   ci.point = statistic(samples);
 
   const auto n = samples.size();
-  std::vector<double> resample(n);
-  std::vector<double> stats;
-  stats.reserve(static_cast<std::size_t>(iterations));
-  for (int it = 0; it < iterations; ++it) {
-    for (std::size_t i = 0; i < n; ++i) {
-      resample[i] =
-          samples[static_cast<std::size_t>(rng.uniform_int(
-              0, static_cast<int>(n) - 1))];
+  std::vector<double> stats(static_cast<std::size_t>(iterations));
+  // One child stream per iteration: stats[it] depends only on (base, it),
+  // never on which worker computed it or in what order, so the CI is
+  // identical for every thread count.
+  const Rng base{rng.next_u64()};
+  auto run_range = [&](int lo, int hi) {
+    std::vector<double> resample(n);
+    for (int it = lo; it < hi; ++it) {
+      Rng r = base.fork("resample", static_cast<std::uint64_t>(it));
+      for (std::size_t i = 0; i < n; ++i) {
+        resample[i] = samples[static_cast<std::size_t>(
+            r.uniform_int(0, static_cast<int>(n) - 1))];
+      }
+      stats[static_cast<std::size_t>(it)] = statistic(resample);
     }
-    stats.push_back(statistic(resample));
+  };
+
+  const int width =
+      std::min(core::resolve_threads(threads), std::max(iterations, 1));
+  if (width <= 1) {
+    run_range(0, iterations);
+  } else {
+    std::vector<core::ThreadPool::Task> tasks;
+    tasks.reserve(static_cast<std::size_t>(width));
+    const int chunk = (iterations + width - 1) / width;
+    for (int lo = 0; lo < iterations; lo += chunk) {
+      const int hi = std::min(lo + chunk, iterations);
+      tasks.push_back([&run_range, lo, hi] { run_range(lo, hi); });
+    }
+    core::ThreadPool pool{width - 1};
+    pool.run_batch(std::move(tasks));
   }
   std::sort(stats.begin(), stats.end());
   const double alpha = (1.0 - level) / 2.0;
@@ -47,14 +69,14 @@ ConfidenceInterval bootstrap_ci(
 }
 
 ConfidenceInterval bootstrap_median_ci(std::span<const double> samples,
-                                       Rng& rng, double level,
-                                       int iterations) {
+                                       Rng& rng, double level, int iterations,
+                                       int threads) {
   return bootstrap_ci(
       samples,
       [](std::span<const double> xs) {
         return median_of({xs.begin(), xs.end()});
       },
-      rng, level, iterations);
+      rng, level, iterations, threads);
 }
 
 }  // namespace wheels::analysis

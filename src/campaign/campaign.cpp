@@ -2,19 +2,23 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/gaming.hpp"
 #include "apps/link_trace.hpp"
 #include "apps/offload.hpp"
 #include "apps/video.hpp"
+#include "core/thread_pool.hpp"
 #include "geo/drive_trace.hpp"
 #include "geo/scaled_route.hpp"
 #include "measure/log_sync.hpp"
 #include "measure/logfile.hpp"
 #include "measure/passive_logger.hpp"
+#include "measure/shard.hpp"
 #include "net/latency.hpp"
 #include "net/server.hpp"
 #include "ran/rrc.hpp"
@@ -45,6 +49,10 @@ CampaignConfig config_from_env(double default_scale) {
   if (const char* s = std::getenv("WHEELS_SEED")) {
     cfg.seed = static_cast<std::uint64_t>(std::atoll(s));
   }
+  if (const char* s = std::getenv("WHEELS_THREADS")) {
+    const int v = std::atoi(s);
+    if (v > 0) cfg.threads = v;
+  }
   return cfg;
 }
 
@@ -61,8 +69,19 @@ struct CarrierContext {
   std::unique_ptr<ran::RrcMachine> rrc;
   measure::CoverageTracker active_coverage;
   Rng rng{0};
+  /// Thread-private record sink; drained into the db after every fan-out.
+  measure::RecordShard shard;
 };
 
+// The campaign is executed as a sequence of *segments* (one bulk transfer,
+// one ping test, one app collection, one static battery). For each segment
+// the coordinator thread opens the test records and advances the shared
+// drive trace, then fans the three carrier pipelines — computationally
+// independent by construction — across the worker pool, and finally merges
+// their record shards into the ConsolidatedDb in canonical carrier order.
+// With threads=1 the identical per-carrier closures run inline in carrier
+// order, which is why the parallel database is byte-identical to the serial
+// one (the determinism gate in test_campaign_parallel.cpp).
 class CampaignRunner {
  public:
   CampaignRunner(const CampaignConfig& cfg)
@@ -71,7 +90,8 @@ class CampaignRunner {
         route_(geo::Route::cross_country()),
         view_(route_, cfg.scale),
         fleet_(net::ServerFleet::standard(route_)),
-        trace_gen_(route_, make_trace_config(cfg), root_.fork("trace")) {
+        trace_gen_(route_, make_trace_config(cfg), root_.fork("trace")),
+        pool_(carrier_workers(cfg.threads)) {
     for (Carrier c : radio::kAllCarriers) {
       auto& ctx = contexts_[measure::carrier_index(c)];
       ctx.carrier = c;
@@ -110,12 +130,22 @@ class CampaignRunner {
     return tc;
   }
 
-  /// Advance the van by one tick; feeds passive loggers and triggers static
-  /// batteries on first city arrival.
+  /// The inner fan-out is at most kCarrierCount wide and the coordinator
+  /// thread drains batches too, so kCarrierCount - 1 workers saturate it.
+  static int carrier_workers(int requested) {
+    const int threads = core::resolve_threads(requested);
+    return std::min(threads, static_cast<int>(radio::kCarrierCount)) - 1;
+  }
+
+  /// Advance the van by one tick. The sample joins the passive backlog
+  /// (flushed to the per-carrier passive loggers at the next fan-out) and
+  /// first arrivals in a city queue a static battery for the next segment
+  /// boundary.
   void advance() {
     current_ = trace_gen_.next();
     if (!current_) return;
-    for (auto& ctx : contexts_) ctx.passive->tick(*current_);
+    pending_passive_.push_back(*current_);
+    last_t_ = current_->t;
     db_.driven_km = current_->km;
 
     if (cfg_.run_static) {
@@ -123,12 +153,63 @@ class CampaignRunner {
       if (p.region == geo::RegionType::Urban &&
           !visited_city_[p.nearest_city]) {
         visited_city_[p.nearest_city] = true;
-        run_static_battery(p.nearest_city);
+        pending_cities_.push_back(p.nearest_city);
       }
     }
   }
 
+  /// Consume up to `max_ticks` trace samples for one segment.
+  std::vector<DriveSample> take_ticks(int max_ticks) {
+    std::vector<DriveSample> ticks;
+    ticks.reserve(static_cast<std::size_t>(std::max(max_ticks, 0)));
+    for (int i = 0; i < max_ticks && current_; ++i) {
+      ticks.push_back(*current_);
+      advance();
+    }
+    return ticks;
+  }
+
+  /// Fan `fn(ctx)` across the carriers (worker pool if available, inline in
+  /// carrier order otherwise), then merge every carrier's shard into the db
+  /// in canonical carrier order. Each worker first flushes the pending
+  /// passive backlog to its own passive logger, so passive logs see every
+  /// sample exactly once, in production order.
+  template <typename Fn>
+  void parallel_carriers(Fn&& fn) {
+    const std::vector<DriveSample> backlog = std::move(pending_passive_);
+    pending_passive_.clear();
+    auto work = [&](CarrierContext& ctx) {
+      for (const DriveSample& s : backlog) ctx.passive->tick(s);
+      fn(ctx);
+    };
+    if (pool_.workers() > 0) {
+      std::vector<core::ThreadPool::Task> tasks;
+      tasks.reserve(contexts_.size());
+      for (auto& ctx : contexts_) {
+        tasks.push_back([&work, &ctx] { work(ctx); });
+      }
+      pool_.run_batch(std::move(tasks));
+    } else {
+      for (auto& ctx : contexts_) work(ctx);
+    }
+    for (auto& ctx : contexts_) {
+      measure::merge_shard_into(db_, ctx.shard);
+    }
+  }
+
+  /// Run the static batteries queued by advance(). Called at segment
+  /// boundaries so a battery (itself a parallel fan-out) never interleaves
+  /// with a moving test's tick loop.
+  void drain_pending_cities() {
+    while (!pending_cities_.empty()) {
+      const std::size_t city = pending_cities_.front();
+      pending_cities_.pop_front();
+      run_static_battery(city);
+    }
+  }
+
   void run_cycle() {
+    drain_pending_cities();
     run_bulk(Direction::Downlink);
     run_bulk(Direction::Uplink);
     run_rtt();
@@ -243,11 +324,11 @@ class CampaignRunner {
       states[measure::carrier_index(ctx.carrier)].emplace(std::move(st));
     }
 
-    int ticks = 0;
-    for (; ticks < cfg_.bulk_ticks && current_; ++ticks, advance()) {
-      const DriveSample& s = *current_;
-      for (auto& ctx : contexts_) {
-        BulkState& st = *states[measure::carrier_index(ctx.carrier)];
+    const std::vector<DriveSample> ticks = take_ticks(cfg_.bulk_ticks);
+
+    parallel_carriers([&](CarrierContext& ctx) {
+      BulkState& st = *states[measure::carrier_index(ctx.carrier)];
+      for (const DriveSample& s : ticks) {
         (void)ctx.rrc->on_traffic(s.t);
         const ran::RadioTick tick = ctx.session->tick(s, kTick);
         st.flow->set_base_rtt(net::base_rtt(ctx.carrier, tick.tech,
@@ -263,20 +344,22 @@ class CampaignRunner {
 
         record_common(ctx, tick, s, st.test.id, dir);
         if (dir == Direction::Downlink) {
-          db_.rx_bytes += bytes;
+          ctx.shard.rx_bytes += bytes;
         } else {
-          db_.tx_bytes += bytes;
+          ctx.shard.tx_bytes += bytes;
         }
       }
-    }
-
-    for (auto& ctx : contexts_) {
-      BulkState& st = *states[measure::carrier_index(ctx.carrier)];
       auto joined = measure::LogSynchronizer::join(
           std::move(st.xcal).finish(), std::move(st.applog).finish());
-      db_.kpis.insert(db_.kpis.end(), joined.begin(), joined.end());
-      close_test(st.test, ticks * kTick);
+      ctx.shard.kpis.insert(ctx.shard.kpis.end(), joined.begin(),
+                            joined.end());
+    });
+
+    for (auto& ctx : contexts_) {
+      close_test(states[measure::carrier_index(ctx.carrier)]->test,
+                 static_cast<Millis>(ticks.size()) * kTick);
     }
+    drain_pending_cities();
   }
 
   /// 20 s of 200 ms pings on all three phones.
@@ -307,13 +390,16 @@ class CampaignRunner {
           current_->t});
     }
 
-    Millis next_ping = 0.0;  // offset within the test, shared by phones
-    int ticks = 0;
-    for (; ticks < cfg_.rtt_ticks && current_; ++ticks, advance()) {
-      const DriveSample& s = *current_;
-      const Millis tick_start = ticks * kTick;
-      for (auto& ctx : contexts_) {
-        RttState& st = *states[measure::carrier_index(ctx.carrier)];
+    const std::vector<DriveSample> ticks = take_ticks(cfg_.rtt_ticks);
+
+    parallel_carriers([&](CarrierContext& ctx) {
+      RttState& st = *states[measure::carrier_index(ctx.carrier)];
+      // The ping schedule is shared by the three phones (one van, one
+      // clock); every worker replays the identical offsets.
+      Millis next_ping = 0.0;
+      for (std::size_t i = 0; i < ticks.size(); ++i) {
+        const DriveSample& s = ticks[i];
+        const Millis tick_start = static_cast<Millis>(i) * kTick;
         const ran::RadioTick tick = ctx.session->tick(s, kTick);
         st.tick_info.emplace_back(tick.tech, s.speed);
         record_common(ctx, tick, s, st.test.id, Direction::Downlink);
@@ -332,14 +418,11 @@ class CampaignRunner {
                             static_cast<UnixMillis>(p),
                         rtt);
         }
+        while (next_ping < tick_start + kTick) next_ping += 200.0;
       }
-      while (next_ping < tick_start + kTick) next_ping += 200.0;
-    }
 
-    for (auto& ctx : contexts_) {
-      RttState& st = *states[measure::carrier_index(ctx.carrier)];
-      const auto series =
-          measure::LogSynchronizer::normalize_series(std::move(st.applog).finish());
+      const auto series = measure::LogSynchronizer::normalize_series(
+          std::move(st.applog).finish());
       for (const auto& [t, value] : series) {
         const auto idx = static_cast<std::size_t>(
             std::clamp<SimMillis>((t - st.start) / static_cast<SimMillis>(kTick),
@@ -355,42 +438,43 @@ class CampaignRunner {
         r.tz = st.test.tz;
         r.server = st.test.server;
         r.is_static = false;
-        db_.rtts.push_back(r);
+        ctx.shard.rtts.push_back(r);
       }
-      close_test(st.test, ticks * kTick);
-    }
-  }
+    });
 
-  /// Collect a link trace of `ticks` ticks for every carrier (lockstep).
-  std::array<LinkTrace, radio::kCarrierCount> collect_link_traces(
-      int ticks, std::array<const net::Server*, radio::kCarrierCount>& servers,
-      std::array<std::uint32_t, radio::kCarrierCount> test_ids) {
-    std::array<LinkTrace, radio::kCarrierCount> traces;
     for (auto& ctx : contexts_) {
-      ctx.session->set_traffic(TrafficProfile::Interactive);
+      close_test(states[measure::carrier_index(ctx.carrier)]->test,
+                 static_cast<Millis>(ticks.size()) * kTick);
     }
-    for (int i = 0; i < ticks && current_; ++i, advance()) {
-      const DriveSample& s = *current_;
-      for (auto& ctx : contexts_) {
-        const std::size_t ci = measure::carrier_index(ctx.carrier);
-        (void)ctx.rrc->on_traffic(s.t);
-        const ran::RadioTick tick = ctx.session->tick(s, kTick);
-        LinkTick lt;
-        lt.cap_dl = tick.kpis.capacity_dl;
-        lt.cap_ul = tick.kpis.capacity_ul;
-        lt.rtt = ctx.rtt_process->sample(tick.tech, *servers[ci], s.pos,
-                                         s.speed, 0.0, 0.0);
-        lt.interruption = tick.interruption;
-        lt.handovers = static_cast<int>(tick.handovers.size());
-        lt.tech = tick.tech;
-        traces[ci].push_back(lt);
-        record_common(ctx, tick, s, test_ids[ci], Direction::Uplink);
-      }
-    }
-    return traces;
+    drain_pending_cities();
   }
 
-  void push_offload_run(const CarrierContext& ctx, AppKind kind,
+  /// One carrier's half of a lockstep link-trace collection (the per-carrier
+  /// worker body of the app segments).
+  LinkTrace collect_link_trace(CarrierContext& ctx,
+                               const std::vector<DriveSample>& ticks,
+                               const net::Server& server,
+                               std::uint32_t test_id) {
+    LinkTrace trace;
+    ctx.session->set_traffic(TrafficProfile::Interactive);
+    for (const DriveSample& s : ticks) {
+      (void)ctx.rrc->on_traffic(s.t);
+      const ran::RadioTick tick = ctx.session->tick(s, kTick);
+      LinkTick lt;
+      lt.cap_dl = tick.kpis.capacity_dl;
+      lt.cap_ul = tick.kpis.capacity_ul;
+      lt.rtt = ctx.rtt_process->sample(tick.tech, server, s.pos, s.speed,
+                                       0.0, 0.0);
+      lt.interruption = tick.interruption;
+      lt.handovers = static_cast<int>(tick.handovers.size());
+      lt.tech = tick.tech;
+      trace.push_back(lt);
+      record_common(ctx, tick, s, test_id, Direction::Uplink);
+    }
+    return trace;
+  }
+
+  void push_offload_run(CarrierContext& ctx, AppKind kind,
                         const TestRecord& test, const LinkTrace& trace,
                         const apps::OffloadRunResult& run) {
     measure::AppRunRecord r;
@@ -405,12 +489,13 @@ class CampaignRunner {
     r.median_e2e = run.median_e2e;
     r.offload_fps = run.offload_fps;
     r.map_percent = run.map_percent;
-    db_.app_runs.push_back(r);
+    ctx.shard.app_runs.push_back(r);
     // Uplink frames leave the device.
     const double frame_kb = run.compressed
                                 ? (kind == AppKind::Ar ? 50.0 : 38.0)
                                 : (kind == AppKind::Ar ? 450.0 : 2000.0);
-    db_.tx_bytes += static_cast<double>(run.frames.size()) * frame_kb * 1024.0;
+    ctx.shard.tx_bytes +=
+        static_cast<double>(run.frames.size()) * frame_kb * 1024.0;
   }
 
   void run_offload(AppKind kind) {
@@ -433,19 +518,28 @@ class CampaignRunner {
                               Direction::Uplink, false);
         ids[ci] = tests[ci]->id;
       }
-      const auto traces = collect_link_traces(cfg_.offload_ticks, servers, ids);
+
+      const std::vector<DriveSample> ticks = take_ticks(cfg_.offload_ticks);
+
+      parallel_carriers([&](CarrierContext& ctx) {
+        const std::size_t ci = measure::carrier_index(ctx.carrier);
+        const LinkTrace trace =
+            collect_link_trace(ctx, ticks, *servers[ci], ids[ci]);
+        const auto run = app.run(trace, compressed);
+        push_offload_run(ctx, kind, *tests[ci], trace, run);
+      });
+
       for (auto& ctx : contexts_) {
         const std::size_t ci = measure::carrier_index(ctx.carrier);
-        const auto run = app.run(traces[ci], compressed);
-        push_offload_run(ctx, kind, *tests[ci], traces[ci], run);
         close_test(*tests[ci], cfg_.offload_ticks * kTick);
       }
+      drain_pending_cities();
     }
   }
 
   void run_long_app(AppKind kind) {
     if (!current_) return;
-    const int ticks =
+    const int tick_budget =
         kind == AppKind::Video ? cfg_.video_ticks : cfg_.gaming_ticks;
     const TestType type =
         kind == AppKind::Video ? TestType::Video : TestType::Gaming;
@@ -461,15 +555,24 @@ class CampaignRunner {
                             Direction::Downlink, false);
       ids[ci] = tests[ci]->id;
     }
-    const auto traces = collect_link_traces(ticks, servers, ids);
+
+    const std::vector<DriveSample> ticks = take_ticks(tick_budget);
+
+    parallel_carriers([&](CarrierContext& ctx) {
+      const std::size_t ci = measure::carrier_index(ctx.carrier);
+      const LinkTrace trace =
+          collect_link_trace(ctx, ticks, *servers[ci], ids[ci]);
+      push_long_app_run(ctx, kind, *tests[ci], trace);
+    });
+
     for (auto& ctx : contexts_) {
       const std::size_t ci = measure::carrier_index(ctx.carrier);
-      push_long_app_run(ctx, kind, *tests[ci], traces[ci]);
-      close_test(*tests[ci], ticks * kTick);
+      close_test(*tests[ci], tick_budget * kTick);
     }
+    drain_pending_cities();
   }
 
-  void push_long_app_run(const CarrierContext& ctx, AppKind kind,
+  void push_long_app_run(CarrierContext& ctx, AppKind kind,
                          const TestRecord& test, const LinkTrace& trace) {
     measure::AppRunRecord r;
     r.test_id = test.id;
@@ -486,8 +589,8 @@ class CampaignRunner {
       r.qoe = run.avg_qoe;
       r.rebuffer_fraction = run.rebuffer_fraction;
       r.avg_bitrate = run.avg_bitrate;
-      db_.rx_bytes += run.avg_bitrate * 1e6 / 8.0 *
-                      (vc.run_duration / 1000.0);
+      ctx.shard.rx_bytes += run.avg_bitrate * 1e6 / 8.0 *
+                            (vc.run_duration / 1000.0);
     } else {
       apps::GamingConfig gc;
       gc.run_duration = static_cast<Millis>(trace.size()) * kTick;
@@ -496,20 +599,22 @@ class CampaignRunner {
       r.gaming_latency = run.median_latency;
       r.gaming_frame_drop = run.median_frame_drop;
       r.gaming_max_frame_drop = run.max_frame_drop;
-      db_.rx_bytes += run.median_bitrate * 1e6 / 8.0 *
-                      (gc.run_duration / 1000.0);
+      ctx.shard.rx_bytes += run.median_bitrate * 1e6 / 8.0 *
+                            (gc.run_duration / 1000.0);
     }
-    db_.app_runs.push_back(r);
+    ctx.shard.app_runs.push_back(r);
   }
 
   /// Handover records, coverage tracking, unique-cell bookkeeping shared by
-  /// every active test tick.
+  /// every active test tick. Runs on the carrier's worker: it touches only
+  /// the carrier's shard, coverage tracker and the carrier's own slot of
+  /// db_.active_cells.
   void record_common(CarrierContext& ctx, const ran::RadioTick& tick,
                      const DriveSample& s, std::uint32_t test_id,
                      Direction dir) {
     const std::size_t ci = measure::carrier_index(ctx.carrier);
     for (const auto& ho : tick.handovers) {
-      db_.handovers.push_back({test_id, ctx.carrier, dir, ho});
+      ctx.shard.handovers.push_back({test_id, ctx.carrier, dir, ho});
     }
     ctx.active_coverage.observe(s.km / cfg_.scale, tick.tech);
     db_.active_cells[ci].insert(tick.cell_id);
@@ -518,85 +623,126 @@ class CampaignRunner {
     }
   }
 
+  /// The per-carrier plan of one city's static battery: the session (absent
+  /// when the carrier has no high-speed 5G site there, as in the paper) and
+  /// the pre-opened test records in canonical per-carrier order.
+  struct BatteryPlan {
+    std::optional<ran::StaticSession> session;
+    const net::Server* server = nullptr;
+    std::vector<TestRecord> tests;
+    std::vector<Millis> durations;
+  };
+
   void run_static_battery(std::size_t city) {
     const Km city_km = view_.physical_city_km(city);
     const geo::RoutePoint city_pt = route_.at(route_.city_km(city));
-    const SimMillis t0 = current_ ? current_->t : 0;
+    const SimMillis t0 = current_ ? current_->t : last_t_;
+
+    std::array<BatteryPlan, radio::kCarrierCount> plans;
+    for (auto& ctx : contexts_) {
+      BatteryPlan& plan = plans[measure::carrier_index(ctx.carrier)];
+      plan.session = ran::StaticSession::try_create(
+          *ctx.deployment, city_km, 10.0, ctx.rng.fork("static", city));
+      if (!plan.session.has_value()) continue;  // omitted, as in the paper
+      plan.server = &fleet_.select(ctx.carrier, route_, city_pt);
+
+      auto open_static = [&](TestType type, Direction dir, int n_ticks) {
+        TestRecord t =
+            open_test(type, ctx.carrier, plan.server->kind, dir, true);
+        t.tz = city_pt.tz;
+        t.start = t0;
+        plan.tests.push_back(t);
+        plan.durations.push_back(n_ticks * kTick);
+      };
+      open_static(TestType::DownlinkBulk, Direction::Downlink,
+                  cfg_.bulk_ticks);
+      open_static(TestType::UplinkBulk, Direction::Uplink, cfg_.bulk_ticks);
+      open_static(TestType::Rtt, Direction::Downlink, cfg_.rtt_ticks);
+      if (cfg_.run_apps) {
+        open_static(TestType::ArApp, Direction::Uplink, cfg_.offload_ticks);
+        open_static(TestType::ArApp, Direction::Uplink, cfg_.offload_ticks);
+        open_static(TestType::CavApp, Direction::Uplink, cfg_.offload_ticks);
+        open_static(TestType::CavApp, Direction::Uplink, cfg_.offload_ticks);
+        open_static(TestType::Video, Direction::Downlink, cfg_.video_ticks);
+        open_static(TestType::Gaming, Direction::Downlink,
+                    cfg_.gaming_ticks);
+      }
+    }
+
+    parallel_carriers([&](CarrierContext& ctx) {
+      BatteryPlan& plan = plans[measure::carrier_index(ctx.carrier)];
+      if (!plan.session.has_value()) return;
+      run_static_battery_for(ctx, plan, city_pt, city, t0);
+    });
 
     for (auto& ctx : contexts_) {
-      auto session = ran::StaticSession::try_create(
-          *ctx.deployment, city_km, 10.0, ctx.rng.fork("static", city));
-      if (!session.has_value()) continue;  // omitted, as in the paper
-      const net::Server& server =
-          fleet_.select(ctx.carrier, route_, city_pt);
-
-      // Bulk transfers, both directions.
-      for (const Direction dir :
-           {Direction::Downlink, Direction::Uplink}) {
-        TestRecord test = open_test(dir == Direction::Downlink
-                                        ? TestType::DownlinkBulk
-                                        : TestType::UplinkBulk,
-                                    ctx.carrier, server.kind, dir, true);
-        test.tz = city_pt.tz;
-        test.start = t0;
-        transport::TcpBulkFlow flow{
-            net::base_rtt(ctx.carrier, session->tech(), server, city_pt.pos),
-            ctx.rng.fork("static-bulk", city * 2 + (dir == Direction::Uplink))};
-        for (int i = 0; i < cfg_.bulk_ticks; ++i) {
-          const ran::RadioTick tick = session->tick(kTick);
-          const double bytes = flow.advance(tick.kpis.capacity(dir), kTick);
-          DriveSample fake;
-          fake.t = t0 + static_cast<SimMillis>(i * kTick);
-          fake.km = city_km;
-          fake.pos = city_pt.pos;
-          fake.speed = 0.0;
-          fake.region = geo::RegionType::Urban;
-          fake.tz = city_pt.tz;
-          KpiRecord k = make_kpi(ctx, tick, fake, test.id, dir, server.kind,
-                                 true);
-          k.throughput = bytes * 8.0 / 1e6 / (kTick / 1000.0);
-          db_.kpis.push_back(k);
-        }
-        close_test(test, cfg_.bulk_ticks * kTick);
+      BatteryPlan& plan = plans[measure::carrier_index(ctx.carrier)];
+      for (std::size_t i = 0; i < plan.tests.size(); ++i) {
+        close_test(plan.tests[i], plan.durations[i]);
       }
-
-      // Ping test.
-      {
-        TestRecord test = open_test(TestType::Rtt, ctx.carrier, server.kind,
-                                    Direction::Downlink, true);
-        test.tz = city_pt.tz;
-        test.start = t0;
-        for (int i = 0; i < cfg_.rtt_ticks; ++i) {
-          const ran::RadioTick tick = session->tick(kTick);
-          const int pings = i % 2 == 0 ? 2 : 3;
-          for (int p = 0; p < pings; ++p) {
-            measure::RttRecord r;
-            r.test_id = test.id;
-            r.t = t0 + static_cast<SimMillis>(i * kTick) + p * 200;
-            r.carrier = ctx.carrier;
-            r.tech = tick.tech;
-            r.rtt = ctx.rtt_process->sample(tick.tech, server, city_pt.pos,
-                                            0.0, 0.0, 0.0);
-            r.speed = 0.0;
-            r.tz = city_pt.tz;
-            r.server = server.kind;
-            r.is_static = true;
-            db_.rtts.push_back(r);
-          }
-        }
-        close_test(test, cfg_.rtt_ticks * kTick);
-      }
-
-      if (cfg_.run_apps) run_static_apps(ctx, *session, server, city_pt, t0);
     }
   }
 
-  void run_static_apps(CarrierContext& ctx, ran::StaticSession& session,
-                       const net::Server& server,
-                       const geo::RoutePoint& city_pt, SimMillis t0) {
-    auto make_trace = [&](int ticks) {
+  /// One carrier's whole static battery, on that carrier's worker.
+  void run_static_battery_for(CarrierContext& ctx, BatteryPlan& plan,
+                              const geo::RoutePoint& city_pt,
+                              std::size_t city, SimMillis t0) {
+    ran::StaticSession& session = *plan.session;
+    const net::Server& server = *plan.server;
+    std::size_t ti = 0;  // cursor into plan.tests, in open order
+
+    // Bulk transfers, both directions.
+    for (const Direction dir :
+         {Direction::Downlink, Direction::Uplink}) {
+      const TestRecord& test = plan.tests[ti++];
+      transport::TcpBulkFlow flow{
+          net::base_rtt(ctx.carrier, session.tech(), server, city_pt.pos),
+          ctx.rng.fork("static-bulk", city * 2 + (dir == Direction::Uplink))};
+      for (int i = 0; i < cfg_.bulk_ticks; ++i) {
+        const ran::RadioTick tick = session.tick(kTick);
+        const double bytes = flow.advance(tick.kpis.capacity(dir), kTick);
+        DriveSample fake;
+        fake.t = t0 + static_cast<SimMillis>(i * kTick);
+        fake.km = view_.physical_city_km(city);
+        fake.pos = city_pt.pos;
+        fake.speed = 0.0;
+        fake.region = geo::RegionType::Urban;
+        fake.tz = city_pt.tz;
+        KpiRecord k = make_kpi(ctx, tick, fake, test.id, dir, server.kind,
+                               true);
+        k.throughput = bytes * 8.0 / 1e6 / (kTick / 1000.0);
+        ctx.shard.kpis.push_back(k);
+      }
+    }
+
+    // Ping test.
+    {
+      const TestRecord& test = plan.tests[ti++];
+      for (int i = 0; i < cfg_.rtt_ticks; ++i) {
+        const ran::RadioTick tick = session.tick(kTick);
+        const int pings = i % 2 == 0 ? 2 : 3;
+        for (int p = 0; p < pings; ++p) {
+          measure::RttRecord r;
+          r.test_id = test.id;
+          r.t = t0 + static_cast<SimMillis>(i * kTick) + p * 200;
+          r.carrier = ctx.carrier;
+          r.tech = tick.tech;
+          r.rtt = ctx.rtt_process->sample(tick.tech, server, city_pt.pos,
+                                          0.0, 0.0, 0.0);
+          r.speed = 0.0;
+          r.tz = city_pt.tz;
+          r.server = server.kind;
+          r.is_static = true;
+          ctx.shard.rtts.push_back(r);
+        }
+      }
+    }
+
+    if (!cfg_.run_apps) return;
+
+    auto make_trace = [&](int n_ticks) {
       LinkTrace trace;
-      for (int i = 0; i < ticks; ++i) {
+      for (int i = 0; i < n_ticks; ++i) {
         const ran::RadioTick tick = session.tick(kTick);
         LinkTick lt;
         lt.cap_dl = tick.kpis.capacity_dl;
@@ -613,31 +759,27 @@ class CampaignRunner {
       const apps::OffloadApp app{kind == AppKind::Ar ? apps::ar_config()
                                                      : apps::cav_config()};
       for (const bool compressed : {false, true}) {
-        TestRecord test = open_test(
-            kind == AppKind::Ar ? TestType::ArApp : TestType::CavApp,
-            ctx.carrier, server.kind, Direction::Uplink, true);
-        test.tz = city_pt.tz;
-        test.start = t0;
+        const TestRecord& test = plan.tests[ti++];
         const LinkTrace trace = make_trace(cfg_.offload_ticks);
         push_offload_run(ctx, kind, test, trace, app.run(trace, compressed));
-        close_test(test, cfg_.offload_ticks * kTick);
       }
     }
     for (const AppKind kind : {AppKind::Video, AppKind::Gaming}) {
-      TestRecord test = open_test(
-          kind == AppKind::Video ? TestType::Video : TestType::Gaming,
-          ctx.carrier, server.kind, Direction::Downlink, true);
-      test.tz = city_pt.tz;
-      test.start = t0;
-      const int ticks =
+      const TestRecord& test = plan.tests[ti++];
+      const int n_ticks =
           kind == AppKind::Video ? cfg_.video_ticks : cfg_.gaming_ticks;
-      const LinkTrace trace = make_trace(ticks);
+      const LinkTrace trace = make_trace(n_ticks);
       push_long_app_run(ctx, kind, test, trace);
-      close_test(test, ticks * kTick);
     }
   }
 
   void finalize() {
+    drain_pending_cities();
+    if (!pending_passive_.empty()) {
+      // Trailing idle ticks produced samples after the last fan-out; flush
+      // them to the passive loggers.
+      parallel_carriers([](CarrierContext&) {});
+    }
     for (auto& ctx : contexts_) {
       const std::size_t ci = measure::carrier_index(ctx.carrier);
       db_.passive[ci] = std::move(*ctx.passive).finish();
@@ -657,6 +799,12 @@ class CampaignRunner {
   std::uint32_t next_test_id_ = 1;
   int cycle_ = 0;
   std::array<bool, 16> visited_city_{};
+  /// Samples produced but not yet fed to the passive loggers.
+  std::vector<DriveSample> pending_passive_;
+  /// Cities reached but whose static battery has not run yet.
+  std::deque<std::size_t> pending_cities_;
+  SimMillis last_t_ = 0;
+  core::ThreadPool pool_;
 };
 
 }  // namespace

@@ -10,7 +10,12 @@
 // data flows through the XCAL `.drm` + app-log + LogSynchronizer pipeline
 // before landing in the ConsolidatedDb.
 //
-// The whole campaign is deterministic in (seed, config).
+// The whole campaign is deterministic in (seed, config) — including across
+// thread counts: the three carrier pipelines are computationally independent
+// (core::Rng::fork gives each subsystem its own stream) and their records
+// are merged into the ConsolidatedDb in canonical carrier order, so
+// WHEELS_THREADS only changes wall-clock time, never a single byte of the
+// database.
 #pragma once
 
 #include <cstdint>
@@ -43,10 +48,18 @@ struct CampaignConfig {
   int offload_ticks = 40;   // 20 s per AR/CAV run
   int video_ticks = 360;    // 180 s
   int gaming_ticks = 120;   // 60 s
+
+  /// Worker threads for the per-carrier pipelines (radio ticks, transport,
+  /// apps, passive logging). 0 = auto (WHEELS_THREADS, else
+  /// hardware_concurrency); 1 = the legacy serial path. The resulting
+  /// ConsolidatedDb is byte-identical for every value — see
+  /// docs/ARCHITECTURE.md, "Parallel execution".
+  int threads = 0;
 };
 
-/// Reads WHEELS_SCALE / WHEELS_SEED from the environment (used by the bench
-/// binaries so one knob tunes the whole suite). Falls back to the defaults.
+/// Reads WHEELS_SCALE / WHEELS_SEED / WHEELS_THREADS from the environment
+/// (used by the bench binaries so one knob tunes the whole suite). Falls
+/// back to the defaults.
 CampaignConfig config_from_env(double default_scale = 0.08);
 
 class DriveCampaign {

@@ -1,0 +1,35 @@
+#include "campaign/fleet_runner.hpp"
+
+#include "core/thread_pool.hpp"
+
+namespace wheels::campaign {
+
+FleetRunner::FleetRunner(int threads)
+    : threads_(core::resolve_threads(threads)) {}
+
+std::vector<measure::ConsolidatedDb> FleetRunner::run_all(
+    std::vector<CampaignConfig> configs) const {
+  std::vector<measure::ConsolidatedDb> results(configs.size());
+
+  // Each job writes only its own slot, so no lock is needed; the slot index
+  // pins results to submission order whatever the completion order is.
+  std::vector<core::ThreadPool::Task> tasks;
+  tasks.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    tasks.push_back([&results, &configs, i] {
+      CampaignConfig cfg = configs[i];
+      // All parallelism lives at the fleet level; the inner serial path
+      // produces the identical database (campaign.hpp).
+      cfg.threads = 1;
+      results[i] = DriveCampaign{cfg}.run();
+    });
+  }
+
+  // The calling thread drains the batch too, so `threads_` campaigns run
+  // concurrently with a pool of threads_ - 1 workers.
+  core::ThreadPool pool{threads_ - 1};
+  pool.run_batch(std::move(tasks));
+  return results;
+}
+
+}  // namespace wheels::campaign

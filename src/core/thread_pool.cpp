@@ -1,0 +1,107 @@
+#include "core/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace wheels::core {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* s = std::getenv("WHEELS_THREADS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers < 0) workers = 0;
+  queues_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk{mu_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool ThreadPool::try_take(std::size_t prefer, Task& out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (prefer + k) % n;
+    Queue& q = *queues_[i];
+    std::lock_guard lk{q.mu};
+    if (q.q.empty()) continue;
+    if (i == prefer) {
+      out = std::move(q.q.front());
+      q.q.pop_front();
+    } else {
+      out = std::move(q.q.back());
+      q.q.pop_back();
+    }
+    std::lock_guard blk{mu_};
+    --unstarted_;
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::finish_task() {
+  std::lock_guard lk{mu_};
+  if (--pending_ == 0) done_cv_.notify_all();
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    Task task;
+    if (try_take(self, task)) {
+      task();
+      finish_task();
+      continue;
+    }
+    std::unique_lock lk{mu_};
+    work_cv_.wait(lk, [this] { return stop_ || unstarted_ > 0; });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::run_batch(std::vector<Task> tasks) {
+  if (tasks.empty()) return;
+  if (queues_.empty()) {
+    for (Task& t : tasks) t();
+    return;
+  }
+  {
+    std::lock_guard lk{mu_};
+    unstarted_ += tasks.size();
+    pending_ += tasks.size();
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    Queue& q = *queues_[i % queues_.size()];
+    std::lock_guard lk{q.mu};
+    q.q.push_back(std::move(tasks[i]));
+  }
+  work_cv_.notify_all();
+
+  // Help drain the batch, then wait out the stragglers.
+  Task task;
+  while (try_take(0, task)) {
+    task();
+    finish_task();
+  }
+  std::unique_lock lk{mu_};
+  done_cv_.wait(lk, [this] { return pending_ == 0; });
+}
+
+}  // namespace wheels::core

@@ -1,0 +1,31 @@
+#include "measure/shard.hpp"
+
+namespace wheels::measure {
+
+bool RecordShard::empty() const {
+  return kpis.empty() && rtts.empty() && handovers.empty() &&
+         app_runs.empty() && rx_bytes == 0.0 && tx_bytes == 0.0;
+}
+
+void RecordShard::clear() {
+  kpis.clear();
+  rtts.clear();
+  handovers.clear();
+  app_runs.clear();
+  rx_bytes = 0.0;
+  tx_bytes = 0.0;
+}
+
+void merge_shard_into(ConsolidatedDb& db, RecordShard& shard) {
+  db.kpis.insert(db.kpis.end(), shard.kpis.begin(), shard.kpis.end());
+  db.rtts.insert(db.rtts.end(), shard.rtts.begin(), shard.rtts.end());
+  db.handovers.insert(db.handovers.end(), shard.handovers.begin(),
+                      shard.handovers.end());
+  db.app_runs.insert(db.app_runs.end(), shard.app_runs.begin(),
+                     shard.app_runs.end());
+  db.rx_bytes += shard.rx_bytes;
+  db.tx_bytes += shard.tx_bytes;
+  shard.clear();
+}
+
+}  // namespace wheels::measure

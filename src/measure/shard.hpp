@@ -1,0 +1,38 @@
+// Per-carrier record shards: the thread-safe sink strategy of the parallel
+// campaign.
+//
+// ConsolidatedDb's record vectors are shared across carriers, so three
+// concurrent carrier pipelines cannot append to them directly. Instead each
+// carrier appends — lock-free, because the shard is thread-private — to its
+// own RecordShard, and the campaign coordinator drains the shards into the
+// database in canonical carrier order once the fan-out has joined. The
+// serial path (WHEELS_THREADS=1) runs the identical code inline, so the
+// database contents are byte-identical for every thread count: same
+// per-carrier record streams, same merge order, same floating-point
+// summation order for the byte counters.
+#pragma once
+
+#include "measure/records.hpp"
+
+namespace wheels::measure {
+
+struct RecordShard {
+  std::vector<KpiRecord> kpis;
+  std::vector<RttRecord> rtts;
+  std::vector<HandoverRecord> handovers;
+  std::vector<AppRunRecord> app_runs;
+  /// Application-layer bytes moved by this carrier during the fan-out.
+  double rx_bytes = 0.0;
+  double tx_bytes = 0.0;
+
+  bool empty() const;
+  void clear();
+};
+
+/// Append `shard`'s records and byte counters to `db`, then clear the shard
+/// for reuse. Must be called once per carrier, in carrier-index order, after
+/// every fan-out joins — that fixed merge order is the determinism contract
+/// of the parallel campaign (docs/ARCHITECTURE.md, "Parallel execution").
+void merge_shard_into(ConsolidatedDb& db, RecordShard& shard);
+
+}  // namespace wheels::measure
