@@ -14,12 +14,15 @@
 #include "analysis/report.hpp"
 #include "analysis/stats.hpp"
 #include "campaign/campaign.hpp"
+#include "core/obs/metrics.hpp"
 #include "measure/records.hpp"
 
 namespace wheels::bench {
 
 inline const measure::ConsolidatedDb& shared_db() {
   static const measure::ConsolidatedDb db = [] {
+    // WHEELS_METRICS_OUT / WHEELS_TRACE_OUT get a dump when the bench exits.
+    core::obs::flush_at_exit();
     const campaign::CampaignConfig cfg = campaign::config_from_env(1.0);
     std::cerr << "[bench] simulating campaign: scale=" << cfg.scale
               << " seed=" << cfg.seed << " ...\n";

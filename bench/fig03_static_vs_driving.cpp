@@ -58,8 +58,14 @@ int main() {
   KpiFilter f;
   f.is_static = false;
   const Cdf all_drive{throughput_samples(db, f)};
-  compare_line(std::cout, "driving samples below 5 Mbps (both directions)",
-               0.35, all_drive.fraction_below(5.0), "fraction");
+  if (all_drive.empty()) {
+    // fraction_below would return its 0.0-on-empty sentinel (stats.hpp),
+    // which reads as "no slow samples" — say what actually happened instead.
+    std::cout << "  driving samples below 5 Mbps: (no samples)\n";
+  } else {
+    compare_line(std::cout, "driving samples below 5 Mbps (both directions)",
+                 0.35, all_drive.fraction_below(5.0), "fraction");
+  }
 
   std::cout << "  Shape check: driving medians collapse to a few percent of "
                "static;\n  static DL can exceed 1 Gbps (Verizon mmWave); "

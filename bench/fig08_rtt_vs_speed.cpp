@@ -41,9 +41,11 @@ int main() {
     lo.speed_bin = geo::SpeedBin::Low;
     hi.speed_bin = geo::SpeedBin::High;
     const Cdf l{rtt_samples(db, lo)}, h{rtt_samples(db, hi)};
+    // fmt_quantile renders an empty bin as "-" instead of the 0.0 sentinel
+    // (a small-scale run may never reach the high speed bin).
     std::cout << "  " << bench::carrier_str(c)
-              << ": median RTT low-speed " << fmt(l.quantile(0.5))
-              << " ms vs high-speed " << fmt(h.quantile(0.5)) << " ms\n";
+              << ": median RTT low-speed " << fmt_quantile(l, 0.5)
+              << " ms vs high-speed " << fmt_quantile(h, 0.5) << " ms\n";
   }
   return 0;
 }

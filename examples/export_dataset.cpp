@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   const measure::ConsolidatedDb db = campaign::DriveCampaign{config}.run();
 
   std::cout << "Writing dataset to " << dir << "/ ...\n";
-  const auto files = measure::write_dataset(db, dir);
+  const auto files =
+      measure::write_dataset(db, dir, campaign::make_manifest(config));
   for (const auto& f : files) std::cout << "  " << f << '\n';
 
   std::cout << "\n" << db.kpis.size() << " KPI rows, " << db.rtts.size()

@@ -75,4 +75,9 @@ std::string cdf_row(const Cdf& cdf) {
   return out;
 }
 
+std::string fmt_quantile(const Cdf& cdf, double q, int precision) {
+  if (cdf.empty()) return "-";
+  return fmt(cdf.quantile(q), precision);
+}
+
 }  // namespace wheels::analysis

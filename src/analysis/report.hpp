@@ -37,4 +37,8 @@ void compare_line(std::ostream& os, const std::string& what, double paper,
 /// Quantile row of a CDF for figure-style output.
 std::string cdf_row(const Cdf& cdf);
 
+/// `fmt(cdf.quantile(q))`, except an empty CDF renders as "-" instead of the
+/// 0.0 sentinel (stats.hpp) masquerading as a real value.
+std::string fmt_quantile(const Cdf& cdf, double q, int precision = 2);
+
 }  // namespace wheels::analysis

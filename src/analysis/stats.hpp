@@ -30,10 +30,19 @@ class Cdf {
   bool empty() const { return sorted_.empty(); }
 
   /// Value at quantile q in [0, 1] (linear interpolation).
+  ///
+  /// SENTINEL: returns 0.0 when the CDF is empty. 0.0 is also a legitimate
+  /// sample value (an RTT floor, a zero throughput), so callers that may see
+  /// empty series must check empty() first and render the absence explicitly
+  /// (analysis::fmt_quantile does this; report.cpp's cdf_row prints
+  /// "(no samples)") rather than reporting a fake 0.
   double quantile(double q) const;
-  /// Fraction of samples <= x.
+  /// Fraction of samples <= x. SENTINEL: 0.0 on empty, same caveat as
+  /// quantile().
   double fraction_below(double x) const;
+  /// SENTINEL: 0.0 on empty, same caveat as quantile().
   double min() const;
+  /// SENTINEL: 0.0 on empty, same caveat as quantile().
   double max() const;
 
   const std::vector<double>& sorted() const { return sorted_; }
@@ -46,7 +55,8 @@ class Cdf {
 /// or the series are shorter than 2.
 double pearson(std::span<const double> x, std::span<const double> y);
 
-/// Median convenience (0 for empty).
+/// Median convenience. SENTINEL: returns 0.0 for an empty input — check
+/// xs.empty() before calling when 0 is a plausible median.
 double median_of(std::vector<double> xs);
 
 }  // namespace wheels::analysis

@@ -1,6 +1,7 @@
 #include "campaign/campaign.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <memory>
@@ -12,6 +13,9 @@
 #include "apps/link_trace.hpp"
 #include "apps/offload.hpp"
 #include "apps/video.hpp"
+#include "core/env.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/trace_export.hpp"
 #include "core/thread_pool.hpp"
 #include "geo/drive_trace.hpp"
 #include "geo/scaled_route.hpp"
@@ -42,18 +46,48 @@ using ran::TrafficProfile;
 CampaignConfig config_from_env(double default_scale) {
   CampaignConfig cfg;
   cfg.scale = default_scale;
-  if (const char* s = std::getenv("WHEELS_SCALE")) {
-    const double v = std::atof(s);
-    if (v > 0.0 && v <= 1.0) cfg.scale = v;
+  if (const auto v = core::env_double("WHEELS_SCALE")) {
+    if (*v > 0.0 && *v <= 1.0) {
+      cfg.scale = *v;
+    } else {
+      std::fprintf(stderr,
+                   "[wheels] ignoring WHEELS_SCALE=%g: expected (0, 1]\n", *v);
+    }
   }
-  if (const char* s = std::getenv("WHEELS_SEED")) {
-    cfg.seed = static_cast<std::uint64_t>(std::atoll(s));
+  if (const auto v = core::env_int("WHEELS_SEED")) {
+    if (*v >= 0) {
+      cfg.seed = static_cast<std::uint64_t>(*v);
+    } else {
+      std::fprintf(stderr,
+                   "[wheels] ignoring WHEELS_SEED=%lld: expected >= 0\n", *v);
+    }
   }
-  if (const char* s = std::getenv("WHEELS_THREADS")) {
-    const int v = std::atoi(s);
-    if (v > 0) cfg.threads = v;
-  }
+  // resolve_threads re-reads WHEELS_THREADS when cfg.threads stays 0; going
+  // through it here keeps the two readers' validation identical.
+  cfg.threads = 0;
   return cfg;
+}
+
+core::obs::RunManifest make_manifest(const CampaignConfig& cfg) {
+  core::obs::RunManifest m = core::obs::make_run_manifest();
+  m.seed = cfg.seed;
+  m.scale = cfg.scale;
+  m.threads = core::resolve_threads(cfg.threads);
+  // Canonical rendering of every field that influences the produced data.
+  // Doubles use %.17g so distinct configs never collide on formatting.
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "seed=%llu;scale=%.17g;apps=%d;stride=%d;static=%d;idle=%d;"
+      "dep=%.17g,%.17g,%.17g;ticks=%d,%d,%d,%d,%d",
+      static_cast<unsigned long long>(cfg.seed), cfg.scale,
+      cfg.run_apps ? 1 : 0, cfg.long_app_stride, cfg.run_static ? 1 : 0,
+      cfg.idle_ticks_between_cycles, cfg.deployment.low_multiplier,
+      cfg.deployment.mid_multiplier, cfg.deployment.mmwave_multiplier,
+      cfg.bulk_ticks, cfg.rtt_ticks, cfg.offload_ticks, cfg.video_ticks,
+      cfg.gaming_ticks);
+  m.config_digest = core::obs::hex64(core::obs::fnv1a64(buf));
+  return m;
 }
 
 namespace {
@@ -112,6 +146,7 @@ class CampaignRunner {
   }
 
   ConsolidatedDb run() {
+    core::obs::ScopedSpan span{"campaign.run", "campaign"};
     while (current_.has_value()) {
       run_cycle();
       for (int i = 0; i < cfg_.idle_ticks_between_cycles && current_; ++i) {
@@ -182,16 +217,16 @@ class CampaignRunner {
       for (const DriveSample& s : backlog) ctx.passive->tick(s);
       fn(ctx);
     };
-    if (pool_.workers() > 0) {
-      std::vector<core::ThreadPool::Task> tasks;
-      tasks.reserve(contexts_.size());
-      for (auto& ctx : contexts_) {
-        tasks.push_back([&work, &ctx] { work(ctx); });
-      }
-      pool_.run_batch(std::move(tasks));
-    } else {
-      for (auto& ctx : contexts_) work(ctx);
+    // With zero workers run_batch executes the tasks inline in submission
+    // (= carrier) order, so one code path serves both modes — and the pool's
+    // deterministic counters (pool.batches, pool.tasks_run) see the same
+    // batches whatever the thread count.
+    std::vector<core::ThreadPool::Task> tasks;
+    tasks.reserve(contexts_.size());
+    for (auto& ctx : contexts_) {
+      tasks.push_back([&work, &ctx] { work(ctx); });
     }
+    pool_.run_batch(std::move(tasks));
     for (auto& ctx : contexts_) {
       measure::merge_shard_into(db_, ctx.shard);
     }
@@ -209,6 +244,9 @@ class CampaignRunner {
   }
 
   void run_cycle() {
+    auto& reg = core::obs::MetricsRegistry::global();
+    static const core::obs::MetricId cycles = reg.counter_id("campaign.cycles");
+    reg.add(cycles);
     drain_pending_cities();
     run_bulk(Direction::Downlink);
     run_bulk(Direction::Uplink);
@@ -275,6 +313,9 @@ class CampaignRunner {
   }
 
   void close_test(TestRecord t, Millis duration) {
+    auto& reg = core::obs::MetricsRegistry::global();
+    static const core::obs::MetricId tests = reg.counter_id("campaign.tests");
+    reg.add(tests);
     if (current_) {
       t.end = current_->t;
       t.end_km = current_->km;
@@ -290,6 +331,10 @@ class CampaignRunner {
   /// through the .drm + app-log + LogSynchronizer pipeline.
   void run_bulk(Direction dir) {
     if (!current_) return;
+    core::obs::ScopedSpan span{dir == Direction::Downlink
+                                   ? "campaign.bulk_dl"
+                                   : "campaign.bulk_ul",
+                               "campaign"};
     const TrafficProfile traffic = dir == Direction::Downlink
                                        ? TrafficProfile::BackloggedDownlink
                                        : TrafficProfile::BackloggedUplink;
@@ -365,6 +410,7 @@ class CampaignRunner {
   /// 20 s of 200 ms pings on all three phones.
   void run_rtt() {
     if (!current_) return;
+    core::obs::ScopedSpan span{"campaign.rtt", "campaign"};
     struct RttState {
       TestRecord test;
       const net::Server* server = nullptr;
@@ -500,6 +546,9 @@ class CampaignRunner {
 
   void run_offload(AppKind kind) {
     if (!current_) return;
+    core::obs::ScopedSpan span{
+        kind == AppKind::Ar ? "campaign.offload_ar" : "campaign.offload_cav",
+        "campaign"};
     const apps::OffloadApp app{kind == AppKind::Ar ? apps::ar_config()
                                                    : apps::cav_config()};
     const TestType type =
@@ -539,6 +588,9 @@ class CampaignRunner {
 
   void run_long_app(AppKind kind) {
     if (!current_) return;
+    core::obs::ScopedSpan span{
+        kind == AppKind::Video ? "campaign.video" : "campaign.gaming",
+        "campaign"};
     const int tick_budget =
         kind == AppKind::Video ? cfg_.video_ticks : cfg_.gaming_ticks;
     const TestType type =
@@ -634,6 +686,7 @@ class CampaignRunner {
   };
 
   void run_static_battery(std::size_t city) {
+    core::obs::ScopedSpan span{"campaign.static_battery", "campaign"};
     const Km city_km = view_.physical_city_km(city);
     const geo::RoutePoint city_pt = route_.at(route_.city_km(city));
     const SimMillis t0 = current_ ? current_->t : last_t_;

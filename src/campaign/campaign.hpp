@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "core/obs/manifest.hpp"
 #include "measure/records.hpp"
 #include "radio/deployment.hpp"
 
@@ -59,8 +60,16 @@ struct CampaignConfig {
 
 /// Reads WHEELS_SCALE / WHEELS_SEED / WHEELS_THREADS from the environment
 /// (used by the bench binaries so one knob tunes the whole suite). Falls
-/// back to the defaults.
+/// back to the defaults; malformed values warn on stderr (core::env_int /
+/// core::env_double) instead of silently parsing as 0.
 CampaignConfig config_from_env(double default_scale = 0.08);
+
+/// The provenance manifest of a campaign about to run with `cfg`: seed,
+/// scale, resolved thread count, and the FNV-1a digest of every field that
+/// influences the produced data (threads is recorded but excluded from the
+/// digest — it never changes a byte of the database). Pass to
+/// measure::write_dataset so the bundle's manifest.json identifies the run.
+core::obs::RunManifest make_manifest(const CampaignConfig& cfg);
 
 class DriveCampaign {
  public:

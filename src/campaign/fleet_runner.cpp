@@ -1,5 +1,7 @@
 #include "campaign/fleet_runner.hpp"
 
+#include "core/obs/metrics.hpp"
+#include "core/obs/trace_export.hpp"
 #include "core/thread_pool.hpp"
 
 namespace wheels::campaign {
@@ -9,6 +11,7 @@ FleetRunner::FleetRunner(int threads)
 
 std::vector<measure::ConsolidatedDb> FleetRunner::run_all(
     std::vector<CampaignConfig> configs) const {
+  core::obs::ScopedSpan span{"fleet.run_all", "campaign"};
   std::vector<measure::ConsolidatedDb> results(configs.size());
 
   // Each job writes only its own slot, so no lock is needed; the slot index
@@ -17,6 +20,11 @@ std::vector<measure::ConsolidatedDb> FleetRunner::run_all(
   tasks.reserve(configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
     tasks.push_back([&results, &configs, i] {
+      core::obs::ScopedSpan job_span{"fleet.job", "campaign"};
+      auto& reg = core::obs::MetricsRegistry::global();
+      static const core::obs::MetricId jobs =
+          reg.counter_id("campaign.fleet.jobs");
+      reg.add(jobs);
       CampaignConfig cfg = configs[i];
       // All parallelism lives at the fleet level; the inner serial path
       // produces the identical database (campaign.hpp).

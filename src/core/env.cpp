@@ -1,0 +1,59 @@
+#include "core/env.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wheels::core {
+
+namespace {
+
+void warn(const char* name, const char* value, const char* why) {
+  std::fprintf(stderr, "[wheels] ignoring %s='%s': %s\n", name, value, why);
+}
+
+}  // namespace
+
+std::optional<long long> env_int(const char* name) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return std::nullopt;
+  if (*s == '\0') {
+    warn(name, s, "empty value");
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') {
+    warn(name, s, "not an integer");
+    return std::nullopt;
+  }
+  if (errno == ERANGE) {
+    warn(name, s, "out of range");
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<double> env_double(const char* name) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return std::nullopt;
+  if (*s == '\0') {
+    warn(name, s, "empty value");
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    warn(name, s, "not a number");
+    return std::nullopt;
+  }
+  if (errno == ERANGE) {
+    warn(name, s, "out of range");
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace wheels::core

@@ -1,0 +1,24 @@
+// Validated environment-variable parsing for the WHEELS_* knobs.
+//
+// The original knob readers used atoi/atof, which silently turn "abc" into 0
+// and saturate overflow into garbage — a malformed WHEELS_THREADS fell back
+// to auto without a word. These helpers do full-string, range-checked
+// parsing and complain on stderr, so a typo'd knob is loud instead of
+// silently ignored. Callers still apply their own semantic range checks
+// (e.g. threads >= 1) and warn when those fail.
+#pragma once
+
+#include <optional>
+
+namespace wheels::core {
+
+/// Parse env var `name` as a base-10 integer. Returns nullopt when the
+/// variable is unset, and also — after a stderr warning — when the value is
+/// empty, has trailing junk, or overflows long long.
+std::optional<long long> env_int(const char* name);
+
+/// Parse env var `name` as a double, with the same full-string and range
+/// validation (stderr warning + nullopt on malformed or overflowing input).
+std::optional<double> env_double(const char* name);
+
+}  // namespace wheels::core

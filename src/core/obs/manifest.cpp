@@ -1,0 +1,67 @@
+#include "core/obs/manifest.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/sim_time.hpp"
+
+namespace wheels::core::obs {
+
+std::string library_version() {
+#ifdef WHEELS_VERSION
+  return WHEELS_VERSION;
+#else
+  return "0.0.0";
+#endif
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+RunManifest make_run_manifest() {
+  RunManifest m;
+  m.library_version = library_version();
+  using namespace std::chrono;
+  const auto now_ms =
+      duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+          .count();
+  m.started_utc = format_timestamp(static_cast<UnixMillis>(now_ms), 0);
+  return m;
+}
+
+std::string RunManifest::to_json() const {
+  char scale_buf[64];
+  std::snprintf(scale_buf, sizeof(scale_buf), "%.17g", scale);
+  std::string out = "{\n";
+  out += "  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"scale\": " + std::string(scale_buf) + ",\n";
+  out += "  \"config_digest\": \"" + config_digest + "\",\n";
+  out += "  \"threads\": " + std::to_string(threads) + ",\n";
+  out += "  \"library_version\": \"" + library_version + "\",\n";
+  out += "  \"started_utc\": \"" + started_utc + "\"\n";
+  out += "}";
+  return out;
+}
+
+void write_manifest(const RunManifest& manifest, const std::string& path) {
+  std::ofstream os{path};
+  if (!os) throw std::runtime_error{"manifest: cannot open " + path};
+  os << manifest.to_json() << '\n';
+}
+
+}  // namespace wheels::core::obs

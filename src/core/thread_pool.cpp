@@ -1,14 +1,52 @@
 #include "core/thread_pool.hpp"
 
-#include <cstdlib>
+#include <chrono>
+#include <cstdio>
+
+#include "core/env.hpp"
+#include "core/obs/metrics.hpp"
 
 namespace wheels::core {
 
+namespace {
+
+// Dense ids resolved once; add() is a thread-local vector increment.
+obs::MetricId tasks_run_id() {
+  static const obs::MetricId id =
+      obs::MetricsRegistry::global().counter_id("pool.tasks_run");
+  return id;
+}
+
+obs::MetricId batches_id() {
+  static const obs::MetricId id =
+      obs::MetricsRegistry::global().counter_id("pool.batches");
+  return id;
+}
+
+// Steals and wall-clock depend on scheduling, hence the "rt." prefix that
+// keeps them out of the deterministic snapshot.
+obs::MetricId steals_id() {
+  static const obs::MetricId id =
+      obs::MetricsRegistry::global().counter_id("rt.pool.steals");
+  return id;
+}
+
+const obs::MetricsRegistry::HistogramHandle& batch_ms_hist() {
+  static const obs::MetricsRegistry::HistogramHandle h =
+      obs::MetricsRegistry::global().histogram("rt.pool.batch_ms");
+  return h;
+}
+
+}  // namespace
+
 int resolve_threads(int requested) {
   if (requested > 0) return requested;
-  if (const char* s = std::getenv("WHEELS_THREADS")) {
-    const int v = std::atoi(s);
-    if (v > 0) return v;
+  if (const auto v = env_int("WHEELS_THREADS")) {
+    if (*v >= 1 && *v <= 4096) return static_cast<int>(*v);
+    std::fprintf(stderr,
+                 "[wheels] ignoring WHEELS_THREADS=%lld: expected 1..4096, "
+                 "using auto\n",
+                 *v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
@@ -49,6 +87,7 @@ bool ThreadPool::try_take(std::size_t prefer, Task& out) {
     } else {
       out = std::move(q.q.back());
       q.q.pop_back();
+      obs::MetricsRegistry::global().add(steals_id());
     }
     std::lock_guard blk{mu_};
     --unstarted_;
@@ -67,6 +106,7 @@ void ThreadPool::worker_loop(std::size_t self) {
     Task task;
     if (try_take(self, task)) {
       task();
+      obs::MetricsRegistry::global().add(tasks_run_id());
       finish_task();
       continue;
     }
@@ -78,8 +118,18 @@ void ThreadPool::worker_loop(std::size_t self) {
 
 void ThreadPool::run_batch(std::vector<Task> tasks) {
   if (tasks.empty()) return;
+  auto& registry = obs::MetricsRegistry::global();
+  registry.add(batches_id());
+  const auto batch_start = std::chrono::steady_clock::now();
   if (queues_.empty()) {
-    for (Task& t : tasks) t();
+    for (Task& t : tasks) {
+      t();
+      registry.add(tasks_run_id());
+    }
+    registry.observe(batch_ms_hist(),
+                     std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - batch_start)
+                         .count());
     return;
   }
   {
@@ -98,10 +148,17 @@ void ThreadPool::run_batch(std::vector<Task> tasks) {
   Task task;
   while (try_take(0, task)) {
     task();
+    registry.add(tasks_run_id());
     finish_task();
   }
-  std::unique_lock lk{mu_};
-  done_cv_.wait(lk, [this] { return pending_ == 0; });
+  {
+    std::unique_lock lk{mu_};
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+  }
+  registry.observe(batch_ms_hist(),
+                   std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - batch_start)
+                       .count());
 }
 
 }  // namespace wheels::core

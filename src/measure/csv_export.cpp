@@ -2,13 +2,34 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/obs/metrics.hpp"
+
 namespace wheels::measure {
 
 namespace {
+
+// The default ostream precision (6 significant digits) silently rounds
+// doubles on the way out, so a written-then-read bundle was NOT the database
+// that produced it. max_digits10 (17) guarantees the decimal text converts
+// back to the identical bits (verified by tests/test_csv_export.cpp).
+class LosslessDoubles {
+ public:
+  explicit LosslessDoubles(std::ostream& os)
+      : os_(os),
+        saved_(os.precision(std::numeric_limits<double>::max_digits10)) {}
+  ~LosslessDoubles() { os_.precision(saved_); }
+  LosslessDoubles(const LosslessDoubles&) = delete;
+  LosslessDoubles& operator=(const LosslessDoubles&) = delete;
+
+ private:
+  std::ostream& os_;
+  std::streamsize saved_;
+};
 
 constexpr char kKpiHeader[] =
     "test_id,t,carrier,tech,cell_id,rsrp,mcs,bler,ca,throughput,speed,km,"
@@ -38,6 +59,7 @@ void expect_header(std::istream& is, const char* expected) {
 }  // namespace
 
 void write_tests_csv(std::ostream& os, const ConsolidatedDb& db) {
+  LosslessDoubles guard{os};
   os << "id,type,carrier,is_static,start,end,start_km,end_km,tz,server,"
         "direction,cycle\n";
   for (const auto& t : db.tests) {
@@ -50,6 +72,7 @@ void write_tests_csv(std::ostream& os, const ConsolidatedDb& db) {
 }
 
 void write_kpis_csv(std::ostream& os, const ConsolidatedDb& db) {
+  LosslessDoubles guard{os};
   os << kKpiHeader << '\n';
   for (const auto& k : db.kpis) {
     os << k.test_id << ',' << k.t << ',' << carrier_code(k.carrier) << ','
@@ -63,6 +86,7 @@ void write_kpis_csv(std::ostream& os, const ConsolidatedDb& db) {
 }
 
 void write_rtts_csv(std::ostream& os, const ConsolidatedDb& db) {
+  LosslessDoubles guard{os};
   os << kRttHeader << '\n';
   for (const auto& r : db.rtts) {
     os << r.test_id << ',' << r.t << ',' << carrier_code(r.carrier) << ','
@@ -73,6 +97,7 @@ void write_rtts_csv(std::ostream& os, const ConsolidatedDb& db) {
 }
 
 void write_handovers_csv(std::ostream& os, const ConsolidatedDb& db) {
+  LosslessDoubles guard{os};
   os << "test_id,carrier,direction,t,duration,from_tech,to_tech,from_cell,"
         "to_cell,type\n";
   for (const auto& h : db.handovers) {
@@ -85,6 +110,7 @@ void write_handovers_csv(std::ostream& os, const ConsolidatedDb& db) {
 }
 
 void write_app_runs_csv(std::ostream& os, const ConsolidatedDb& db) {
+  LosslessDoubles guard{os};
   os << "test_id,app,carrier,is_static,server,high_speed_5g_fraction,"
         "handovers,compressed,median_e2e,offload_fps,map_percent,qoe,"
         "rebuffer_fraction,avg_bitrate,gaming_bitrate,gaming_latency,"
@@ -104,6 +130,7 @@ void write_app_runs_csv(std::ostream& os, const ConsolidatedDb& db) {
 void write_coverage_csv(std::ostream& os,
                         const std::vector<CoverageSegment>& segments,
                         radio::Carrier carrier, bool passive) {
+  LosslessDoubles guard{os};
   os << "carrier,view,map_km_start,map_km_end,tech\n";
   for (const auto& s : segments) {
     os << carrier_code(carrier) << ',' << (passive ? "passive" : "active")
@@ -172,8 +199,9 @@ std::vector<RttRecord> read_rtts_csv(std::istream& is) {
   return out;
 }
 
-std::vector<std::string> write_dataset(const ConsolidatedDb& db,
-                                       const std::string& directory) {
+std::vector<std::string> write_dataset(
+    const ConsolidatedDb& db, const std::string& directory,
+    const core::obs::RunManifest& manifest) {
   namespace fs = std::filesystem;
   fs::create_directories(directory);
   std::vector<std::string> written;
@@ -202,7 +230,17 @@ std::vector<std::string> write_dataset(const ConsolidatedDb& db,
       write_coverage_csv(os, db.active_coverage[ci], c, false);
     });
   }
+  const fs::path manifest_path = fs::path(directory) / "manifest.json";
+  core::obs::write_manifest(manifest, manifest_path.string());
+  written.push_back(manifest_path.string());
+
+  core::obs::flush_to_env_sinks();
   return written;
+}
+
+std::vector<std::string> write_dataset(const ConsolidatedDb& db,
+                                       const std::string& directory) {
+  return write_dataset(db, directory, core::obs::make_run_manifest());
 }
 
 }  // namespace wheels::measure

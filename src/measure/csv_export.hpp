@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/obs/manifest.hpp"
 #include "measure/records.hpp"
 
 namespace wheels::measure {
@@ -28,8 +29,16 @@ void write_coverage_csv(std::ostream& os,
 std::vector<KpiRecord> read_kpis_csv(std::istream& is);
 std::vector<RttRecord> read_rtts_csv(std::istream& is);
 
-/// Write the whole dataset bundle into a directory (created if needed).
-/// Returns the list of files written.
+/// Write the whole dataset bundle into a directory (created if needed),
+/// including a manifest.json recording the bundle's provenance. Returns the
+/// list of files written. Also flushes the global metrics/trace sinks when
+/// WHEELS_METRICS_OUT / WHEELS_TRACE_OUT are set.
+std::vector<std::string> write_dataset(const ConsolidatedDb& db,
+                                       const std::string& directory,
+                                       const core::obs::RunManifest& manifest);
+
+/// As above with a default manifest (library version + start time only; use
+/// campaign::make_manifest to record seed, scale and config digest).
 std::vector<std::string> write_dataset(const ConsolidatedDb& db,
                                        const std::string& directory);
 

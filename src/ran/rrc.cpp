@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/obs/metrics.hpp"
+
 namespace wheels::ran {
 
 RrcMachine::RrcMachine(Rng rng, Millis inactivity_timeout)
@@ -22,6 +24,12 @@ Millis RrcMachine::on_traffic(SimMillis t) {
   const bool promotes = state_at(t) == RrcState::Idle;
   last_traffic_ = t;
   ever_active_ = true;
+  if (promotes) {
+    auto& reg = core::obs::MetricsRegistry::global();
+    static const core::obs::MetricId promotions =
+        reg.counter_id("ran.rrc.promotions");
+    reg.add(promotions);
+  }
   return promotes ? sample_promotion_delay(rng_) : 0.0;
 }
 

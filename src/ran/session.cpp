@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/obs/metrics.hpp"
+
 namespace wheels::ran {
 
 using radio::CellSite;
@@ -62,6 +64,25 @@ std::uint32_t sector_id(std::uint32_t site, int sector) {
   return 0x8000'0000u | (site << 2) | static_cast<std::uint32_t>(sector);
 }
 
+/// Count one handover in the global registry. A handover whose interruption
+/// eats the whole tick counts as a failure — the same "data plane stalled
+/// for >= one scheduling period" criterion the throughput penalty uses.
+void record_handover(const HandoverEvent& ho, Millis dt) {
+  auto& reg = core::obs::MetricsRegistry::global();
+  static const core::obs::MetricId attempts =
+      reg.counter_id("ran.handover.attempts");
+  static const core::obs::MetricId vertical =
+      reg.counter_id("ran.handover.vertical");
+  static const core::obs::MetricId failures =
+      reg.counter_id("ran.handover.failures");
+  static const core::obs::MetricsRegistry::HistogramHandle duration =
+      reg.histogram("ran.handover.duration_ms");
+  reg.add(attempts);
+  if (is_vertical(ho.type)) reg.add(vertical);
+  if (ho.duration >= dt) reg.add(failures);
+  reg.observe(duration, ho.duration);
+}
+
 }  // namespace
 
 RadioTick RadioSession::tick(const geo::DriveSample& s, Millis dt) {
@@ -116,6 +137,7 @@ RadioTick RadioSession::tick(const geo::DriveSample& s, Millis dt) {
                                 : Direction::Downlink;
       ho.duration = sample_handover_duration(deployment_->carrier(), dir,
                                              is_vertical(ho.type), rng_);
+      record_handover(ho, dt);
       out.handovers.push_back(ho);
       out.interruption = std::min<Millis>(ho.duration, dt);
       serving_ = candidate;
@@ -149,6 +171,7 @@ RadioTick RadioSession::tick(const geo::DriveSample& s, Millis dt) {
       // Intra-site switches are the fastest handovers.
       ho.duration = 0.7 * sample_handover_duration(deployment_->carrier(),
                                                    dir, false, rng_);
+      record_handover(ho, dt);
       out.handovers.push_back(ho);
       out.interruption = std::min<Millis>(out.interruption + ho.duration, dt);
       sector_ = next;
@@ -179,6 +202,7 @@ RadioTick RadioSession::tick(const geo::DriveSample& s, Millis dt) {
       // Anchor changes are brief (no user-plane path switch on the NR leg).
       ho.duration = 0.5 * sample_handover_duration(deployment_->carrier(),
                                                    dir, false, rng_);
+      record_handover(ho, dt);
       out.handovers.push_back(ho);
       out.interruption =
           std::min<Millis>(out.interruption + ho.duration, dt);

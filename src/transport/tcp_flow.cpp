@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/obs/metrics.hpp"
+
 namespace wheels::transport {
+
+namespace {
+
+// Loss/cwnd events are driven by the seeded Rng and the deterministic fluid
+// model, so these counters belong in the deterministic snapshot.
+core::obs::MetricId retransmits_id() {
+  static const core::obs::MetricId id =
+      core::obs::MetricsRegistry::global().counter_id("transport.retransmits");
+  return id;
+}
+
+core::obs::MetricId cwnd_resets_id() {
+  static const core::obs::MetricId id =
+      core::obs::MetricsRegistry::global().counter_id("transport.cwnd_resets");
+  return id;
+}
+
+const core::obs::MetricsRegistry::HistogramHandle& srtt_hist() {
+  static const core::obs::MetricsRegistry::HistogramHandle h =
+      core::obs::MetricsRegistry::global().histogram("transport.srtt_ms");
+  return h;
+}
+
+}  // namespace
 
 std::string_view cc_algo_name(CcAlgo a) {
   return a == CcAlgo::Cubic ? "cubic" : "bbr";
@@ -99,12 +125,14 @@ double TcpBulkFlow::advance(Mbps capacity, Millis dt) {
       loss = true;
     }
     if (!loss && rng_.bernoulli(config_.random_loss_p)) loss = true;
+    if (loss) core::obs::MetricsRegistry::global().add(retransmits_id());
 
     if (config_.algo == CcAlgo::Bbr) {
       // BBR v1 is loss-agnostic: it paces off the bandwidth model.
       bbr_on_delivered(out, step);
     } else if (loss) {
       cubic_.on_loss(now_);
+      core::obs::MetricsRegistry::global().add(cwnd_resets_id());
     } else if (out > 0.0) {
       cubic_.on_ack(out / Cubic::kMssBytes, srtt_now, now_);
     }
@@ -114,6 +142,11 @@ double TcpBulkFlow::advance(Mbps capacity, Millis dt) {
                        ? queue_bytes_ * 8.0 / (capacity * 1e6) * 1000.0
                        : std::min(queue_delay_ + step, 4'000.0);
   }
+
+  // One sample per advance() call, not per fluid step, to keep the
+  // instrumentation off the inner-loop hot path.
+  core::obs::MetricsRegistry::global().observe(srtt_hist(),
+                                               base_rtt_ + queue_delay_);
 
   total_delivered_ += delivered_bytes;
   return delivered_bytes;

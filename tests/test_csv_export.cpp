@@ -36,10 +36,49 @@ TEST(CsvExport, KpiRoundTrip) {
     EXPECT_EQ(back[i].mcs, db.kpis[i].mcs);
     EXPECT_EQ(back[i].handovers, db.kpis[i].handovers);
     EXPECT_EQ(back[i].is_static, db.kpis[i].is_static);
-    EXPECT_NEAR(back[i].throughput, db.kpis[i].throughput,
-                1e-4 * (1.0 + db.kpis[i].throughput));
-    EXPECT_NEAR(back[i].rsrp, db.kpis[i].rsrp, 1e-3);
+    // Doubles are written with max_digits10, so the roundtrip is bit-exact —
+    // these would fail under the old default 6-significant-digit formatting.
+    EXPECT_EQ(back[i].throughput, db.kpis[i].throughput);
+    EXPECT_EQ(back[i].rsrp, db.kpis[i].rsrp);
+    EXPECT_EQ(back[i].bler, db.kpis[i].bler);
+    EXPECT_EQ(back[i].speed, db.kpis[i].speed);
+    EXPECT_EQ(back[i].km, db.kpis[i].km);
+    EXPECT_EQ(back[i].map_km, db.kpis[i].map_km);
   }
+}
+
+TEST(CsvExport, KpiDoublesRoundTripBitExact) {
+  // Values chosen to be unrepresentable in 6 significant digits.
+  ConsolidatedDb db;
+  KpiRecord k;
+  k.test_id = 7;
+  k.t = 1234567;
+  k.rsrp = -97.123456789012345;
+  k.bler = 0.1000000000000000055511151231257827;  // nearest double to 0.1
+  k.throughput = 123.45678901234567;
+  k.speed = 65.4321098765432;
+  k.km = 1234.5678901234567;
+  k.map_km = 4321.9876543210987;
+  db.kpis.push_back(k);
+
+  std::stringstream ss;
+  write_kpis_csv(ss, db);
+  const auto back = read_kpis_csv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].rsrp, k.rsrp);
+  EXPECT_EQ(back[0].bler, k.bler);
+  EXPECT_EQ(back[0].throughput, k.throughput);
+  EXPECT_EQ(back[0].speed, k.speed);
+  EXPECT_EQ(back[0].km, k.km);
+  EXPECT_EQ(back[0].map_km, k.map_km);
+}
+
+TEST(CsvExport, StreamPrecisionIsRestored) {
+  ConsolidatedDb db;
+  std::stringstream ss;
+  const auto before = ss.precision();
+  write_kpis_csv(ss, db);
+  EXPECT_EQ(ss.precision(), before);
 }
 
 TEST(CsvExport, RttRoundTrip) {
@@ -51,7 +90,8 @@ TEST(CsvExport, RttRoundTrip) {
   for (std::size_t i = 0; i < back.size(); i += 53) {
     EXPECT_EQ(back[i].carrier, db.rtts[i].carrier);
     EXPECT_EQ(back[i].tech, db.rtts[i].tech);
-    EXPECT_NEAR(back[i].rtt, db.rtts[i].rtt, 1e-3 * (1.0 + db.rtts[i].rtt));
+    EXPECT_EQ(back[i].rtt, db.rtts[i].rtt);
+    EXPECT_EQ(back[i].speed, db.rtts[i].speed);
   }
 }
 
@@ -97,8 +137,8 @@ TEST(CsvExport, DatasetBundleWritesAllFiles) {
   const std::string dir = "/tmp/wheels-dataset-test";
   std::filesystem::remove_all(dir);
   const auto files = write_dataset(db, dir);
-  // 5 tables + 2 coverage views x 3 carriers.
-  EXPECT_EQ(files.size(), 11u);
+  // 5 tables + 2 coverage views x 3 carriers + manifest.json.
+  EXPECT_EQ(files.size(), 12u);
   for (const auto& f : files) {
     EXPECT_TRUE(std::filesystem::exists(f)) << f;
     EXPECT_GT(std::filesystem::file_size(f), 10u) << f;
@@ -107,6 +147,44 @@ TEST(CsvExport, DatasetBundleWritesAllFiles) {
   std::ifstream is{dir + "/kpis.csv"};
   EXPECT_EQ(read_kpis_csv(is).size(), db.kpis.size());
   std::filesystem::remove_all(dir);
+}
+
+TEST(CsvExport, DatasetBundleIncludesManifest) {
+  const auto& db = tiny_campaign_db();
+  const std::string dir = "/tmp/wheels-dataset-manifest-test";
+  std::filesystem::remove_all(dir);
+  campaign::CampaignConfig cfg;
+  cfg.scale = 0.01;
+  cfg.seed = 321;
+  (void)write_dataset(db, dir, campaign::make_manifest(cfg));
+
+  std::ifstream is{dir + "/manifest.json"};
+  ASSERT_TRUE(is.good());
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("\"seed\": 321"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"scale\": 0.01"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"config_digest\": \""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"library_version\": \""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"started_utc\": \""), std::string::npos) << text;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CsvExport, ManifestDigestTracksConfig) {
+  campaign::CampaignConfig a;
+  campaign::CampaignConfig b = a;
+  EXPECT_EQ(campaign::make_manifest(a).config_digest,
+            campaign::make_manifest(b).config_digest);
+  b.bulk_ticks += 1;
+  EXPECT_NE(campaign::make_manifest(a).config_digest,
+            campaign::make_manifest(b).config_digest);
+  // The thread count never changes the produced data, so it must not change
+  // the digest either.
+  campaign::CampaignConfig c = a;
+  c.threads = 8;
+  EXPECT_EQ(campaign::make_manifest(a).config_digest,
+            campaign::make_manifest(c).config_digest);
 }
 
 }  // namespace

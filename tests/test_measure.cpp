@@ -73,6 +73,69 @@ TEST(LogSync, DrmTimestampNormalization) {
             t);
 }
 
+// The LA->Boston drive crosses all four DST offsets (PDT, MDT, CDT, EDT).
+constexpr int kAllDstOffsets[] = {-420, -360, -300, -240};
+
+TEST(LogSync, LocalPolicyNormalizesAcrossAllDstOffsets) {
+  const UnixMillis t = campaign_start_unix_ms() + 5'000'000;
+  for (const int offset : kAllDstOffsets) {
+    AppLogger logger{"ping", TimestampPolicy::LocalTime, offset};
+    logger.log(t, 42.0);
+    const AppLogFile file = std::move(logger).finish();
+    EXPECT_EQ(LogSynchronizer::normalize_app_timestamp(file.lines[0], file), t)
+        << "offset " << offset;
+  }
+}
+
+TEST(LogSync, DrmContentStaysEdtAcrossAllDstOffsets) {
+  // Challenge C2 on wheels: the same instant logged in every timezone the
+  // van crosses produces four different filenames but the SAME EDT content
+  // rows, and they all normalise back to the same Unix time.
+  const UnixMillis t = campaign_start_unix_ms() + 3'600'000;
+  std::string expected_row;
+  for (const int offset : kAllDstOffsets) {
+    XcalLogger logger{radio::Carrier::Verizon, t, offset};
+    logger.log(t, KpiRecord{});
+    const DrmFile file = std::move(logger).finish();
+    ASSERT_EQ(file.rows.size(), 1u);
+    if (expected_row.empty()) {
+      expected_row = file.rows[0].edt_timestamp;
+    } else {
+      EXPECT_EQ(file.rows[0].edt_timestamp, expected_row)
+          << "offset " << offset;
+    }
+    EXPECT_EQ(
+        LogSynchronizer::normalize_drm_timestamp(file.rows[0].edt_timestamp),
+        t)
+        << "offset " << offset;
+  }
+}
+
+TEST(LogSync, JoinAlignsEdtDrmWithLocalTimeAppAcrossAllDstOffsets) {
+  // The production pairing in run_rtt/run_bulk: .drm rows are EDT by
+  // contract while the app log declares the van's current local offset. The
+  // join must line the two up in every timezone of the trip.
+  for (const int offset : kAllDstOffsets) {
+    const UnixMillis t0 = campaign_start_unix_ms() + 10'000'000;
+    XcalLogger xcal{radio::Carrier::Verizon, t0, offset};
+    AppLogger app{"nuttcp", TimestampPolicy::LocalTime, offset};
+    for (int i = 0; i < 5; ++i) {
+      KpiRecord kpi;
+      kpi.tech = radio::Technology::Lte;
+      xcal.log(t0 + i * 500, kpi);
+      app.log(t0 + i * 500, 10.0 + i);
+    }
+    const auto joined = LogSynchronizer::join(std::move(xcal).finish(),
+                                              std::move(app).finish());
+    ASSERT_EQ(joined.size(), 5u) << "offset " << offset;
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_DOUBLE_EQ(joined[static_cast<std::size_t>(i)].throughput,
+                       10.0 + i)
+          << "offset " << offset;
+    }
+  }
+}
+
 TEST(LogSync, JoinMatchesThroughputToKpiRows) {
   // XCAL logs every 500 ms in EDT; nuttcp logs every 500 ms in UTC; the van
   // is in Mountain time. The join must line them up exactly.
