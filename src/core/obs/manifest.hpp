@@ -51,4 +51,12 @@ RunManifest make_run_manifest();
 /// file cannot be opened.
 void write_manifest(const RunManifest& manifest, const std::string& path);
 
+/// Inverse of to_json() for the fixed schema above. Throws
+/// std::runtime_error naming the first missing or malformed key.
+RunManifest parse_manifest(std::string_view json);
+
+/// Read and parse `path`. Throws std::runtime_error when the file cannot be
+/// opened or fails to parse.
+RunManifest read_manifest(const std::string& path);
+
 }  // namespace wheels::core::obs

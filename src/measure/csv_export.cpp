@@ -1,13 +1,17 @@
 #include "measure/csv_export.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "core/obs/metrics.hpp"
+#include "measure/enum_names.hpp"
 
 namespace wheels::measure {
 
@@ -31,6 +35,10 @@ class LosslessDoubles {
   std::streamsize saved_;
 };
 
+constexpr char kTestHeader[] =
+    "id,type,carrier,is_static,start,end,start_km,end_km,tz,server,"
+    "direction,cycle";
+
 constexpr char kKpiHeader[] =
     "test_id,t,carrier,tech,cell_id,rsrp,mcs,bler,ca,throughput,speed,km,"
     "map_km,tz,region,handovers,server,direction,is_static";
@@ -38,36 +46,164 @@ constexpr char kKpiHeader[] =
 constexpr char kRttHeader[] =
     "test_id,t,carrier,tech,rtt,speed,tz,server,is_static";
 
-int carrier_code(radio::Carrier c) { return static_cast<int>(c); }
-int tech_code(radio::Technology t) { return static_cast<int>(t); }
+constexpr char kHandoverHeader[] =
+    "test_id,carrier,direction,t,duration,from_tech,to_tech,from_cell,"
+    "to_cell,type";
+
+constexpr char kAppRunHeader[] =
+    "test_id,app,carrier,is_static,server,high_speed_5g_fraction,"
+    "handovers,compressed,median_e2e,offload_fps,map_percent,qoe,"
+    "rebuffer_fraction,avg_bitrate,gaming_bitrate,gaming_latency,"
+    "gaming_frame_drop,gaming_max_frame_drop";
+
+constexpr char kCoverageHeader[] = "carrier,view,map_km_start,map_km_end,tech";
+
+constexpr char kSummaryHeader[] = "key,carrier,value";
+
+constexpr char kCellsHeader[] = "carrier,view,cell_id";
 
 std::vector<std::string> split_line(const std::string& line) {
   std::vector<std::string> out;
-  std::string cell;
-  std::stringstream ss{line};
-  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(',', start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
   return out;
 }
 
-void expect_header(std::istream& is, const char* expected) {
-  std::string header;
-  if (!std::getline(is, header) || header != expected) {
-    throw std::runtime_error{"csv: unexpected header '" + header + "'"};
-  }
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
 }
+
+// Strict row cursor over one CSV table. Verifies the header on construction,
+// enforces the column count per row, rejects a repeated header line, and
+// parses each field with full-string validation. Every failure throws
+// std::runtime_error citing the 1-based line number of the offending line.
+class CsvTable {
+ public:
+  CsvTable(std::istream& is, const char* header, std::size_t columns)
+      : is_(is), header_(header), columns_(columns) {
+    std::string line;
+    if (!std::getline(is_, line)) {
+      throw std::runtime_error{"csv: line 1: missing header, expected '" +
+                               header_ + "'"};
+    }
+    strip_cr(line);
+    if (line != header_) {
+      throw std::runtime_error{"csv: line 1: unexpected header '" + line +
+                               "', expected '" + header_ + "'"};
+    }
+  }
+
+  /// Advances to the next data row; false at end of input. Blank lines are
+  /// skipped (the writers never emit them mid-table).
+  bool next(std::vector<std::string>& cells) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_;
+      strip_cr(line);
+      if (line.empty()) continue;
+      if (line == header_) fail("duplicated header");
+      cells = split_line(line);
+      if (cells.size() != columns_) {
+        fail("expected " + std::to_string(columns_) + " fields, got " +
+             std::to_string(cells.size()));
+      }
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error{"csv: line " + std::to_string(line_) + ": " +
+                             msg};
+  }
+
+  double as_double(const std::string& cell) const {
+    if (cell.empty()) fail("empty numeric field");
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end != cell.c_str() + cell.size()) {
+      fail("malformed number '" + cell + "'");
+    }
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+      fail("number out of range '" + cell + "'");
+    }
+    if (!std::isfinite(v)) fail("non-finite number '" + cell + "'");
+    return v;
+  }
+
+  long long as_i64(const std::string& cell) const {
+    if (cell.empty()) fail("empty integer field");
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(cell.c_str(), &end, 10);
+    if (end != cell.c_str() + cell.size()) {
+      fail("malformed integer '" + cell + "'");
+    }
+    if (errno == ERANGE) fail("integer out of range '" + cell + "'");
+    return v;
+  }
+
+  int as_int(const std::string& cell) const {
+    const long long v = as_i64(cell);
+    if (v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max()) {
+      fail("integer out of range '" + cell + "'");
+    }
+    return static_cast<int>(v);
+  }
+
+  std::uint32_t as_u32(const std::string& cell) const {
+    const long long v = as_i64(cell);
+    if (v < 0 || v > std::numeric_limits<std::uint32_t>::max()) {
+      fail("id out of range '" + cell + "'");
+    }
+    return static_cast<std::uint32_t>(v);
+  }
+
+  bool as_bool(const std::string& cell) const {
+    if (cell == "0") return false;
+    if (cell == "1") return true;
+    fail("malformed bool '" + cell + "' (expected 0 or 1)");
+  }
+
+  /// Runs one of the names::parse_* lookups, re-raising its "unknown ...
+  /// name" error with this row's line number attached.
+  template <typename Parser>
+  auto as_enum(const std::string& cell, Parser parser) const {
+    try {
+      return parser(cell);
+    } catch (const std::runtime_error& e) {
+      fail(e.what());
+    }
+  }
+
+ private:
+  std::istream& is_;
+  std::string header_;
+  std::size_t columns_;
+  std::size_t line_ = 1;  // the header occupies line 1
+};
 
 }  // namespace
 
 void write_tests_csv(std::ostream& os, const ConsolidatedDb& db) {
   LosslessDoubles guard{os};
-  os << "id,type,carrier,is_static,start,end,start_km,end_km,tz,server,"
-        "direction,cycle\n";
+  os << kTestHeader << '\n';
   for (const auto& t : db.tests) {
-    os << t.id << ',' << test_type_name(t.type) << ','
-       << carrier_code(t.carrier) << ',' << t.is_static << ',' << t.start
+    os << t.id << ',' << names::to_name(t.type) << ','
+       << names::to_name(t.carrier) << ',' << t.is_static << ',' << t.start
        << ',' << t.end << ',' << t.start_km << ',' << t.end_km << ','
-       << static_cast<int>(t.tz) << ',' << static_cast<int>(t.server) << ','
-       << static_cast<int>(t.direction) << ',' << t.cycle << '\n';
+       << names::to_name(t.tz) << ',' << names::to_name(t.server) << ','
+       << names::to_name(t.direction) << ',' << t.cycle << '\n';
   }
 }
 
@@ -75,13 +211,13 @@ void write_kpis_csv(std::ostream& os, const ConsolidatedDb& db) {
   LosslessDoubles guard{os};
   os << kKpiHeader << '\n';
   for (const auto& k : db.kpis) {
-    os << k.test_id << ',' << k.t << ',' << carrier_code(k.carrier) << ','
-       << tech_code(k.tech) << ',' << k.cell_id << ',' << k.rsrp << ','
+    os << k.test_id << ',' << k.t << ',' << names::to_name(k.carrier) << ','
+       << names::to_name(k.tech) << ',' << k.cell_id << ',' << k.rsrp << ','
        << k.mcs << ',' << k.bler << ',' << k.ca << ',' << k.throughput << ','
        << k.speed << ',' << k.km << ',' << k.map_km << ','
-       << static_cast<int>(k.tz) << ',' << static_cast<int>(k.region) << ','
-       << k.handovers << ',' << static_cast<int>(k.server) << ','
-       << static_cast<int>(k.direction) << ',' << k.is_static << '\n';
+       << names::to_name(k.tz) << ',' << names::to_name(k.region) << ','
+       << k.handovers << ',' << names::to_name(k.server) << ','
+       << names::to_name(k.direction) << ',' << k.is_static << '\n';
   }
 }
 
@@ -89,36 +225,32 @@ void write_rtts_csv(std::ostream& os, const ConsolidatedDb& db) {
   LosslessDoubles guard{os};
   os << kRttHeader << '\n';
   for (const auto& r : db.rtts) {
-    os << r.test_id << ',' << r.t << ',' << carrier_code(r.carrier) << ','
-       << tech_code(r.tech) << ',' << r.rtt << ',' << r.speed << ','
-       << static_cast<int>(r.tz) << ',' << static_cast<int>(r.server) << ','
+    os << r.test_id << ',' << r.t << ',' << names::to_name(r.carrier) << ','
+       << names::to_name(r.tech) << ',' << r.rtt << ',' << r.speed << ','
+       << names::to_name(r.tz) << ',' << names::to_name(r.server) << ','
        << r.is_static << '\n';
   }
 }
 
 void write_handovers_csv(std::ostream& os, const ConsolidatedDb& db) {
   LosslessDoubles guard{os};
-  os << "test_id,carrier,direction,t,duration,from_tech,to_tech,from_cell,"
-        "to_cell,type\n";
+  os << kHandoverHeader << '\n';
   for (const auto& h : db.handovers) {
-    os << h.test_id << ',' << carrier_code(h.carrier) << ','
-       << static_cast<int>(h.direction) << ',' << h.event.t << ','
-       << h.event.duration << ',' << tech_code(h.event.from) << ','
-       << tech_code(h.event.to) << ',' << h.event.from_cell << ','
-       << h.event.to_cell << ',' << static_cast<int>(h.event.type) << '\n';
+    os << h.test_id << ',' << names::to_name(h.carrier) << ','
+       << names::to_name(h.direction) << ',' << h.event.t << ','
+       << h.event.duration << ',' << names::to_name(h.event.from) << ','
+       << names::to_name(h.event.to) << ',' << h.event.from_cell << ','
+       << h.event.to_cell << ',' << names::to_name(h.event.type) << '\n';
   }
 }
 
 void write_app_runs_csv(std::ostream& os, const ConsolidatedDb& db) {
   LosslessDoubles guard{os};
-  os << "test_id,app,carrier,is_static,server,high_speed_5g_fraction,"
-        "handovers,compressed,median_e2e,offload_fps,map_percent,qoe,"
-        "rebuffer_fraction,avg_bitrate,gaming_bitrate,gaming_latency,"
-        "gaming_frame_drop,gaming_max_frame_drop\n";
+  os << kAppRunHeader << '\n';
   for (const auto& r : db.app_runs) {
-    os << r.test_id << ',' << app_kind_name(r.app) << ','
-       << carrier_code(r.carrier) << ',' << r.is_static << ','
-       << static_cast<int>(r.server) << ',' << r.high_speed_5g_fraction << ','
+    os << r.test_id << ',' << names::to_name(r.app) << ','
+       << names::to_name(r.carrier) << ',' << r.is_static << ','
+       << names::to_name(r.server) << ',' << r.high_speed_5g_fraction << ','
        << r.handovers << ',' << r.compressed << ',' << r.median_e2e << ','
        << r.offload_fps << ',' << r.map_percent << ',' << r.qoe << ','
        << r.rebuffer_fraction << ',' << r.avg_bitrate << ','
@@ -131,72 +263,244 @@ void write_coverage_csv(std::ostream& os,
                         const std::vector<CoverageSegment>& segments,
                         radio::Carrier carrier, bool passive) {
   LosslessDoubles guard{os};
-  os << "carrier,view,map_km_start,map_km_end,tech\n";
+  os << kCoverageHeader << '\n';
   for (const auto& s : segments) {
-    os << carrier_code(carrier) << ',' << (passive ? "passive" : "active")
+    os << names::to_name(carrier) << ',' << (passive ? "passive" : "active")
        << ',' << s.map_km_start << ',' << s.map_km_end << ','
-       << tech_code(s.tech) << '\n';
+       << names::to_name(s.tech) << '\n';
   }
 }
 
-std::vector<KpiRecord> read_kpis_csv(std::istream& is) {
-  expect_header(is, kKpiHeader);
-  std::vector<KpiRecord> out;
-  std::string line;
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    const auto cells = split_line(line);
-    if (cells.size() != 19) {
-      throw std::runtime_error{"csv: bad kpi row '" + line + "'"};
+void write_summary_csv(std::ostream& os, const ConsolidatedDb& db) {
+  LosslessDoubles guard{os};
+  os << kSummaryHeader << '\n';
+  os << "driven_km,," << db.driven_km << '\n';
+  os << "rx_bytes,," << db.rx_bytes << '\n';
+  os << "tx_bytes,," << db.tx_bytes << '\n';
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const std::size_t ci = carrier_index(c);
+    os << "experiment_runtime," << names::to_name(c) << ','
+       << db.experiment_runtime[ci] << '\n';
+    os << "passive_handovers," << names::to_name(c) << ','
+       << db.passive[ci].handovers << '\n';
+    os << "passive_pings," << names::to_name(c) << ',' << db.passive[ci].pings
+       << '\n';
+  }
+}
+
+void write_cells_csv(std::ostream& os, const ConsolidatedDb& db) {
+  os << kCellsHeader << '\n';
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const std::size_t ci = carrier_index(c);
+    for (const std::uint32_t id : db.active_cells[ci]) {
+      os << names::to_name(c) << ",active," << id << '\n';
     }
+    for (const std::uint32_t id : db.passive[ci].cells) {
+      os << names::to_name(c) << ",passive," << id << '\n';
+    }
+  }
+}
+
+std::vector<TestRecord> read_tests_csv(std::istream& is) {
+  CsvTable table{is, kTestHeader, 12};
+  std::vector<TestRecord> out;
+  std::vector<std::string> cells;
+  while (table.next(cells)) {
+    TestRecord t;
+    t.id = table.as_u32(cells[0]);
+    t.type = table.as_enum(cells[1], names::parse_test_type);
+    t.carrier = table.as_enum(cells[2], names::parse_carrier);
+    t.is_static = table.as_bool(cells[3]);
+    t.start = table.as_i64(cells[4]);
+    t.end = table.as_i64(cells[5]);
+    t.start_km = table.as_double(cells[6]);
+    t.end_km = table.as_double(cells[7]);
+    t.tz = table.as_enum(cells[8], names::parse_timezone);
+    t.server = table.as_enum(cells[9], names::parse_server_kind);
+    t.direction = table.as_enum(cells[10], names::parse_direction);
+    t.cycle = table.as_int(cells[11]);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<KpiRecord> read_kpis_csv(std::istream& is) {
+  CsvTable table{is, kKpiHeader, 19};
+  std::vector<KpiRecord> out;
+  std::vector<std::string> cells;
+  while (table.next(cells)) {
     KpiRecord k;
-    k.test_id = static_cast<std::uint32_t>(std::stoul(cells[0]));
-    k.t = std::stoll(cells[1]);
-    k.carrier = static_cast<radio::Carrier>(std::stoi(cells[2]));
-    k.tech = static_cast<radio::Technology>(std::stoi(cells[3]));
-    k.cell_id = static_cast<std::uint32_t>(std::stoul(cells[4]));
-    k.rsrp = std::stod(cells[5]);
-    k.mcs = std::stoi(cells[6]);
-    k.bler = std::stod(cells[7]);
-    k.ca = std::stoi(cells[8]);
-    k.throughput = std::stod(cells[9]);
-    k.speed = std::stod(cells[10]);
-    k.km = std::stod(cells[11]);
-    k.map_km = std::stod(cells[12]);
-    k.tz = static_cast<geo::Timezone>(std::stoi(cells[13]));
-    k.region = static_cast<geo::RegionType>(std::stoi(cells[14]));
-    k.handovers = std::stoi(cells[15]);
-    k.server = static_cast<net::ServerKind>(std::stoi(cells[16]));
-    k.direction = static_cast<radio::Direction>(std::stoi(cells[17]));
-    k.is_static = cells[18] == "1";
+    k.test_id = table.as_u32(cells[0]);
+    k.t = table.as_i64(cells[1]);
+    k.carrier = table.as_enum(cells[2], names::parse_carrier);
+    k.tech = table.as_enum(cells[3], names::parse_technology);
+    k.cell_id = table.as_u32(cells[4]);
+    k.rsrp = table.as_double(cells[5]);
+    k.mcs = table.as_int(cells[6]);
+    k.bler = table.as_double(cells[7]);
+    k.ca = table.as_int(cells[8]);
+    k.throughput = table.as_double(cells[9]);
+    k.speed = table.as_double(cells[10]);
+    k.km = table.as_double(cells[11]);
+    k.map_km = table.as_double(cells[12]);
+    k.tz = table.as_enum(cells[13], names::parse_timezone);
+    k.region = table.as_enum(cells[14], names::parse_region);
+    k.handovers = table.as_int(cells[15]);
+    k.server = table.as_enum(cells[16], names::parse_server_kind);
+    k.direction = table.as_enum(cells[17], names::parse_direction);
+    k.is_static = table.as_bool(cells[18]);
     out.push_back(k);
   }
   return out;
 }
 
 std::vector<RttRecord> read_rtts_csv(std::istream& is) {
-  expect_header(is, kRttHeader);
+  CsvTable table{is, kRttHeader, 9};
   std::vector<RttRecord> out;
-  std::string line;
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    const auto cells = split_line(line);
-    if (cells.size() != 9) {
-      throw std::runtime_error{"csv: bad rtt row '" + line + "'"};
-    }
+  std::vector<std::string> cells;
+  while (table.next(cells)) {
     RttRecord r;
-    r.test_id = static_cast<std::uint32_t>(std::stoul(cells[0]));
-    r.t = std::stoll(cells[1]);
-    r.carrier = static_cast<radio::Carrier>(std::stoi(cells[2]));
-    r.tech = static_cast<radio::Technology>(std::stoi(cells[3]));
-    r.rtt = std::stod(cells[4]);
-    r.speed = std::stod(cells[5]);
-    r.tz = static_cast<geo::Timezone>(std::stoi(cells[6]));
-    r.server = static_cast<net::ServerKind>(std::stoi(cells[7]));
-    r.is_static = cells[8] == "1";
+    r.test_id = table.as_u32(cells[0]);
+    r.t = table.as_i64(cells[1]);
+    r.carrier = table.as_enum(cells[2], names::parse_carrier);
+    r.tech = table.as_enum(cells[3], names::parse_technology);
+    r.rtt = table.as_double(cells[4]);
+    r.speed = table.as_double(cells[5]);
+    r.tz = table.as_enum(cells[6], names::parse_timezone);
+    r.server = table.as_enum(cells[7], names::parse_server_kind);
+    r.is_static = table.as_bool(cells[8]);
     out.push_back(r);
   }
   return out;
+}
+
+std::vector<HandoverRecord> read_handovers_csv(std::istream& is) {
+  CsvTable table{is, kHandoverHeader, 10};
+  std::vector<HandoverRecord> out;
+  std::vector<std::string> cells;
+  while (table.next(cells)) {
+    HandoverRecord h;
+    h.test_id = table.as_u32(cells[0]);
+    h.carrier = table.as_enum(cells[1], names::parse_carrier);
+    h.direction = table.as_enum(cells[2], names::parse_direction);
+    h.event.t = table.as_i64(cells[3]);
+    h.event.duration = table.as_double(cells[4]);
+    h.event.from = table.as_enum(cells[5], names::parse_technology);
+    h.event.to = table.as_enum(cells[6], names::parse_technology);
+    h.event.from_cell = table.as_u32(cells[7]);
+    h.event.to_cell = table.as_u32(cells[8]);
+    h.event.type = table.as_enum(cells[9], names::parse_handover_type);
+    out.push_back(h);
+  }
+  return out;
+}
+
+std::vector<AppRunRecord> read_app_runs_csv(std::istream& is) {
+  CsvTable table{is, kAppRunHeader, 18};
+  std::vector<AppRunRecord> out;
+  std::vector<std::string> cells;
+  while (table.next(cells)) {
+    AppRunRecord r;
+    r.test_id = table.as_u32(cells[0]);
+    r.app = table.as_enum(cells[1], names::parse_app_kind);
+    r.carrier = table.as_enum(cells[2], names::parse_carrier);
+    r.is_static = table.as_bool(cells[3]);
+    r.server = table.as_enum(cells[4], names::parse_server_kind);
+    r.high_speed_5g_fraction = table.as_double(cells[5]);
+    r.handovers = table.as_int(cells[6]);
+    r.compressed = table.as_bool(cells[7]);
+    r.median_e2e = table.as_double(cells[8]);
+    r.offload_fps = table.as_double(cells[9]);
+    r.map_percent = table.as_double(cells[10]);
+    r.qoe = table.as_double(cells[11]);
+    r.rebuffer_fraction = table.as_double(cells[12]);
+    r.avg_bitrate = table.as_double(cells[13]);
+    r.gaming_bitrate = table.as_double(cells[14]);
+    r.gaming_latency = table.as_double(cells[15]);
+    r.gaming_frame_drop = table.as_double(cells[16]);
+    r.gaming_max_frame_drop = table.as_double(cells[17]);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<CoverageSegment> read_coverage_csv(std::istream& is,
+                                               radio::Carrier expected_carrier,
+                                               bool expected_passive) {
+  CsvTable table{is, kCoverageHeader, 5};
+  std::vector<CoverageSegment> out;
+  std::vector<std::string> cells;
+  const std::string expected_view = expected_passive ? "passive" : "active";
+  while (table.next(cells)) {
+    const auto carrier = table.as_enum(cells[0], names::parse_carrier);
+    if (carrier != expected_carrier) {
+      table.fail("carrier '" + cells[0] + "' does not match the file's '" +
+                 std::string{names::to_name(expected_carrier)} + "'");
+    }
+    if (cells[1] != expected_view) {
+      table.fail("view '" + cells[1] + "' does not match the file's '" +
+                 expected_view + "'");
+    }
+    CoverageSegment s;
+    s.map_km_start = table.as_double(cells[2]);
+    s.map_km_end = table.as_double(cells[3]);
+    s.tech = table.as_enum(cells[4], names::parse_technology);
+    out.push_back(s);
+  }
+  return out;
+}
+
+void read_summary_csv(std::istream& is, ConsolidatedDb& db) {
+  CsvTable table{is, kSummaryHeader, 3};
+  std::vector<std::string> cells;
+  while (table.next(cells)) {
+    const std::string& key = cells[0];
+    const bool global = cells[1].empty();
+    if (key == "driven_km" || key == "rx_bytes" || key == "tx_bytes") {
+      if (!global) table.fail("key '" + key + "' takes no carrier");
+      const double v = table.as_double(cells[2]);
+      if (key == "driven_km") {
+        db.driven_km = v;
+      } else if (key == "rx_bytes") {
+        db.rx_bytes = v;
+      } else {
+        db.tx_bytes = v;
+      }
+      continue;
+    }
+    if (global) table.fail("key '" + key + "' requires a carrier");
+    const auto carrier = table.as_enum(cells[1], names::parse_carrier);
+    const std::size_t ci = carrier_index(carrier);
+    if (key == "experiment_runtime") {
+      db.experiment_runtime[ci] = table.as_double(cells[2]);
+    } else if (key == "passive_handovers") {
+      db.passive[ci].carrier = carrier;
+      db.passive[ci].handovers = table.as_i64(cells[2]);
+    } else if (key == "passive_pings") {
+      db.passive[ci].carrier = carrier;
+      db.passive[ci].pings = table.as_i64(cells[2]);
+    } else {
+      table.fail("unknown summary key '" + key + "'");
+    }
+  }
+}
+
+void read_cells_csv(std::istream& is, ConsolidatedDb& db) {
+  CsvTable table{is, kCellsHeader, 3};
+  std::vector<std::string> cells;
+  while (table.next(cells)) {
+    const auto carrier = table.as_enum(cells[0], names::parse_carrier);
+    const std::size_t ci = carrier_index(carrier);
+    const std::uint32_t id = table.as_u32(cells[2]);
+    if (cells[1] == "active") {
+      db.active_cells[ci].insert(id);
+    } else if (cells[1] == "passive") {
+      db.passive[ci].carrier = carrier;
+      db.passive[ci].cells.insert(id);
+    } else {
+      table.fail("unknown view '" + cells[1] + "' (expected active|passive)");
+    }
+  }
 }
 
 std::vector<std::string> write_dataset(
@@ -230,6 +534,8 @@ std::vector<std::string> write_dataset(
       write_coverage_csv(os, db.active_coverage[ci], c, false);
     });
   }
+  emit("summary.csv", [&](std::ostream& os) { write_summary_csv(os, db); });
+  emit("cells.csv", [&](std::ostream& os) { write_cells_csv(os, db); });
   const fs::path manifest_path = fs::path(directory) / "manifest.json";
   core::obs::write_manifest(manifest, manifest_path.string());
   written.push_back(manifest_path.string());

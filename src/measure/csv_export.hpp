@@ -1,9 +1,20 @@
 // CSV export/import of the consolidated database.
 //
 // The paper releases its dataset and scripts publicly [8]; this module is
-// the equivalent release path: every table of the ConsolidatedDb can be
-// written as CSV and the two largest tables (KPI rows, RTT samples) can be
-// read back, enabling offline analysis in other tools.
+// the equivalent release path: every table of the ConsolidatedDb is written
+// as CSV and every table can be read back, so a bundle directory reassembles
+// into the full database (src/replay/ ingests bundles through these readers
+// and re-runs the transport/app stack over them).
+//
+// Format contracts:
+//  - doubles are written at max_digits10, so a written-then-read value is
+//    bit-identical (tests/test_csv_export.cpp);
+//  - enum columns carry the canonical printed names of
+//    measure/enum_names.hpp — the writers and parsers share one table and
+//    cannot drift;
+//  - readers are strict: truncated rows, unknown enum names, non-finite
+//    numbers and duplicated headers all raise std::runtime_error citing the
+//    offending 1-based line number. Nothing is silently skipped.
 #pragma once
 
 #include <iosfwd>
@@ -23,11 +34,27 @@ void write_app_runs_csv(std::ostream& os, const ConsolidatedDb& db);
 void write_coverage_csv(std::ostream& os,
                         const std::vector<CoverageSegment>& segments,
                         radio::Carrier carrier, bool passive);
+/// Scalar fields of the database (driven_km, byte counters, per-carrier
+/// runtimes and passive-logger tallies) as key,carrier,value rows.
+void write_summary_csv(std::ostream& os, const ConsolidatedDb& db);
+/// Unique cells connected per carrier, active and passive views.
+void write_cells_csv(std::ostream& os, const ConsolidatedDb& db);
 
-/// Parse back what write_kpis_csv wrote. Throws std::runtime_error on a
-/// malformed header or row.
+/// Parse back what the corresponding writer wrote. All readers throw
+/// std::runtime_error (with the offending line number) on malformed input.
+std::vector<TestRecord> read_tests_csv(std::istream& is);
 std::vector<KpiRecord> read_kpis_csv(std::istream& is);
 std::vector<RttRecord> read_rtts_csv(std::istream& is);
+std::vector<HandoverRecord> read_handovers_csv(std::istream& is);
+std::vector<AppRunRecord> read_app_runs_csv(std::istream& is);
+/// Also verifies every row matches the expected carrier and view (a bundle
+/// names both in the file name).
+std::vector<CoverageSegment> read_coverage_csv(std::istream& is,
+                                               radio::Carrier expected_carrier,
+                                               bool expected_passive);
+/// Fill `db`'s scalar fields / cell sets from the two auxiliary tables.
+void read_summary_csv(std::istream& is, ConsolidatedDb& db);
+void read_cells_csv(std::istream& is, ConsolidatedDb& db);
 
 /// Write the whole dataset bundle into a directory (created if needed),
 /// including a manifest.json recording the bundle's provenance. Returns the

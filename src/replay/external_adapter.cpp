@@ -1,0 +1,223 @@
+#include "replay/external_adapter.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "measure/enum_names.hpp"
+#include "measure/validate.hpp"
+
+namespace wheels::replay {
+
+namespace {
+
+constexpr SimMillis kTickMs = 500;
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::runtime_error{"external trace: line " + std::to_string(line) +
+                           ": " + msg};
+}
+
+std::vector<std::string> split_row(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char ch : line) {
+    if (ch == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else if (ch != '\r') {
+      cell.push_back(ch);
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+double parse_double(const std::string& cell, std::size_t line) {
+  if (cell.empty()) fail(line, "empty numeric field");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) {
+    fail(line, "malformed number '" + cell + "'");
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    fail(line, "non-finite number '" + cell + "'");
+  }
+  return v;
+}
+
+SimMillis parse_time(const std::string& cell, std::size_t line) {
+  if (cell.empty()) fail(line, "empty time field");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(cell.c_str(), &end, 10);
+  if (end != cell.c_str() + cell.size() || errno == ERANGE) {
+    fail(line, "malformed time '" + cell + "'");
+  }
+  if (v < 0) fail(line, "negative time '" + cell + "'");
+  return static_cast<SimMillis>(v);
+}
+
+measure::TestRecord make_test(std::uint32_t id, measure::TestType type,
+                              radio::Carrier carrier, radio::Direction dir,
+                              SimMillis start, SimMillis end) {
+  measure::TestRecord t;
+  t.id = id;
+  t.type = type;
+  t.carrier = carrier;
+  t.is_static = false;
+  t.start = start;
+  t.end = end;
+  t.start_km = 0.0;
+  t.end_km = 0.0;
+  t.tz = geo::Timezone::Pacific;
+  t.server = net::ServerKind::Cloud;
+  t.direction = dir;
+  t.cycle = 0;
+  return t;
+}
+
+}  // namespace
+
+ReplayBundle import_external_trace_csv(std::istream& is,
+                                       radio::Carrier carrier) {
+  std::ostringstream raw;
+  raw << is.rdbuf();
+  const std::string content = raw.str();
+  std::istringstream in{content};
+
+  std::string line;
+  if (!std::getline(in, line)) fail(1, "empty trace");
+  const std::vector<std::string> header = split_row(line);
+  const std::vector<std::string> base{"t_ms", "cap_dl_mbps", "cap_ul_mbps",
+                                      "rtt_ms"};
+  bool has_tech = false;
+  if (header.size() == base.size() + 1 && header.back() == "tech") {
+    has_tech = true;
+  } else if (header.size() != base.size()) {
+    fail(1, "expected header t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms[,tech]");
+  }
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (header[i] != base[i]) {
+      fail(1, "expected header column '" + base[i] + "', got '" + header[i] +
+                  "'");
+    }
+  }
+
+  struct Row {
+    SimMillis t;
+    double cap_dl;
+    double cap_ul;
+    double rtt;
+    radio::Technology tech;
+  };
+  std::vector<Row> rows;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    const std::vector<std::string> cells = split_row(line);
+    if (cells.size() != base.size() + (has_tech ? 1 : 0)) {
+      fail(line_no, "expected " +
+                        std::to_string(base.size() + (has_tech ? 1 : 0)) +
+                        " columns, got " + std::to_string(cells.size()));
+    }
+    Row r;
+    r.t = parse_time(cells[0], line_no);
+    r.cap_dl = parse_double(cells[1], line_no);
+    r.cap_ul = parse_double(cells[2], line_no);
+    r.rtt = parse_double(cells[3], line_no);
+    if (r.cap_dl < 0.0 || r.cap_ul < 0.0) {
+      fail(line_no, "negative capacity");
+    }
+    if (r.rtt <= 0.0) fail(line_no, "rtt must be > 0");
+    r.tech = radio::Technology::Lte;
+    if (has_tech) {
+      try {
+        r.tech = measure::names::parse_technology(cells[4]);
+      } catch (const std::runtime_error& e) {
+        fail(line_no, e.what());
+      }
+    }
+    if (!rows.empty() && r.t < rows.back().t) {
+      fail(line_no, "time going backwards");
+    }
+    rows.push_back(r);
+  }
+  if (rows.empty()) fail(line_no, "trace has no data rows");
+
+  ReplayBundle bundle;
+  measure::ConsolidatedDb& db = bundle.db;
+  const SimMillis start = rows.front().t;
+  const SimMillis end = rows.back().t + kTickMs;
+
+  db.tests.push_back(make_test(1, measure::TestType::DownlinkBulk, carrier,
+                               radio::Direction::Downlink, start, end));
+  db.tests.push_back(make_test(2, measure::TestType::UplinkBulk, carrier,
+                               radio::Direction::Uplink, start, end));
+  db.tests.push_back(make_test(3, measure::TestType::Rtt, carrier,
+                               radio::Direction::Downlink, start, end));
+
+  for (const Row& r : rows) {
+    for (const bool dl : {true, false}) {
+      measure::KpiRecord k;
+      k.test_id = dl ? 1 : 2;
+      k.t = r.t;
+      k.carrier = carrier;
+      k.tech = r.tech;
+      k.cell_id = 1;
+      k.rsrp = -90.0;
+      k.mcs = 20;
+      k.bler = 0.0;
+      k.ca = 1;
+      k.throughput = dl ? r.cap_dl : r.cap_ul;
+      k.direction = dl ? radio::Direction::Downlink : radio::Direction::Uplink;
+      db.kpis.push_back(k);
+    }
+    measure::RttRecord rr;
+    rr.test_id = 3;
+    rr.t = r.t;
+    rr.carrier = carrier;
+    rr.tech = r.tech;
+    rr.rtt = r.rtt;
+    db.rtts.push_back(rr);
+  }
+
+  for (radio::Carrier c : radio::kAllCarriers) {
+    db.passive[measure::carrier_index(c)].carrier = c;
+  }
+  db.experiment_runtime[measure::carrier_index(carrier)] =
+      static_cast<Millis>(end - start) * 3.0;
+
+  bundle.manifest = core::obs::make_run_manifest();
+  bundle.manifest.seed = 0;
+  bundle.manifest.scale = 1.0;
+  bundle.manifest.threads = 1;
+  bundle.manifest.config_digest =
+      core::obs::hex64(core::obs::fnv1a64(content));
+
+  measure::validate_or_throw(db);
+  return bundle;
+}
+
+ReplayBundle import_external_trace_file(const std::string& path,
+                                        radio::Carrier carrier) {
+  std::ifstream is{path};
+  if (!is) {
+    throw std::runtime_error{"external trace: cannot open " + path};
+  }
+  try {
+    return import_external_trace_csv(is, carrier);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error{path + ": " + e.what()};
+  }
+}
+
+}  // namespace wheels::replay

@@ -1,0 +1,34 @@
+// Adapter for external per-tick KPI traces.
+//
+// Real drive datasets (ERRANT-style logs, Mahimahi traces re-sampled to
+// 500 ms, the paper's released CSVs) carry far less than a full bundle:
+// typically a capacity/RTT time series per direction. This adapter lifts
+// such a minimal trace into a synthetic ReplayBundle — one downlink bulk
+// test, one uplink bulk test and one RTT test spanning the trace window —
+// so the whole replay stack (TraceChannel, ReplayCampaign, counterfactual
+// knobs, reports) runs over it unchanged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "radio/technology.hpp"
+#include "replay/ingest.hpp"
+
+namespace wheels::replay {
+
+/// Parse an external trace CSV into a synthetic bundle for `carrier`.
+///
+/// Expected header: `t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms` with an optional
+/// trailing `,tech` column (a canonical technology name; defaults to LTE).
+/// Rows must be in non-decreasing time order. Throws std::runtime_error with
+/// the offending 1-based line number on malformed input, and validates the
+/// assembled database before returning.
+ReplayBundle import_external_trace_csv(std::istream& is,
+                                       radio::Carrier carrier);
+
+/// File-path convenience; errors are prefixed with `path`.
+ReplayBundle import_external_trace_file(const std::string& path,
+                                        radio::Carrier carrier);
+
+}  // namespace wheels::replay

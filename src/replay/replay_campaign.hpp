@@ -1,0 +1,78 @@
+// ReplayCampaign: re-run the transport and application layers over a
+// recorded drive.
+//
+// The recorded bundle pins the radio layer (per-test TraceChannels and
+// per-carrier timelines replace the stochastic channel); TCP bulk flows, the
+// ping latency model and all four apps run live on top. With unchanged knobs
+// the replay reproduces the recorded per-test summaries; with a knob turned
+// — another congestion control, cloud<->edge, a service-tier cap — the same
+// recorded radio conditions answer a counterfactual.
+//
+// Execution mirrors DriveCampaign's determinism contract: the per-carrier
+// replays are computationally independent (per-test Rng streams forked from
+// (seed, carrier, test id)), fan out across core::ThreadPool, and merge
+// their measure::RecordShards in canonical carrier order — the produced
+// ConsolidatedDb is byte-identical for every WHEELS_THREADS
+// (tests/test_replay.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "measure/records.hpp"
+#include "net/server.hpp"
+#include "radio/technology.hpp"
+#include "replay/ingest.hpp"
+#include "replay/trace_channel.hpp"
+#include "transport/tcp_flow.hpp"
+
+namespace wheels::replay {
+
+/// Counterfactual switches. Unset = replay what was recorded.
+struct ReplayKnobs {
+  /// Congestion control for the replayed bulk transfers (recorded: CUBIC).
+  std::optional<transport::CcAlgo> cc;
+  /// Force every test onto this server class (cloud<->edge swap); RTTs and
+  /// app latency shift by the base-RTT delta at the recorded position.
+  std::optional<net::ServerKind> server;
+  /// Service-tier policy cap: technologies above this tier are downgraded
+  /// to it and the replayed capacity is clamped to the tier's PHY ceiling
+  /// ("what if this plan had no mmWave?").
+  std::optional<radio::Technology> max_tier;
+};
+
+struct ReplayConfig {
+  /// Seed of the replay's own stochastic layers (transport loss draws). The
+  /// radio timeline is recorded and does not consume randomness.
+  std::uint64_t seed = 20220808;
+  HoldPolicy policy = HoldPolicy::Hold;
+  /// Worker threads, resolved like the campaign's (0 = WHEELS_THREADS/auto).
+  int threads = 0;
+  ReplayKnobs knobs;
+};
+
+/// Read WHEELS_REPLAY_SEED, WHEELS_REPLAY_INTERP (hold|linear),
+/// WHEELS_REPLAY_CC (cubic|bbr), WHEELS_REPLAY_SERVER (cloud|edge) and
+/// WHEELS_REPLAY_MAX_TIER (a technology name). Malformed values warn on
+/// stderr and keep the default, like campaign::config_from_env.
+ReplayConfig replay_config_from_env();
+
+class ReplayCampaign {
+ public:
+  ReplayCampaign(const ReplayBundle& bundle, ReplayConfig config)
+      : bundle_(bundle), config_(config) {}
+
+  /// Replay every recorded test and return the resulting database. Test ids,
+  /// order and windows are preserved from the recording; geometry-derived
+  /// state (driven km, passive logs, coverage, cells, runtimes) is carried
+  /// over unchanged — the radio world is fixed, only transport/apps re-run.
+  measure::ConsolidatedDb run() const;
+
+  const ReplayConfig& config() const { return config_; }
+
+ private:
+  const ReplayBundle& bundle_;
+  ReplayConfig config_;
+};
+
+}  // namespace wheels::replay

@@ -1,0 +1,122 @@
+#include "replay/report.hpp"
+
+#include <ostream>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "measure/enum_names.hpp"
+
+namespace wheels::replay {
+
+ReportSummary summarize(const measure::ConsolidatedDb& db) {
+  ReportSummary s;
+  for (radio::Carrier c : radio::kAllCarriers) {
+    CarrierSummary& cs = s.carriers[measure::carrier_index(c)];
+    cs.carrier = c;
+
+    std::vector<double> dl;
+    std::vector<double> ul;
+    for (const auto& k : db.kpis) {
+      if (k.carrier != c) continue;
+      ++cs.kpi_samples;
+      (k.direction == radio::Direction::Downlink ? dl : ul)
+          .push_back(k.throughput);
+    }
+    std::vector<double> rtts;
+    for (const auto& r : db.rtts) {
+      if (r.carrier != c) continue;
+      rtts.push_back(r.rtt);
+    }
+    cs.rtt_samples = rtts.size();
+    std::vector<double> qoe;
+    std::vector<double> glat;
+    std::vector<double> e2e;
+    for (const auto& a : db.app_runs) {
+      if (a.carrier != c) continue;
+      ++cs.app_runs;
+      switch (a.app) {
+        case measure::AppKind::Video:
+          qoe.push_back(a.qoe);
+          break;
+        case measure::AppKind::Gaming:
+          glat.push_back(a.gaming_latency);
+          break;
+        default:
+          e2e.push_back(a.median_e2e);
+          break;
+      }
+    }
+    for (const auto& t : db.tests) {
+      if (t.carrier == c) ++cs.tests;
+    }
+    cs.dl_median_mbps = analysis::median_of(std::move(dl));
+    cs.ul_median_mbps = analysis::median_of(std::move(ul));
+    cs.rtt_median_ms = analysis::median_of(std::move(rtts));
+    cs.video_qoe = analysis::median_of(std::move(qoe));
+    cs.gaming_latency_ms = analysis::median_of(std::move(glat));
+    cs.offload_e2e_ms = analysis::median_of(std::move(e2e));
+  }
+  return s;
+}
+
+namespace {
+
+struct Metric {
+  const char* name;
+  double CarrierSummary::* field;
+};
+
+constexpr Metric kMetrics[] = {
+    {"DL median (Mbps)", &CarrierSummary::dl_median_mbps},
+    {"UL median (Mbps)", &CarrierSummary::ul_median_mbps},
+    {"RTT median (ms)", &CarrierSummary::rtt_median_ms},
+    {"video QoE", &CarrierSummary::video_qoe},
+    {"gaming latency (ms)", &CarrierSummary::gaming_latency_ms},
+    {"offload E2E (ms)", &CarrierSummary::offload_e2e_ms},
+};
+
+std::string fmt_change(double before, double after) {
+  if (before == 0.0) return after == 0.0 ? "0%" : "-";
+  return analysis::fmt_pct((after - before) / before);
+}
+
+}  // namespace
+
+void print_summary(std::ostream& os, const std::string& title,
+                   const ReportSummary& s) {
+  os << title << "\n";
+  analysis::Table t{{"carrier", "tests", "kpis", "rtts", "apps", "DL med",
+                     "UL med", "RTT med", "QoE", "game lat", "E2E"}};
+  for (const CarrierSummary& cs : s.carriers) {
+    t.add_row({std::string{measure::names::to_name(cs.carrier)},
+               std::to_string(cs.tests), std::to_string(cs.kpi_samples),
+               std::to_string(cs.rtt_samples), std::to_string(cs.app_runs),
+               analysis::fmt(cs.dl_median_mbps),
+               analysis::fmt(cs.ul_median_mbps),
+               analysis::fmt(cs.rtt_median_ms), analysis::fmt(cs.video_qoe),
+               analysis::fmt(cs.gaming_latency_ms),
+               analysis::fmt(cs.offload_e2e_ms)});
+  }
+  t.print(os);
+}
+
+void print_comparison(std::ostream& os, const std::string& before_title,
+                      const ReportSummary& before,
+                      const std::string& after_title,
+                      const ReportSummary& after) {
+  analysis::Table t{
+      {"carrier", "metric", before_title, after_title, "change"}};
+  for (std::size_t ci = 0; ci < before.carriers.size(); ++ci) {
+    const CarrierSummary& b = before.carriers[ci];
+    const CarrierSummary& a = after.carriers[ci];
+    for (const Metric& m : kMetrics) {
+      t.add_row({std::string{measure::names::to_name(b.carrier)}, m.name,
+                 analysis::fmt(b.*m.field), analysis::fmt(a.*m.field),
+                 fmt_change(b.*m.field, a.*m.field)});
+    }
+  }
+  t.print(os);
+}
+
+}  // namespace wheels::replay

@@ -1,0 +1,191 @@
+#include "replay/trace_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wheels::replay {
+
+namespace {
+
+double lerp(double a, double b, double f) { return a + (b - a) * f; }
+
+TraceSample from_kpi(const measure::KpiRecord& k, Mbps cap_dl, Mbps cap_ul) {
+  TraceSample s;
+  s.t = k.t;
+  s.tech = k.tech;
+  s.cell_id = k.cell_id;
+  s.rsrp = k.rsrp;
+  s.mcs = k.mcs;
+  s.bler = k.bler;
+  s.ca = k.ca;
+  s.capacity_dl = cap_dl;
+  s.capacity_ul = cap_ul;
+  s.speed = k.speed;
+  s.km = k.km;
+  s.map_km = k.map_km;
+  s.tz = k.tz;
+  s.region = k.region;
+  return s;
+}
+
+}  // namespace
+
+TraceChannel::TraceChannel(std::vector<TraceSample> samples,
+                           std::vector<ran::HandoverEvent> handovers,
+                           HoldPolicy policy)
+    : samples_(std::move(samples)),
+      handovers_(std::move(handovers)),
+      policy_(policy) {
+  std::stable_sort(
+      samples_.begin(), samples_.end(),
+      [](const TraceSample& a, const TraceSample& b) { return a.t < b.t; });
+  std::stable_sort(handovers_.begin(), handovers_.end(),
+                   [](const ran::HandoverEvent& a,
+                      const ran::HandoverEvent& b) { return a.t < b.t; });
+}
+
+std::size_t TraceChannel::index_at(SimMillis t) const {
+  // Last sample with sample.t <= t; upper_bound finds the first later one.
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](SimMillis value, const TraceSample& s) { return value < s.t; });
+  if (it == samples_.begin()) return 0;
+  return static_cast<std::size_t>(it - samples_.begin()) - 1;
+}
+
+TraceSample TraceChannel::at(SimMillis t) const {
+  if (samples_.empty()) return TraceSample{};
+  const std::size_t i = index_at(t);
+  TraceSample s = samples_[i];
+  if (policy_ == HoldPolicy::Hold || i + 1 >= samples_.size() ||
+      t <= samples_[i].t) {
+    return s;
+  }
+  const TraceSample& next = samples_[i + 1];
+  const double span = static_cast<double>(next.t - s.t);
+  if (span <= 0.0) return s;
+  const double f = std::clamp(static_cast<double>(t - s.t) / span, 0.0, 1.0);
+  s.capacity_dl = lerp(s.capacity_dl, next.capacity_dl, f);
+  s.capacity_ul = lerp(s.capacity_ul, next.capacity_ul, f);
+  s.rsrp = lerp(s.rsrp, next.rsrp, f);
+  s.bler = lerp(s.bler, next.bler, f);
+  s.rtt = lerp(s.rtt, next.rtt, f);
+  s.speed = lerp(s.speed, next.speed, f);
+  s.km = lerp(s.km, next.km, f);
+  s.map_km = lerp(s.map_km, next.map_km, f);
+  // tech / cell / mcs / ca / tz / region are discrete: they hold.
+  return s;
+}
+
+radio::LinkKpis TraceChannel::kpis_at(SimMillis t) const {
+  const TraceSample s = at(t);
+  radio::LinkKpis k;
+  k.rsrp = s.rsrp;
+  k.mcs_dl = s.mcs;
+  k.mcs_ul = s.mcs;
+  k.bler_dl = s.bler;
+  k.bler_ul = s.bler;
+  k.cc_dl = s.ca;
+  k.cc_ul = s.ca;
+  k.capacity_dl = s.capacity_dl;
+  k.capacity_ul = s.capacity_ul;
+  k.outage =
+      std::max(s.capacity_dl, s.capacity_ul) < kOutageThresholdMbps;
+  return k;
+}
+
+TraceEvents TraceChannel::events_in(SimMillis t, Millis dt) const {
+  TraceEvents ev;
+  const auto lo = std::lower_bound(
+      handovers_.begin(), handovers_.end(), t,
+      [](const ran::HandoverEvent& h, SimMillis value) { return h.t < value; });
+  const SimMillis window_end = t + static_cast<SimMillis>(dt);
+  for (auto it = lo; it != handovers_.end() && it->t < window_end; ++it) {
+    ++ev.handovers;
+    ev.interruption += it->duration;
+  }
+  ev.interruption = std::min(ev.interruption, dt);
+  return ev;
+}
+
+TraceChannel channel_for_test(const measure::ConsolidatedDb& db,
+                              const measure::TestRecord& test,
+                              HoldPolicy policy) {
+  std::vector<TraceSample> samples;
+  if (test.type == measure::TestType::Rtt) {
+    for (const auto& r : db.rtts) {
+      if (r.test_id != test.id) continue;
+      TraceSample s;
+      s.t = r.t;
+      s.tech = r.tech;
+      s.rtt = r.rtt;
+      s.speed = r.speed;
+      s.tz = r.tz;
+      samples.push_back(s);
+    }
+  } else {
+    for (const auto& k : db.kpis) {
+      if (k.test_id != test.id) continue;
+      // The recorded application-layer throughput is what the link actually
+      // delivered that tick — it becomes the replayed bottleneck capacity.
+      samples.push_back(from_kpi(k, k.throughput, k.throughput));
+    }
+  }
+  std::vector<ran::HandoverEvent> handovers;
+  for (const auto& h : db.handovers) {
+    if (h.test_id == test.id) handovers.push_back(h.event);
+  }
+  return TraceChannel{std::move(samples), std::move(handovers), policy};
+}
+
+TraceChannel carrier_timeline(const measure::ConsolidatedDb& db,
+                              radio::Carrier carrier, bool is_static,
+                              HoldPolicy policy) {
+  std::vector<const measure::KpiRecord*> rows;
+  for (const auto& k : db.kpis) {
+    if (k.carrier == carrier && k.is_static == is_static) rows.push_back(&k);
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const measure::KpiRecord* a,
+                      const measure::KpiRecord* b) { return a->t < b->t; });
+
+  std::vector<TraceSample> samples;
+  samples.reserve(rows.size());
+  Mbps last_dl = 0.0;
+  Mbps last_ul = 0.0;
+  for (const measure::KpiRecord* k : rows) {
+    if (k->direction == radio::Direction::Downlink) {
+      last_dl = k->throughput;
+    } else {
+      last_ul = k->throughput;
+    }
+    samples.push_back(from_kpi(*k, last_dl, last_ul));
+  }
+
+  // Fold the carrier's RTT observations in: each sample carries the most
+  // recent echo at or before it (the link's unloaded path RTT there).
+  std::vector<const measure::RttRecord*> echoes;
+  for (const auto& r : db.rtts) {
+    if (r.carrier == carrier && r.is_static == is_static) echoes.push_back(&r);
+  }
+  std::stable_sort(echoes.begin(), echoes.end(),
+                   [](const measure::RttRecord* a,
+                      const measure::RttRecord* b) { return a->t < b->t; });
+  std::size_t e = 0;
+  Millis last_rtt = 50.0;
+  for (TraceSample& s : samples) {
+    while (e < echoes.size() && echoes[e]->t <= s.t) {
+      last_rtt = echoes[e]->rtt;
+      ++e;
+    }
+    s.rtt = last_rtt;
+  }
+
+  std::vector<ran::HandoverEvent> handovers;
+  for (const auto& h : db.handovers) {
+    if (h.carrier == carrier) handovers.push_back(h.event);
+  }
+  return TraceChannel{std::move(samples), std::move(handovers), policy};
+}
+
+}  // namespace wheels::replay

@@ -1,0 +1,123 @@
+// TraceChannel: a recorded radio timeline standing in for the stochastic
+// channel model.
+//
+// Trace-driven emulation (ERRANT's approach for cellular, Mahimahi's for
+// fixed links) replaces the channel's random processes with a recorded
+// per-tick KPI timeline: the per-500 ms application-layer throughput a test
+// actually achieved becomes the replayed link's capacity, and the recorded
+// handover events are re-fired at their original times. The transport and
+// app layers above then run live, so counterfactuals (a different congestion
+// control, another server) react to the *same* radio conditions the drive
+// recorded.
+#pragma once
+
+#include <vector>
+
+#include "core/sim_time.hpp"
+#include "core/units.hpp"
+#include "geo/route.hpp"
+#include "geo/timezone.hpp"
+#include "measure/records.hpp"
+#include "radio/channel.hpp"
+#include "ran/handover.hpp"
+
+namespace wheels::replay {
+
+/// Behaviour between two recorded 500 ms samples. XCAL rows are snapshots,
+/// so Hold (previous sample applies until the next one) is the faithful
+/// default; Interpolate linearly blends the continuous fields (capacity,
+/// rsrp, rtt, speed, position) for smoother app input. Discrete fields
+/// (tech, cell, mcs, ca) always hold.
+enum class HoldPolicy { Hold, Interpolate };
+
+/// Below this capacity a replayed tick counts as an outage — the recorded
+/// row delivered essentially nothing (the paper's "below 2 Mbps" cutoff is
+/// two orders of magnitude above this, so only true zero-throughput ticks
+/// qualify).
+inline constexpr Mbps kOutageThresholdMbps = 0.01;
+
+/// One recorded timeline point, assembled from a KpiRecord or RttRecord.
+struct TraceSample {
+  SimMillis t = 0;
+  radio::Technology tech = radio::Technology::Lte;
+  std::uint32_t cell_id = 0;
+  Dbm rsrp = -120.0;
+  int mcs = 0;
+  double bler = 0.0;
+  int ca = 1;
+  Mbps capacity_dl = 0.0;
+  Mbps capacity_ul = 0.0;
+  Millis rtt = 50.0;
+  MilesPerHour speed = 0.0;
+  Km km = 0.0;
+  Km map_km = 0.0;
+  geo::Timezone tz = geo::Timezone::Pacific;
+  geo::RegionType region = geo::RegionType::Highway;
+};
+
+/// Recorded handover activity inside one replay window.
+struct TraceEvents {
+  int handovers = 0;
+  Millis interruption = 0.0;
+};
+
+class TraceChannel {
+ public:
+  /// `samples` must be sorted by t (the builders below guarantee it);
+  /// `handovers` are the events to re-fire, by recorded time.
+  TraceChannel(std::vector<TraceSample> samples,
+               std::vector<ran::HandoverEvent> handovers,
+               HoldPolicy policy = HoldPolicy::Hold);
+
+  bool empty() const { return samples_.empty(); }
+  SimMillis start() const { return samples_.empty() ? 0 : samples_.front().t; }
+  SimMillis end() const { return samples_.empty() ? 0 : samples_.back().t; }
+
+  /// The sample governing time t under the channel's policy (clamped to the
+  /// recorded range). Hold: the last sample at or before t. Interpolate:
+  /// continuous fields lerped towards the next sample.
+  TraceSample at(SimMillis t) const;
+
+  /// The LinkKpis the radio layer would report at time t — the drop-in
+  /// replacement for ChannelModel::sample().
+  radio::LinkKpis kpis_at(SimMillis t) const;
+
+  /// Recorded handovers re-fired in [t, t + dt); the interruption is capped
+  /// at dt (an interruption longer than the window blanks the whole window).
+  TraceEvents events_in(SimMillis t, Millis dt) const;
+
+  const std::vector<TraceSample>& samples() const { return samples_; }
+  const std::vector<ran::HandoverEvent>& handovers() const {
+    return handovers_;
+  }
+  HoldPolicy policy() const { return policy_; }
+
+ private:
+  /// Index of the last sample with samples_[i].t <= t (0 when t precedes the
+  /// trace). Requires !empty().
+  std::size_t index_at(SimMillis t) const;
+
+  std::vector<TraceSample> samples_;
+  std::vector<ran::HandoverEvent> handovers_;
+  HoldPolicy policy_;
+};
+
+/// Per-test channel: the test's own recorded rows. Bulk tests use their KPI
+/// rows (recorded throughput -> replay capacity, both directions); RTT tests
+/// use their echo observations (rtt timeline, zero capacity). Handovers are
+/// the test's recorded events.
+TraceChannel channel_for_test(const measure::ConsolidatedDb& db,
+                              const measure::TestRecord& test,
+                              HoldPolicy policy = HoldPolicy::Hold);
+
+/// Whole-carrier timeline for one carrier and one motion regime: every KPI
+/// row with matching is_static merged in time order, holding the last seen
+/// capacity per direction across test boundaries, with the carrier's RTT
+/// observations folded in (last echo at or before each sample). App-session
+/// replays read this — app tests recorded no KPI rows of their own, so their
+/// radio conditions come from the bulk tests bracketing them.
+TraceChannel carrier_timeline(const measure::ConsolidatedDb& db,
+                              radio::Carrier carrier, bool is_static,
+                              HoldPolicy policy = HoldPolicy::Hold);
+
+}  // namespace wheels::replay

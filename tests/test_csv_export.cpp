@@ -6,7 +6,9 @@
 #include <sstream>
 
 #include "campaign/campaign.hpp"
+#include "core/obs/manifest.hpp"
 #include "measure/csv_export.hpp"
+#include "measure/enum_names.hpp"
 
 namespace wheels::measure {
 namespace {
@@ -137,8 +139,9 @@ TEST(CsvExport, DatasetBundleWritesAllFiles) {
   const std::string dir = "/tmp/wheels-dataset-test";
   std::filesystem::remove_all(dir);
   const auto files = write_dataset(db, dir);
-  // 5 tables + 2 coverage views x 3 carriers + manifest.json.
-  EXPECT_EQ(files.size(), 12u);
+  // 5 tables + 2 coverage views x 3 carriers + summary.csv + cells.csv +
+  // manifest.json.
+  EXPECT_EQ(files.size(), 14u);
   for (const auto& f : files) {
     EXPECT_TRUE(std::filesystem::exists(f)) << f;
     EXPECT_GT(std::filesystem::file_size(f), 10u) << f;
@@ -185,6 +188,235 @@ TEST(CsvExport, ManifestDigestTracksConfig) {
   c.threads = 8;
   EXPECT_EQ(campaign::make_manifest(a).config_digest,
             campaign::make_manifest(c).config_digest);
+}
+
+TEST(CsvExport, TestsRoundTrip) {
+  const auto& db = tiny_campaign_db();
+  std::stringstream ss;
+  write_tests_csv(ss, db);
+  const auto back = read_tests_csv(ss);
+  ASSERT_EQ(back.size(), db.tests.size());
+  for (std::size_t i = 0; i < back.size(); i += 11) {
+    EXPECT_EQ(back[i].id, db.tests[i].id);
+    EXPECT_EQ(back[i].type, db.tests[i].type);
+    EXPECT_EQ(back[i].carrier, db.tests[i].carrier);
+    EXPECT_EQ(back[i].is_static, db.tests[i].is_static);
+    EXPECT_EQ(back[i].start, db.tests[i].start);
+    EXPECT_EQ(back[i].end, db.tests[i].end);
+    EXPECT_EQ(back[i].start_km, db.tests[i].start_km);
+    EXPECT_EQ(back[i].end_km, db.tests[i].end_km);
+    EXPECT_EQ(back[i].tz, db.tests[i].tz);
+    EXPECT_EQ(back[i].server, db.tests[i].server);
+    EXPECT_EQ(back[i].direction, db.tests[i].direction);
+    EXPECT_EQ(back[i].cycle, db.tests[i].cycle);
+  }
+}
+
+TEST(CsvExport, HandoverRoundTrip) {
+  const auto& db = tiny_campaign_db();
+  ASSERT_FALSE(db.handovers.empty());
+  std::stringstream ss;
+  write_handovers_csv(ss, db);
+  const auto back = read_handovers_csv(ss);
+  ASSERT_EQ(back.size(), db.handovers.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].test_id, db.handovers[i].test_id);
+    EXPECT_EQ(back[i].carrier, db.handovers[i].carrier);
+    EXPECT_EQ(back[i].direction, db.handovers[i].direction);
+    EXPECT_EQ(back[i].event.t, db.handovers[i].event.t);
+    EXPECT_EQ(back[i].event.duration, db.handovers[i].event.duration);
+    EXPECT_EQ(back[i].event.from, db.handovers[i].event.from);
+    EXPECT_EQ(back[i].event.to, db.handovers[i].event.to);
+    EXPECT_EQ(back[i].event.from_cell, db.handovers[i].event.from_cell);
+    EXPECT_EQ(back[i].event.to_cell, db.handovers[i].event.to_cell);
+    EXPECT_EQ(back[i].event.type, db.handovers[i].event.type);
+  }
+}
+
+TEST(CsvExport, AppRunRoundTrip) {
+  const auto& db = tiny_campaign_db();
+  ASSERT_FALSE(db.app_runs.empty());
+  std::stringstream ss;
+  write_app_runs_csv(ss, db);
+  const auto back = read_app_runs_csv(ss);
+  ASSERT_EQ(back.size(), db.app_runs.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].test_id, db.app_runs[i].test_id);
+    EXPECT_EQ(back[i].app, db.app_runs[i].app);
+    EXPECT_EQ(back[i].carrier, db.app_runs[i].carrier);
+    EXPECT_EQ(back[i].compressed, db.app_runs[i].compressed);
+    EXPECT_EQ(back[i].median_e2e, db.app_runs[i].median_e2e);
+    EXPECT_EQ(back[i].qoe, db.app_runs[i].qoe);
+    EXPECT_EQ(back[i].avg_bitrate, db.app_runs[i].avg_bitrate);
+    EXPECT_EQ(back[i].gaming_latency, db.app_runs[i].gaming_latency);
+    EXPECT_EQ(back[i].gaming_max_frame_drop,
+              db.app_runs[i].gaming_max_frame_drop);
+  }
+}
+
+TEST(CsvExport, CoverageRoundTrip) {
+  const auto& db = tiny_campaign_db();
+  const auto& segs = db.active_coverage[0];
+  ASSERT_FALSE(segs.empty());
+  std::stringstream ss;
+  write_coverage_csv(ss, segs, radio::Carrier::Verizon, false);
+  const auto back = read_coverage_csv(ss, radio::Carrier::Verizon, false);
+  ASSERT_EQ(back.size(), segs.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].map_km_start, segs[i].map_km_start);
+    EXPECT_EQ(back[i].map_km_end, segs[i].map_km_end);
+    EXPECT_EQ(back[i].tech, segs[i].tech);
+  }
+}
+
+TEST(CsvExport, CoverageRejectsWrongCarrier) {
+  const auto& db = tiny_campaign_db();
+  std::stringstream ss;
+  write_coverage_csv(ss, db.active_coverage[0], radio::Carrier::Verizon,
+                     false);
+  EXPECT_THROW((void)read_coverage_csv(ss, radio::Carrier::Att, false),
+               std::runtime_error);
+}
+
+TEST(CsvExport, SummaryAndCellsRoundTrip) {
+  const auto& db = tiny_campaign_db();
+  std::stringstream summary;
+  write_summary_csv(summary, db);
+  std::stringstream cells;
+  write_cells_csv(cells, db);
+
+  ConsolidatedDb back;
+  read_summary_csv(summary, back);
+  read_cells_csv(cells, back);
+  EXPECT_EQ(back.driven_km, db.driven_km);
+  EXPECT_EQ(back.rx_bytes, db.rx_bytes);
+  EXPECT_EQ(back.tx_bytes, db.tx_bytes);
+  for (std::size_t ci = 0; ci < radio::kCarrierCount; ++ci) {
+    EXPECT_EQ(back.experiment_runtime[ci], db.experiment_runtime[ci]);
+    EXPECT_EQ(back.passive[ci].handovers, db.passive[ci].handovers);
+    EXPECT_EQ(back.passive[ci].pings, db.passive[ci].pings);
+    EXPECT_EQ(back.active_cells[ci], db.active_cells[ci]);
+    EXPECT_EQ(back.passive[ci].cells, db.passive[ci].cells);
+  }
+}
+
+// --- malformed-input hardening -------------------------------------------
+
+/// Run `read` on `text` and return the exception message.
+template <typename Read>
+std::string error_of(const std::string& text, Read read) {
+  std::stringstream ss{text};
+  try {
+    read(ss);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+constexpr char kTestsHeader[] =
+    "id,type,carrier,is_static,start,end,start_km,end_km,tz,server,"
+    "direction,cycle\n";
+constexpr char kRttsHeader[] =
+    "test_id,t,carrier,tech,rtt,speed,tz,server,is_static\n";
+
+TEST(CsvExport, TruncatedRowReportsLineNumber) {
+  const std::string text =
+      std::string{kTestsHeader} +
+      "1,downlink-bulk,Verizon,0,0,1000,0,1,Pacific,cloud,downlink,0\n"
+      "2,uplink-bulk,Verizon\n";
+  const std::string msg =
+      error_of(text, [](std::istream& is) { (void)read_tests_csv(is); });
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(CsvExport, UnknownEnumNameReportsLineNumber) {
+  const std::string text =
+      std::string{kTestsHeader} +
+      "1,downlink-bulk,Vodafone,0,0,1000,0,1,Pacific,cloud,downlink,0\n";
+  const std::string msg =
+      error_of(text, [](std::istream& is) { (void)read_tests_csv(is); });
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("Vodafone"), std::string::npos) << msg;
+}
+
+TEST(CsvExport, NonFiniteFieldRejected) {
+  for (const char* bad : {"nan", "inf", "-inf"}) {
+    const std::string text =
+        std::string{kRttsHeader} + "1,0,Verizon,LTE," + bad +
+        ",0,Pacific,cloud,0\n";
+    const std::string msg =
+        error_of(text, [](std::istream& is) { (void)read_rtts_csv(is); });
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << bad << ": " << msg;
+  }
+}
+
+TEST(CsvExport, DuplicatedHeaderRejected) {
+  const std::string text = std::string{kRttsHeader} + kRttsHeader +
+                           "1,0,Verizon,LTE,50,0,Pacific,cloud,0\n";
+  const std::string msg =
+      error_of(text, [](std::istream& is) { (void)read_rtts_csv(is); });
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicated header"), std::string::npos) << msg;
+}
+
+TEST(CsvExport, MalformedBoolRejected) {
+  const std::string text =
+      std::string{kRttsHeader} + "1,0,Verizon,LTE,50,0,Pacific,cloud,true\n";
+  const std::string msg =
+      error_of(text, [](std::istream& is) { (void)read_rtts_csv(is); });
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+// --- enum name tables -----------------------------------------------------
+
+TEST(EnumNames, EveryPrintedNameParsesBack) {
+  for (const auto v : names::kAllTestTypes) {
+    EXPECT_EQ(names::parse_test_type(names::to_name(v)), v);
+  }
+  for (const auto v : names::kAllAppKinds) {
+    EXPECT_EQ(names::parse_app_kind(names::to_name(v)), v);
+  }
+  for (const auto v : radio::kAllCarriers) {
+    EXPECT_EQ(names::parse_carrier(names::to_name(v)), v);
+  }
+  for (const auto v : radio::kAllTechnologies) {
+    EXPECT_EQ(names::parse_technology(names::to_name(v)), v);
+  }
+  for (const auto v : names::kAllRegions) {
+    EXPECT_EQ(names::parse_region(names::to_name(v)), v);
+  }
+  for (const auto v : names::kAllTimezones) {
+    EXPECT_EQ(names::parse_timezone(names::to_name(v)), v);
+  }
+  for (const auto v : names::kAllServerKinds) {
+    EXPECT_EQ(names::parse_server_kind(names::to_name(v)), v);
+  }
+  for (const auto v : names::kAllDirections) {
+    EXPECT_EQ(names::parse_direction(names::to_name(v)), v);
+  }
+  for (const auto v : names::kAllHandoverTypes) {
+    EXPECT_EQ(names::parse_handover_type(names::to_name(v)), v);
+  }
+}
+
+TEST(EnumNames, UnknownNameThrowsWithText) {
+  try {
+    (void)names::parse_carrier("Vodafone");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("Vodafone"), std::string::npos);
+  }
+}
+
+TEST(Manifest, JsonRoundTripsByteIdentically) {
+  core::obs::RunManifest m = core::obs::make_run_manifest();
+  m.seed = 321;
+  m.scale = 0.05;
+  m.config_digest = "0123456789abcdef";
+  m.threads = 4;
+  const std::string json = m.to_json();
+  EXPECT_EQ(core::obs::parse_manifest(json).to_json(), json);
 }
 
 }  // namespace

@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "measure/csv_export.hpp"
+#include "measure/validate.hpp"
+#include "replay/external_adapter.hpp"
+#include "replay/ingest.hpp"
+#include "replay/replay_campaign.hpp"
+#include "replay/report.hpp"
+#include "replay/trace_channel.hpp"
+
+namespace wheels::replay {
+namespace {
+
+namespace fs = std::filesystem;
+
+campaign::CampaignConfig small_config() {
+  campaign::CampaignConfig cfg;
+  cfg.scale = 0.02;
+  cfg.seed = 77;
+  return cfg;
+}
+
+const measure::ConsolidatedDb& recorded_db() {
+  static const measure::ConsolidatedDb db =
+      campaign::DriveCampaign{small_config()}.run();
+  return db;
+}
+
+/// A bundle directory for recorded_db(), written once per test binary run.
+const std::string& bundle_dir() {
+  static const std::string dir = [] {
+    const std::string d = "/tmp/wheels-replay-test-bundle";
+    fs::remove_all(d);
+    (void)measure::write_dataset(recorded_db(), d,
+                                 campaign::make_manifest(small_config()));
+    return d;
+  }();
+  return dir;
+}
+
+const ReplayBundle& ingested() {
+  static const ReplayBundle bundle = read_dataset(bundle_dir());
+  return bundle;
+}
+
+/// Full CSV serialization of a database — the byte-identity yardstick.
+std::string db_to_string(const measure::ConsolidatedDb& db) {
+  std::stringstream ss;
+  measure::write_tests_csv(ss, db);
+  measure::write_kpis_csv(ss, db);
+  measure::write_rtts_csv(ss, db);
+  measure::write_handovers_csv(ss, db);
+  measure::write_app_runs_csv(ss, db);
+  measure::write_summary_csv(ss, db);
+  measure::write_cells_csv(ss, db);
+  for (radio::Carrier c : radio::kAllCarriers) {
+    const std::size_t ci = measure::carrier_index(c);
+    measure::write_coverage_csv(ss, db.passive[ci].segments, c, true);
+    measure::write_coverage_csv(ss, db.active_coverage[ci], c, false);
+  }
+  return ss.str();
+}
+
+std::string file_text(const fs::path& p) {
+  std::ifstream is{p};
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+// --- ingest ---------------------------------------------------------------
+
+TEST(ReplayIngest, ReassemblesTheFullDatabase) {
+  const measure::ConsolidatedDb& rec = recorded_db();
+  const measure::ConsolidatedDb& db = ingested().db;
+  EXPECT_EQ(db_to_string(db), db_to_string(rec));
+  EXPECT_EQ(ingested().manifest.seed, small_config().seed);
+  EXPECT_EQ(ingested().manifest.scale, small_config().scale);
+}
+
+TEST(ReplayIngest, RoundTripIsByteIdentical) {
+  const std::string out = "/tmp/wheels-replay-test-reexport";
+  fs::remove_all(out);
+  (void)measure::write_dataset(ingested().db, out, ingested().manifest);
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(bundle_dir())) {
+    const fs::path name = entry.path().filename();
+    EXPECT_EQ(file_text(out + "/" + name.string()), file_text(entry.path()))
+        << name;
+    ++files;
+  }
+  EXPECT_EQ(files, 14u);
+  fs::remove_all(out);
+}
+
+TEST(ReplayIngest, MissingFileNamesTheFile) {
+  const std::string dir = "/tmp/wheels-replay-test-missing";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  fs::copy(bundle_dir(), dir, fs::copy_options::recursive |
+                                  fs::copy_options::overwrite_existing);
+  fs::remove(dir + "/rtts.csv");
+  try {
+    (void)read_dataset(dir);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("rtts.csv"), std::string::npos)
+        << e.what();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ReplayIngest, DigestMismatchRejected) {
+  EXPECT_THROW((void)read_dataset(bundle_dir(), "deadbeefdeadbeef"),
+               std::runtime_error);
+  EXPECT_NO_THROW(
+      (void)read_dataset(bundle_dir(), ingested().manifest.config_digest));
+}
+
+// --- validate -------------------------------------------------------------
+
+TEST(ReplayValidate, AcceptsARecordedDatabase) {
+  EXPECT_TRUE(measure::validate(recorded_db()).empty());
+}
+
+TEST(ReplayValidate, RejectsDanglingForeignKey) {
+  measure::ConsolidatedDb db = recorded_db();
+  ASSERT_FALSE(db.kpis.empty());
+  db.kpis[0].test_id = 999999;
+  const auto violations = measure::validate(db);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("unknown test"), std::string::npos)
+      << violations[0];
+}
+
+TEST(ReplayValidate, RejectsNonFiniteAndNegativeFields) {
+  measure::ConsolidatedDb db = recorded_db();
+  ASSERT_FALSE(db.rtts.empty());
+  db.rtts[0].rtt = -5.0;
+  EXPECT_FALSE(measure::validate(db).empty());
+  db = recorded_db();
+  db.driven_km = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(measure::validate(db).empty());
+}
+
+TEST(ReplayValidate, RejectsOverlappingCoverage) {
+  measure::ConsolidatedDb db = recorded_db();
+  measure::CoverageSegment s;
+  s.map_km_start = 0.0;
+  s.map_km_end = 1.0e9;
+  s.tech = radio::Technology::Lte;
+  db.active_coverage[0].push_back(s);
+  EXPECT_FALSE(measure::validate(db).empty());
+}
+
+// --- TraceChannel ---------------------------------------------------------
+
+std::vector<TraceSample> two_samples() {
+  TraceSample a;
+  a.t = 1000;
+  a.capacity_dl = 10.0;
+  a.capacity_ul = 2.0;
+  a.rtt = 40.0;
+  a.tech = radio::Technology::Lte;
+  TraceSample b = a;
+  b.t = 1500;
+  b.capacity_dl = 20.0;
+  b.capacity_ul = 4.0;
+  b.rtt = 60.0;
+  b.tech = radio::Technology::NrMid;
+  return {a, b};
+}
+
+TEST(TraceChannel, HoldKeepsTheLastSample) {
+  const TraceChannel ch{two_samples(), {}, HoldPolicy::Hold};
+  EXPECT_EQ(ch.at(999).capacity_dl, 10.0);   // before start: first sample
+  EXPECT_EQ(ch.at(1000).capacity_dl, 10.0);
+  EXPECT_EQ(ch.at(1250).capacity_dl, 10.0);  // held, not interpolated
+  EXPECT_EQ(ch.at(1500).capacity_dl, 20.0);
+  EXPECT_EQ(ch.at(9999).capacity_dl, 20.0);  // after end: last sample
+}
+
+TEST(TraceChannel, InterpolateLerpsContinuousFields) {
+  const TraceChannel ch{two_samples(), {}, HoldPolicy::Interpolate};
+  const TraceSample mid = ch.at(1250);
+  EXPECT_DOUBLE_EQ(mid.capacity_dl, 15.0);
+  EXPECT_DOUBLE_EQ(mid.capacity_ul, 3.0);
+  EXPECT_DOUBLE_EQ(mid.rtt, 50.0);
+  // Discrete fields hold instead of blending.
+  EXPECT_EQ(mid.tech, radio::Technology::Lte);
+}
+
+TEST(TraceChannel, KpisAtFlagsOutage) {
+  std::vector<TraceSample> samples = two_samples();
+  samples[0].capacity_dl = 0.0;
+  samples[0].capacity_ul = 0.0;
+  const TraceChannel ch{samples, {}, HoldPolicy::Hold};
+  EXPECT_TRUE(ch.kpis_at(1000).outage);
+  EXPECT_FALSE(ch.kpis_at(1500).outage);
+}
+
+TEST(TraceChannel, EventsInWindowCountsAndCaps) {
+  ran::HandoverEvent h1;
+  h1.t = 1200;
+  h1.duration = 80.0;
+  ran::HandoverEvent h2;
+  h2.t = 1400;
+  h2.duration = 900.0;  // longer than a tick
+  const TraceChannel ch{two_samples(), {h1, h2}, HoldPolicy::Hold};
+  const TraceEvents in = ch.events_in(1000, 500.0);
+  EXPECT_EQ(in.handovers, 2);
+  EXPECT_EQ(in.interruption, 500.0);  // capped at the window
+  const TraceEvents none = ch.events_in(2000, 500.0);
+  EXPECT_EQ(none.handovers, 0);
+  EXPECT_EQ(none.interruption, 0.0);
+}
+
+TEST(TraceChannel, PerTestChannelUsesRecordedThroughputAsCapacity) {
+  const measure::ConsolidatedDb& rec = recorded_db();
+  const measure::TestRecord* bulk = nullptr;
+  for (const auto& t : rec.tests) {
+    if (t.type == measure::TestType::DownlinkBulk && !t.is_static) {
+      bulk = &t;
+      break;
+    }
+  }
+  ASSERT_NE(bulk, nullptr);
+  const TraceChannel ch = channel_for_test(rec, *bulk, HoldPolicy::Hold);
+  ASSERT_FALSE(ch.empty());
+  for (const auto& k : rec.kpis) {
+    if (k.test_id != bulk->id) continue;
+    EXPECT_EQ(ch.at(k.t).capacity_dl, k.throughput);
+  }
+}
+
+// --- ReplayCampaign -------------------------------------------------------
+
+TEST(ReplayCampaign_, DeterministicAcrossThreadCounts) {
+  ReplayConfig one;
+  one.threads = 1;
+  ReplayConfig four;
+  four.threads = 4;
+  const measure::ConsolidatedDb a = ReplayCampaign{ingested(), one}.run();
+  const measure::ConsolidatedDb b = ReplayCampaign{ingested(), four}.run();
+  EXPECT_EQ(db_to_string(a), db_to_string(b));
+}
+
+TEST(ReplayCampaign_, UnchangedKnobsReproduceRecordedSummaries) {
+  ReplayConfig cfg;
+  cfg.threads = 1;
+  const measure::ConsolidatedDb replayed =
+      ReplayCampaign{ingested(), cfg}.run();
+
+  // The radio timeline is recorded, so RTT replay is exact.
+  ASSERT_EQ(replayed.rtts.size(), ingested().db.rtts.size());
+  for (std::size_t i = 0; i < replayed.rtts.size(); ++i) {
+    EXPECT_EQ(replayed.rtts[i].rtt, ingested().db.rtts[i].rtt);
+  }
+  // Bulk TCP re-runs live against the recorded capacity; its medians land
+  // within tolerance of the recording.
+  const ReportSummary rec = summarize(ingested().db);
+  const ReportSummary rep = summarize(replayed);
+  for (std::size_t ci = 0; ci < rec.carriers.size(); ++ci) {
+    const auto& r = rec.carriers[ci];
+    const auto& p = rep.carriers[ci];
+    ASSERT_GT(r.dl_median_mbps, 0.0);
+    EXPECT_NEAR(p.dl_median_mbps, r.dl_median_mbps, r.dl_median_mbps * 0.25);
+    EXPECT_NEAR(p.ul_median_mbps, r.ul_median_mbps, r.ul_median_mbps * 0.25);
+    // Structure is preserved exactly.
+    EXPECT_EQ(p.tests, r.tests);
+    EXPECT_EQ(p.kpi_samples, r.kpi_samples);
+    EXPECT_EQ(p.rtt_samples, r.rtt_samples);
+    EXPECT_EQ(p.app_runs, r.app_runs);
+  }
+  // Geometry-derived state carries over unchanged.
+  EXPECT_EQ(replayed.driven_km, ingested().db.driven_km);
+  for (std::size_t ci = 0; ci < radio::kCarrierCount; ++ci) {
+    EXPECT_EQ(replayed.experiment_runtime[ci],
+              ingested().db.experiment_runtime[ci]);
+    EXPECT_EQ(replayed.active_cells[ci], ingested().db.active_cells[ci]);
+  }
+  // Handovers re-fire verbatim.
+  EXPECT_EQ(replayed.handovers.size(), ingested().db.handovers.size());
+}
+
+TEST(ReplayCampaign_, EdgeServerSwapLowersRtts) {
+  ReplayConfig base;
+  base.threads = 1;
+  ReplayConfig edge = base;
+  edge.knobs.server = net::ServerKind::Edge;
+  const measure::ConsolidatedDb a = ReplayCampaign{ingested(), base}.run();
+  const measure::ConsolidatedDb b = ReplayCampaign{ingested(), edge}.run();
+  const ReportSummary sa = summarize(a);
+  const ReportSummary sb = summarize(b);
+  for (std::size_t ci = 0; ci < sa.carriers.size(); ++ci) {
+    ASSERT_GT(sa.carriers[ci].rtt_median_ms, 0.0);
+    EXPECT_LT(sb.carriers[ci].rtt_median_ms, sa.carriers[ci].rtt_median_ms);
+  }
+  for (const auto& t : b.tests) {
+    EXPECT_EQ(t.server, net::ServerKind::Edge);
+  }
+}
+
+TEST(ReplayCampaign_, CongestionControlSwapChangesBulkThroughput) {
+  ReplayConfig cubic;
+  cubic.threads = 1;
+  ReplayConfig bbr = cubic;
+  bbr.knobs.cc = transport::CcAlgo::Bbr;
+  const measure::ConsolidatedDb a = ReplayCampaign{ingested(), cubic}.run();
+  const measure::ConsolidatedDb b = ReplayCampaign{ingested(), bbr}.run();
+  ASSERT_EQ(a.kpis.size(), b.kpis.size());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.kpis.size(); ++i) {
+    if (a.kpis[i].throughput != b.kpis[i].throughput) ++differing;
+  }
+  EXPECT_GT(differing, a.kpis.size() / 10);
+  // The knob only touches transport: RTT tests replay identically.
+  ASSERT_EQ(a.rtts.size(), b.rtts.size());
+  for (std::size_t i = 0; i < a.rtts.size(); ++i) {
+    EXPECT_EQ(a.rtts[i].rtt, b.rtts[i].rtt);
+  }
+}
+
+TEST(ReplayCampaign_, MaxTierCapDowngradesAndClamps) {
+  ReplayConfig cfg;
+  cfg.threads = 1;
+  cfg.knobs.max_tier = radio::Technology::Lte;
+  const measure::ConsolidatedDb db = ReplayCampaign{ingested(), cfg}.run();
+  const int cap_tier = radio::technology_tier(radio::Technology::Lte);
+  for (const auto& k : db.kpis) {
+    EXPECT_LE(radio::technology_tier(k.tech), cap_tier);
+    const radio::BandPlan plan = radio::band_plan(k.carrier, k.tech);
+    const bool dl = k.direction == radio::Direction::Downlink;
+    const Mbps ceiling =
+        radio::cc_peak_rate(plan, dl) * (dl ? plan.max_cc_dl : plan.max_cc_ul);
+    // Delivered throughput cannot beat the capped link's ceiling (small
+    // slack for the fluid model's tick granularity).
+    EXPECT_LE(k.throughput, ceiling * 1.05);
+  }
+  for (const auto& r : db.rtts) {
+    EXPECT_LE(radio::technology_tier(r.tech), cap_tier);
+  }
+}
+
+// --- external adapter -----------------------------------------------------
+
+constexpr char kExternalTrace[] =
+    "t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms,tech\n"
+    "0,120.5,18.2,45,5G-mid\n"
+    "500,95.0,15.0,52,5G-mid\n"
+    "1000,3.1,1.0,88,LTE\n"
+    "1500,140.0,20.0,41,5G-mmWave\n";
+
+TEST(ExternalAdapter, ImportsAndReplays) {
+  std::stringstream ss{kExternalTrace};
+  const ReplayBundle bundle =
+      import_external_trace_csv(ss, radio::Carrier::TMobile);
+  EXPECT_EQ(bundle.db.tests.size(), 3u);
+  EXPECT_EQ(bundle.db.kpis.size(), 8u);  // 4 ticks x {DL, UL}
+  EXPECT_EQ(bundle.db.rtts.size(), 4u);
+  EXPECT_TRUE(measure::validate(bundle.db).empty());
+
+  ReplayConfig cfg;
+  cfg.threads = 1;
+  const measure::ConsolidatedDb replayed = ReplayCampaign{bundle, cfg}.run();
+  EXPECT_EQ(replayed.kpis.size(), 8u);
+  EXPECT_EQ(replayed.rtts.size(), 4u);
+  for (const auto& r : replayed.rtts) {
+    EXPECT_GT(r.rtt, 0.0);
+  }
+}
+
+TEST(ExternalAdapter, WithoutTechColumnDefaultsToLte) {
+  std::stringstream ss{
+      "t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms\n"
+      "0,50,5,60\n"};
+  const ReplayBundle bundle =
+      import_external_trace_csv(ss, radio::Carrier::Verizon);
+  ASSERT_EQ(bundle.db.kpis.size(), 2u);
+  EXPECT_EQ(bundle.db.kpis[0].tech, radio::Technology::Lte);
+}
+
+TEST(ExternalAdapter, MalformedRowsReportLineNumbers) {
+  const auto error_of = [](const std::string& text) {
+    std::stringstream ss{text};
+    try {
+      (void)import_external_trace_csv(ss, radio::Carrier::Verizon);
+    } catch (const std::runtime_error& e) {
+      return std::string{e.what()};
+    }
+    return std::string{};
+  };
+  const std::string header = "t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms\n";
+  EXPECT_NE(error_of("bogus,header\n").find("line 1"), std::string::npos);
+  EXPECT_NE(error_of(header + "0,50,5\n").find("line 2"), std::string::npos);
+  EXPECT_NE(error_of(header + "0,nan,5,60\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(error_of(header + "0,50,5,0\n").find("line 2"),
+            std::string::npos);  // rtt must be > 0
+  EXPECT_NE(error_of(header + "500,50,5,60\n0,50,5,60\n").find("line 3"),
+            std::string::npos);  // time going backwards
+  EXPECT_NE(error_of(header).find("no data rows"), std::string::npos);
+}
+
+// --- env knobs ------------------------------------------------------------
+
+TEST(ReplayEnv, ParsesKnobsAndIgnoresGarbage) {
+  ::setenv("WHEELS_REPLAY_SEED", "123", 1);
+  ::setenv("WHEELS_REPLAY_INTERP", "linear", 1);
+  ::setenv("WHEELS_REPLAY_CC", "bbr", 1);
+  ::setenv("WHEELS_REPLAY_SERVER", "edge", 1);
+  ::setenv("WHEELS_REPLAY_MAX_TIER", "5G-mid", 1);
+  ReplayConfig cfg = replay_config_from_env();
+  EXPECT_EQ(cfg.seed, 123u);
+  EXPECT_EQ(cfg.policy, HoldPolicy::Interpolate);
+  EXPECT_EQ(cfg.knobs.cc, transport::CcAlgo::Bbr);
+  EXPECT_EQ(cfg.knobs.server, net::ServerKind::Edge);
+  EXPECT_EQ(cfg.knobs.max_tier, radio::Technology::NrMid);
+
+  ::setenv("WHEELS_REPLAY_INTERP", "sideways", 1);
+  ::setenv("WHEELS_REPLAY_CC", "reno", 1);
+  ::setenv("WHEELS_REPLAY_SERVER", "moon", 1);
+  ::setenv("WHEELS_REPLAY_MAX_TIER", "6G", 1);
+  cfg = replay_config_from_env();
+  EXPECT_EQ(cfg.policy, HoldPolicy::Hold);
+  EXPECT_FALSE(cfg.knobs.cc.has_value());
+  EXPECT_FALSE(cfg.knobs.server.has_value());
+  EXPECT_FALSE(cfg.knobs.max_tier.has_value());
+
+  ::unsetenv("WHEELS_REPLAY_SEED");
+  ::unsetenv("WHEELS_REPLAY_INTERP");
+  ::unsetenv("WHEELS_REPLAY_CC");
+  ::unsetenv("WHEELS_REPLAY_SERVER");
+  ::unsetenv("WHEELS_REPLAY_MAX_TIER");
+}
+
+}  // namespace
+}  // namespace wheels::replay
