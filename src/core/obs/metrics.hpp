@@ -110,6 +110,25 @@ class MetricsRegistry {
   mutable std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+/// A named counter bound to the global registry, resolved once at
+/// construction — collapses the "static MetricId + registry lookup"
+/// boilerplate at instrumentation sites to
+///   static const Counter c{"replay.fleet.runs"};
+///   c.add();
+/// Safe to construct as a function-local static from any thread (the
+/// registry lock serialises the id lookup).
+class Counter {
+ public:
+  explicit Counter(std::string_view name)
+      : id_(MetricsRegistry::global().counter_id(name)) {}
+  void add(std::uint64_t delta = 1) const {
+    MetricsRegistry::global().add(id_, delta);
+  }
+
+ private:
+  MetricId id_;
+};
+
 /// Write the global registry's full snapshot (runtime metrics included) to
 /// $WHEELS_METRICS_OUT and the global trace collector to $WHEELS_TRACE_OUT,
 /// when those variables name writable paths. No-op when unset. Called by

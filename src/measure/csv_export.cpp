@@ -7,6 +7,7 @@
 #include <fstream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -194,6 +195,13 @@ class CsvTable {
 };
 
 }  // namespace
+
+std::string csv_double(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
 
 void write_tests_csv(std::ostream& os, const ConsolidatedDb& db) {
   LosslessDoubles guard{os};

@@ -26,6 +26,12 @@
 
 namespace wheels::measure {
 
+/// Format `v` exactly as the CSV writers below do (max_digits10, so the
+/// text converts back to the identical bits) — for auxiliary tables (fleet
+/// aggregates, golden expectations) that must diff cleanly against files
+/// this module wrote.
+std::string csv_double(double v);
+
 void write_tests_csv(std::ostream& os, const ConsolidatedDb& db);
 void write_kpis_csv(std::ostream& os, const ConsolidatedDb& db);
 void write_rtts_csv(std::ostream& os, const ConsolidatedDb& db);

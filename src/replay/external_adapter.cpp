@@ -149,6 +149,9 @@ ReplayBundle import_external_trace_csv(std::istream& is,
     if (!rows.empty() && r.t < rows.back().t) {
       fail(line_no, "time going backwards");
     }
+    if (!rows.empty() && r.t == rows.back().t) {
+      fail(line_no, "duplicate time " + std::to_string(r.t));
+    }
     rows.push_back(r);
   }
   if (rows.empty()) fail(line_no, "trace has no data rows");

@@ -21,9 +21,10 @@ namespace wheels::replay {
 ///
 /// Expected header: `t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms` with an optional
 /// trailing `,tech` column (a canonical technology name; defaults to LTE).
-/// Rows must be in non-decreasing time order. Throws std::runtime_error with
-/// the offending 1-based line number on malformed input, and validates the
-/// assembled database before returning.
+/// Rows must be in strictly increasing time order (out-of-order and
+/// duplicated `t_ms` are both rejected); CRLF line endings are accepted.
+/// Throws std::runtime_error with the offending 1-based line number on
+/// malformed input, and validates the assembled database before returning.
 ReplayBundle import_external_trace_csv(std::istream& is,
                                        radio::Carrier carrier);
 

@@ -1,0 +1,150 @@
+// ReplayFleet: multi-trace fleet replay with knob sweeps.
+//
+// The paper's dataset is a *fleet* of recordings — days, carriers, routes,
+// scales — and campaign-wide claims (Tables 2-4 medians, counterfactual
+// deltas) only reproduce over many recordings at once. ReplayFleet is the
+// campaign::FleetRunner of the replay world: it fans (bundle, knob-cell)
+// work items across core::ThreadPool, runs each through ReplayCampaign, and
+// pools the per-bundle sample series into one fleet-level aggregate —
+// per-carrier medians with bootstrap CIs per knob cell, plus each cell's
+// delta against the all-recorded baseline.
+//
+// Determinism contract (the FleetRunner discipline, fleet_runner.hpp):
+// every work item writes only its own pre-allocated slot, inner replays run
+// serially (they are thread-count invariant anyway), and pooling/aggregation
+// read the slots in submission order — so FleetResult, and the CSV
+// write_fleet_csv emits, are byte-identical for every WHEELS_THREADS.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/bootstrap.hpp"
+#include "net/server.hpp"
+#include "radio/technology.hpp"
+#include "replay/ingest.hpp"
+#include "replay/replay_campaign.hpp"
+#include "replay/report.hpp"
+#include "transport/tcp_flow.hpp"
+
+namespace wheels::replay {
+
+/// Value lists of the knob sweep, one axis per ReplayKnobs field; nullopt is
+/// the "as recorded" value. Defaults to the single recorded value on every
+/// axis, so an empty grid replays the fleet once, baseline only.
+struct KnobGrid {
+  std::vector<std::optional<transport::CcAlgo>> cc{std::nullopt};
+  std::vector<std::optional<net::ServerKind>> server{std::nullopt};
+  std::vector<std::optional<radio::Technology>> max_tier{std::nullopt};
+};
+
+/// Apply one CLI grid token to `grid`, replacing that axis: "cc=cubic,bbr",
+/// "server=cloud,edge" or "tier=LTE,5G-mid" (the value "recorded" selects
+/// the unset knob). Throws std::runtime_error naming the offending
+/// dimension, value, or duplicated value.
+void apply_grid_axis(KnobGrid& grid, const std::string& spec);
+
+/// Cartesian expansion in fixed cc-major, server, tier-minor order, with the
+/// all-recorded baseline cell prepended when the product does not already
+/// contain it — cell 0 is always the reference the deltas are against.
+std::vector<ReplayKnobs> expand_grid(const KnobGrid& grid);
+
+/// Stable label of one cell, e.g. "cc=bbr|server=edge|tier=recorded"; the
+/// all-recorded baseline is "recorded".
+std::string cell_label(const ReplayKnobs& knobs);
+
+/// One bundle to replay: a display name plus a non-owning pointer to a
+/// loaded bundle the caller keeps alive across run().
+struct FleetItem {
+  std::string name;
+  const ReplayBundle* bundle = nullptr;
+};
+
+/// Load a bundle from a fleet path spec: a dataset directory, or an external
+/// per-tick trace CSV (a path ending in ".csv"), optionally suffixed
+/// "@carrier" to pick the synthetic bundle's carrier (default Verizon).
+ReplayBundle load_fleet_bundle(const std::string& spec);
+
+struct FleetConfig {
+  /// Per-replay configuration. `replay.threads` is ignored: inner replays
+  /// run serially and all parallelism is spent at the fleet level, which
+  /// changes no output byte (replay_campaign.hpp's invariance).
+  ReplayConfig replay;
+  /// Concurrent (bundle, cell) work items; 0 = auto (WHEELS_THREADS).
+  int threads = 0;
+  KnobGrid grid;
+  /// Bootstrap iterations behind each pooled median's 95% CI.
+  int ci_iterations = 300;
+};
+
+/// Pooled statistics of one metric over every bundle's samples in one cell.
+struct MetricAggregate {
+  std::size_t n = 0;
+  double median = 0.0;
+  /// Percentile-bootstrap 95% CI of the median; {0,0,0} when n == 0.
+  analysis::ConfidenceInterval ci;
+};
+
+/// The six headline series of CarrierSamples, in fleet table order.
+inline constexpr std::size_t kFleetMetricCount = 6;
+extern const std::array<const char*, kFleetMetricCount> kFleetMetricNames;
+
+/// Series `metric` (an index into kFleetMetricNames) of one carrier's
+/// samples.
+const std::vector<double>& metric_series(const CarrierSamples& samples,
+                                         std::size_t metric);
+
+struct CellAggregate {
+  std::size_t cell = 0;  // index into FleetResult::cells
+  std::array<std::array<MetricAggregate, kFleetMetricCount>,
+             radio::kCarrierCount>
+      metrics{};
+};
+
+/// One (bundle, cell) replay's headline summary.
+struct FleetRunResult {
+  std::size_t bundle = 0;
+  std::size_t cell = 0;
+  ReportSummary summary;
+};
+
+struct FleetResult {
+  std::vector<std::string> bundles;      // submission order
+  std::vector<ReplayKnobs> cells;        // expand_grid order, baseline first
+  std::vector<FleetRunResult> runs;      // bundle-major, cell-minor
+  std::vector<CellAggregate> aggregate;  // one per cell, same order
+};
+
+class ReplayFleet {
+ public:
+  explicit ReplayFleet(FleetConfig config = {});
+
+  const FleetConfig& config() const { return config_; }
+  /// The expanded knob grid (baseline first).
+  const std::vector<ReplayKnobs>& cells() const { return cells_; }
+
+  /// Replay every (bundle, cell) pair and aggregate. Deterministic and
+  /// identically ordered for every thread count.
+  FleetResult run(const std::vector<FleetItem>& items) const;
+
+ private:
+  FleetConfig config_;
+  std::vector<ReplayKnobs> cells_;
+};
+
+/// The aggregate as CSV — `cell,carrier,metric,n,median,ci_lo,ci_hi,
+/// delta_vs_recorded_pct`, doubles at measure::csv_double precision, rows in
+/// (cell, carrier, metric) order: byte-identical for every WHEELS_THREADS.
+/// Empty-series medians/CIs render as empty fields, as does the delta of a
+/// zero or empty baseline.
+void write_fleet_csv(std::ostream& os, const FleetResult& result);
+
+/// Human-readable report: one per-bundle table per cell, then the pooled
+/// aggregate with 95% CIs and deltas against the recorded baseline.
+void print_fleet(std::ostream& os, const FleetResult& result);
+
+}  // namespace wheels::replay

@@ -16,7 +16,9 @@ namespace {
 namespace fs = std::filesystem;
 
 /// Open `name` under `dir` and run `read` on it, prefixing any parse error
-/// with the file name so a broken bundle names the broken file.
+/// with the full bundle-relative path — when a fleet run ingests many
+/// bundles, the error must identify *which* bundle was malformed, not just
+/// which table.
 template <typename Read>
 auto read_file(const fs::path& dir, const std::string& name, Read read) {
   const fs::path path = dir / name;
@@ -27,7 +29,7 @@ auto read_file(const fs::path& dir, const std::string& name, Read read) {
   try {
     return read(is);
   } catch (const std::runtime_error& e) {
-    throw std::runtime_error{name + ": " + e.what()};
+    throw std::runtime_error{path.string() + ": " + e.what()};
   }
 }
 
@@ -77,7 +79,11 @@ ReplayBundle read_dataset(const std::string& directory,
     return 0;
   });
 
-  measure::validate_or_throw(db);
+  try {
+    measure::validate_or_throw(db);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error{directory + ": " + e.what()};
+  }
 
   auto& reg = core::obs::MetricsRegistry::global();
   static const core::obs::MetricId bundles =

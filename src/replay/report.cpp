@@ -9,55 +9,78 @@
 
 namespace wheels::replay {
 
-ReportSummary summarize(const measure::ConsolidatedDb& db) {
-  ReportSummary s;
-  for (radio::Carrier c : radio::kAllCarriers) {
-    CarrierSummary& cs = s.carriers[measure::carrier_index(c)];
-    cs.carrier = c;
+void CarrierSamples::append(const CarrierSamples& other) {
+  tests += other.tests;
+  app_runs += other.app_runs;
+  const auto cat = [](std::vector<double>& into,
+                      const std::vector<double>& from) {
+    into.insert(into.end(), from.begin(), from.end());
+  };
+  cat(dl_mbps, other.dl_mbps);
+  cat(ul_mbps, other.ul_mbps);
+  cat(rtt_ms, other.rtt_ms);
+  cat(video_qoe, other.video_qoe);
+  cat(gaming_latency_ms, other.gaming_latency_ms);
+  cat(offload_e2e_ms, other.offload_e2e_ms);
+}
 
-    std::vector<double> dl;
-    std::vector<double> ul;
+DbSamples collect_samples(const measure::ConsolidatedDb& db) {
+  DbSamples out;
+  for (radio::Carrier c : radio::kAllCarriers) {
+    CarrierSamples& cs = out[measure::carrier_index(c)];
+    cs.carrier = c;
     for (const auto& k : db.kpis) {
       if (k.carrier != c) continue;
-      ++cs.kpi_samples;
-      (k.direction == radio::Direction::Downlink ? dl : ul)
+      (k.direction == radio::Direction::Downlink ? cs.dl_mbps : cs.ul_mbps)
           .push_back(k.throughput);
     }
-    std::vector<double> rtts;
     for (const auto& r : db.rtts) {
-      if (r.carrier != c) continue;
-      rtts.push_back(r.rtt);
+      if (r.carrier == c) cs.rtt_ms.push_back(r.rtt);
     }
-    cs.rtt_samples = rtts.size();
-    std::vector<double> qoe;
-    std::vector<double> glat;
-    std::vector<double> e2e;
     for (const auto& a : db.app_runs) {
       if (a.carrier != c) continue;
       ++cs.app_runs;
       switch (a.app) {
         case measure::AppKind::Video:
-          qoe.push_back(a.qoe);
+          cs.video_qoe.push_back(a.qoe);
           break;
         case measure::AppKind::Gaming:
-          glat.push_back(a.gaming_latency);
+          cs.gaming_latency_ms.push_back(a.gaming_latency);
           break;
         default:
-          e2e.push_back(a.median_e2e);
+          cs.offload_e2e_ms.push_back(a.median_e2e);
           break;
       }
     }
     for (const auto& t : db.tests) {
       if (t.carrier == c) ++cs.tests;
     }
-    cs.dl_median_mbps = analysis::median_of(std::move(dl));
-    cs.ul_median_mbps = analysis::median_of(std::move(ul));
-    cs.rtt_median_ms = analysis::median_of(std::move(rtts));
-    cs.video_qoe = analysis::median_of(std::move(qoe));
-    cs.gaming_latency_ms = analysis::median_of(std::move(glat));
-    cs.offload_e2e_ms = analysis::median_of(std::move(e2e));
+  }
+  return out;
+}
+
+ReportSummary summarize_samples(const DbSamples& samples) {
+  ReportSummary s;
+  for (std::size_t ci = 0; ci < samples.size(); ++ci) {
+    const CarrierSamples& in = samples[ci];
+    CarrierSummary& cs = s.carriers[ci];
+    cs.carrier = in.carrier;
+    cs.tests = in.tests;
+    cs.kpi_samples = in.dl_mbps.size() + in.ul_mbps.size();
+    cs.rtt_samples = in.rtt_ms.size();
+    cs.app_runs = in.app_runs;
+    cs.dl_median_mbps = analysis::median_of(in.dl_mbps);
+    cs.ul_median_mbps = analysis::median_of(in.ul_mbps);
+    cs.rtt_median_ms = analysis::median_of(in.rtt_ms);
+    cs.video_qoe = analysis::median_of(in.video_qoe);
+    cs.gaming_latency_ms = analysis::median_of(in.gaming_latency_ms);
+    cs.offload_e2e_ms = analysis::median_of(in.offload_e2e_ms);
   }
   return s;
+}
+
+ReportSummary summarize(const measure::ConsolidatedDb& db) {
+  return summarize_samples(collect_samples(db));
 }
 
 namespace {

@@ -6,11 +6,35 @@
 #include <array>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "measure/records.hpp"
 #include "radio/technology.hpp"
 
 namespace wheels::replay {
+
+/// Raw per-carrier sample series of a database — the inputs the headline
+/// medians are computed from. ReplayFleet pools these across bundles, so
+/// fleet-level medians/CIs are over the union of samples, not medians of
+/// medians.
+struct CarrierSamples {
+  radio::Carrier carrier = radio::Carrier::Verizon;
+  std::size_t tests = 0;
+  std::vector<double> dl_mbps;
+  std::vector<double> ul_mbps;
+  std::vector<double> rtt_ms;
+  std::vector<double> video_qoe;
+  std::vector<double> gaming_latency_ms;
+  std::vector<double> offload_e2e_ms;
+  std::size_t app_runs = 0;
+
+  /// Append every series of `other` (same carrier) to this one.
+  void append(const CarrierSamples& other);
+};
+
+using DbSamples = std::array<CarrierSamples, radio::kCarrierCount>;
+
+DbSamples collect_samples(const measure::ConsolidatedDb& db);
 
 /// Headline medians of one carrier's slice of a database.
 struct CarrierSummary {
@@ -32,6 +56,10 @@ struct ReportSummary {
 };
 
 ReportSummary summarize(const measure::ConsolidatedDb& db);
+
+/// The summary `summarize` would produce for a database whose samples are
+/// `s` — the path ReplayFleet uses on pooled series.
+ReportSummary summarize_samples(const DbSamples& s);
 
 /// Print one database's per-carrier headline table.
 void print_summary(std::ostream& os, const std::string& title,

@@ -45,6 +45,24 @@ TEST(MetricsRegistry_, MergesThreadShards) {
   EXPECT_EQ(reg.snapshot().counters[0].second, 4001u);
 }
 
+TEST(MetricsRegistry_, CounterConvenienceReportsToTheGlobalRegistry) {
+  const auto value_of = [](std::string_view name) {
+    for (const auto& [n, v] : MetricsRegistry::global().snapshot().counters) {
+      if (n == name) return v;
+    }
+    return std::uint64_t{0};
+  };
+  const Counter counter{"test.counter_convenience"};
+  const std::uint64_t before = value_of("test.counter_convenience");
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(value_of("test.counter_convenience"), before + 42);
+  // Another Counter with the same name resolves to the same metric.
+  const Counter again{"test.counter_convenience"};
+  again.add();
+  EXPECT_EQ(value_of("test.counter_convenience"), before + 43);
+}
+
 TEST(MetricsRegistry_, HistogramBucketsByUpperBound) {
   MetricsRegistry reg;
   const double bounds[] = {1.0, 10.0, 100.0};

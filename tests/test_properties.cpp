@@ -3,9 +3,12 @@
 // the calibrated ones.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <tuple>
+#include <vector>
 
+#include "core/rng.hpp"
 #include "geo/route.hpp"
 #include "geo/scaled_route.hpp"
 #include "net/latency.hpp"
@@ -15,6 +18,7 @@
 #include "radio/deployment.hpp"
 #include "ran/handover.hpp"
 #include "ran/service_policy.hpp"
+#include "replay/trace_channel.hpp"
 
 namespace wheels {
 namespace {
@@ -272,6 +276,122 @@ INSTANTIATE_TEST_SUITE_P(
     AllPropagation, PropagationGrid,
     ::testing::Combine(::testing::ValuesIn(radio::kAllCarriers),
                        ::testing::ValuesIn(radio::kAllTechnologies)));
+
+// ---------------------------------------------------------------------------
+// TraceChannel (replay): invariants over random recorded timelines.
+
+/// A random strictly-increasing timeline of `n` samples starting near t0.
+std::vector<replay::TraceSample> random_timeline(Rng& rng, int n) {
+  std::vector<replay::TraceSample> samples;
+  SimMillis t = static_cast<SimMillis>(rng.uniform_int(0, 2000));
+  for (int i = 0; i < n; ++i) {
+    replay::TraceSample s;
+    s.t = t;
+    s.capacity_dl = rng.uniform(0.0, 300.0);
+    s.capacity_ul = rng.uniform(0.0, 60.0);
+    s.rtt = rng.uniform(5.0, 300.0);
+    s.rsrp = rng.uniform(-125.0, -70.0);
+    s.speed = rng.uniform(0.0, 80.0);
+    s.tech = radio::kAllTechnologies[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(radio::kAllTechnologies.size()) -
+                               1))];
+    samples.push_back(s);
+    t += static_cast<SimMillis>(rng.uniform_int(1, 1500));
+  }
+  return samples;
+}
+
+class TraceChannelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceChannelProperty, InterpolationStaysWithinBracketingSamples) {
+  Rng rng = Rng{stable_hash("trace-prop", 99)}.fork(
+      "lerp", static_cast<std::uint64_t>(GetParam()));
+  const std::vector<replay::TraceSample> samples = random_timeline(rng, 24);
+  const replay::TraceChannel ch{samples, {}, replay::HoldPolicy::Interpolate};
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+    const replay::TraceSample& a = samples[i];
+    const replay::TraceSample& b = samples[i + 1];
+    for (int k = 0; k < 5; ++k) {
+      const SimMillis t =
+          a.t + static_cast<SimMillis>(
+                    rng.uniform(0.0, static_cast<double>(b.t - a.t)));
+      const replay::TraceSample mid = ch.at(t);
+      EXPECT_GE(mid.capacity_dl, std::min(a.capacity_dl, b.capacity_dl));
+      EXPECT_LE(mid.capacity_dl, std::max(a.capacity_dl, b.capacity_dl));
+      EXPECT_GE(mid.capacity_ul, std::min(a.capacity_ul, b.capacity_ul));
+      EXPECT_LE(mid.capacity_ul, std::max(a.capacity_ul, b.capacity_ul));
+      EXPECT_GE(mid.rtt, std::min(a.rtt, b.rtt));
+      EXPECT_LE(mid.rtt, std::max(a.rtt, b.rtt));
+      // Discrete fields never blend: the held value is the left sample's.
+      EXPECT_EQ(mid.tech, a.tech);
+    }
+  }
+  // Outside the recorded range the channel clamps to the end samples.
+  EXPECT_EQ(ch.at(samples.front().t - 1).capacity_dl,
+            samples.front().capacity_dl);
+  EXPECT_EQ(ch.at(samples.back().t + 1).capacity_dl,
+            samples.back().capacity_dl);
+}
+
+TEST_P(TraceChannelProperty, HoldIsPiecewiseConstant) {
+  Rng rng = Rng{stable_hash("trace-prop", 99)}.fork(
+      "hold", static_cast<std::uint64_t>(GetParam()));
+  const std::vector<replay::TraceSample> samples = random_timeline(rng, 24);
+  const replay::TraceChannel ch{samples, {}, replay::HoldPolicy::Hold};
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+    const replay::TraceSample& a = samples[i];
+    for (int k = 0; k < 5; ++k) {
+      // Every instant of [a.t, next.t) reports exactly sample a.
+      const SimMillis t =
+          a.t + static_cast<SimMillis>(rng.uniform(
+                    0.0, static_cast<double>(samples[i + 1].t - a.t - 1)));
+      const replay::TraceSample held = ch.at(t);
+      EXPECT_EQ(held.capacity_dl, a.capacity_dl);
+      EXPECT_EQ(held.capacity_ul, a.capacity_ul);
+      EXPECT_EQ(held.rtt, a.rtt);
+      EXPECT_EQ(held.tech, a.tech);
+    }
+  }
+}
+
+TEST_P(TraceChannelProperty, HandoversRefireInNondecreasingOrderOnce) {
+  Rng rng = Rng{stable_hash("trace-prop", 99)}.fork(
+      "ho", static_cast<std::uint64_t>(GetParam()));
+  const std::vector<replay::TraceSample> samples = random_timeline(rng, 12);
+  // Hand the constructor a shuffled event list: recorded order on disk is
+  // not guaranteed, the channel must normalize it.
+  std::vector<ran::HandoverEvent> events;
+  for (int i = 0; i < 30; ++i) {
+    ran::HandoverEvent h;
+    h.t = static_cast<SimMillis>(rng.uniform_int(
+        static_cast<int>(samples.front().t),
+        static_cast<int>(samples.back().t)));
+    h.duration = rng.uniform(10.0, 800.0);
+    events.push_back(h);
+  }
+  const replay::TraceChannel ch{samples, events, replay::HoldPolicy::Hold};
+  SimMillis prev = 0;
+  for (const ran::HandoverEvent& h : ch.handovers()) {
+    EXPECT_GE(h.t, prev);
+    prev = h.t;
+  }
+  // Sweeping consecutive windows over the whole trace re-fires every event
+  // exactly once, and never blanks more than the window.
+  const Millis dt = 500.0;
+  int refired = 0;
+  for (SimMillis t = samples.front().t - 1000;
+       t <= samples.back().t + 1000; t += static_cast<SimMillis>(dt)) {
+    const replay::TraceEvents in = ch.events_in(t, dt);
+    EXPECT_GE(in.handovers, 0);
+    EXPECT_GE(in.interruption, 0.0);
+    EXPECT_LE(in.interruption, dt);
+    refired += in.handovers;
+  }
+  EXPECT_EQ(refired, 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTimelines, TraceChannelProperty,
+                         ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace wheels

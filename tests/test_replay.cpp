@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
@@ -35,9 +36,12 @@ const measure::ConsolidatedDb& recorded_db() {
 }
 
 /// A bundle directory for recorded_db(), written once per test binary run.
+/// Suffixed with the pid: under `ctest -j`, concurrent test *processes* each
+/// materialize their own copy instead of racing remove_all against readers.
 const std::string& bundle_dir() {
   static const std::string dir = [] {
-    const std::string d = "/tmp/wheels-replay-test-bundle";
+    const std::string d = "/tmp/wheels-replay-test-bundle-" +
+                          std::to_string(::getpid());
     fs::remove_all(d);
     (void)measure::write_dataset(recorded_db(), d,
                                  campaign::make_manifest(small_config()));
@@ -114,6 +118,55 @@ TEST(ReplayIngest, MissingFileNamesTheFile) {
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string{e.what()}.find("rtts.csv"), std::string::npos)
         << e.what();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ReplayIngest, ParseErrorNamesTheBundlePath) {
+  // In a fleet run many bundles ingest back to back; a parse error must say
+  // which bundle broke, not just which table.
+  const std::string dir = "/tmp/wheels-replay-test-badrow";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  fs::copy(bundle_dir(), dir, fs::copy_options::recursive |
+                                  fs::copy_options::overwrite_existing);
+  {
+    std::ofstream os{dir + "/rtts.csv", std::ios::app};
+    os << "garbage,row\n";
+  }
+  try {
+    (void)read_dataset(dir);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(dir + "/rtts.csv"), std::string::npos) << what;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ReplayIngest, ValidationErrorNamesTheBundleDirectory) {
+  const std::string dir = "/tmp/wheels-replay-test-badfk";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  fs::copy(bundle_dir(), dir, fs::copy_options::recursive |
+                                  fs::copy_options::overwrite_existing);
+  // Re-export the bundle with one KPI pointed at a nonexistent test: every
+  // table still parses, but cross-table validation must fail and say which
+  // bundle directory is inconsistent.
+  measure::ConsolidatedDb db = ingested().db;
+  ASSERT_FALSE(db.kpis.empty());
+  db.kpis[0].test_id = 999999;
+  {
+    std::ofstream os{dir + "/kpis.csv"};
+    measure::write_kpis_csv(os, db);
+  }
+  try {
+    (void)read_dataset(dir);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(dir), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown test"), std::string::npos) << what;
   }
   fs::remove_all(dir);
 }
@@ -408,6 +461,64 @@ TEST(ExternalAdapter, MalformedRowsReportLineNumbers) {
   EXPECT_NE(error_of(header + "500,50,5,60\n0,50,5,60\n").find("line 3"),
             std::string::npos);  // time going backwards
   EXPECT_NE(error_of(header).find("no data rows"), std::string::npos);
+}
+
+TEST(ExternalAdapter, RejectsDuplicateTimestampsWithLineNumber) {
+  std::stringstream ss{
+      "t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms\n"
+      "0,50,5,60\n"
+      "500,52,6,58\n"
+      "500,48,4,61\n"};
+  try {
+    (void)import_external_trace_csv(ss, radio::Carrier::Verizon);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate time 500"), std::string::npos) << what;
+  }
+}
+
+TEST(ExternalAdapter, RejectsEmptyInput) {
+  std::stringstream ss{""};
+  try {
+    (void)import_external_trace_csv(ss, radio::Carrier::Verizon);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("empty trace"), std::string::npos) << what;
+  }
+}
+
+TEST(ExternalAdapter, AcceptsCrlfLineEndings) {
+  // Windows-exported traces: CRLF on every line including the header, plus a
+  // trailing bare "\r" line. Must parse identically to the LF version.
+  std::stringstream crlf{
+      "t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms,tech\r\n"
+      "0,120.5,18.2,45,5G-mid\r\n"
+      "500,95.0,15.0,52,LTE\r\n"
+      "\r\n"};
+  const ReplayBundle bundle =
+      import_external_trace_csv(crlf, radio::Carrier::Att);
+  EXPECT_EQ(bundle.db.kpis.size(), 4u);  // 2 ticks x {DL, UL}
+  EXPECT_EQ(bundle.db.rtts.size(), 2u);
+  EXPECT_EQ(bundle.db.kpis[0].tech, radio::Technology::NrMid);
+  EXPECT_EQ(bundle.db.rtts[1].rtt, 52.0);
+  EXPECT_TRUE(measure::validate(bundle.db).empty());
+}
+
+TEST(ExternalAdapter, FifthHeaderColumnMustBeTech) {
+  std::stringstream ss{
+      "t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms,band\n"
+      "0,50,5,60,n77\n"};
+  try {
+    (void)import_external_trace_csv(ss, radio::Carrier::Verizon);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 1"), std::string::npos)
+        << e.what();
+  }
 }
 
 // --- env knobs ------------------------------------------------------------
