@@ -5,8 +5,9 @@
 //                                          -> fidelity + counterfactual diff
 //   ./replay_dataset --reexport IN OUT     ingest bundle IN, write it to OUT
 //                                          (byte-identity check via diff -r)
-//   ./replay_dataset --import TRACE.csv [carrier]
-//                                          lift an external per-tick trace
+//   ./replay_dataset --import TRACE [carrier]
+//                                          lift an external trace (format
+//                                          sniffed via the ingest registry)
 //                                          into a bundle and replay it
 //
 // Knobs: WHEELS_REPLAY_SEED, WHEELS_REPLAY_INTERP (hold|linear),
@@ -17,9 +18,9 @@
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "ingest/ingest.hpp"
 #include "measure/csv_export.hpp"
 #include "measure/enum_names.hpp"
-#include "replay/external_adapter.hpp"
 #include "replay/ingest.hpp"
 #include "replay/replay_campaign.hpp"
 #include "replay/report.hpp"
@@ -42,10 +43,15 @@ int reexport(const std::string& in, const std::string& out) {
 }
 
 int import_trace(const std::string& path, radio::Carrier carrier) {
+  // Routed through the ingest registry: any registered format, sniffed.
+  ingest::IngestOptions options;
+  options.carrier = carrier;
+  const ingest::TraceAdapter& adapter =
+      ingest::builtin_registry().resolve("auto", ingest::sniff_file(path));
   const replay::ReplayBundle bundle =
-      replay::import_external_trace_file(path, carrier);
-  std::cout << "Imported " << path << " as a "
-            << measure::names::to_name(carrier) << " bundle: "
+      ingest::ingest_file(std::string{adapter.name()}, path, options);
+  std::cout << "Imported " << path << " (format '" << adapter.name()
+            << "') as a " << measure::names::to_name(carrier) << " bundle: "
             << bundle.db.kpis.size() << " KPI rows, " << bundle.db.rtts.size()
             << " RTT samples.\n\n";
 

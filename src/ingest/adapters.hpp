@@ -1,0 +1,42 @@
+// The built-in trace adapters.
+//
+// minimal  — the repo's own t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms[,tech] CSV.
+// mahimahi — Mahimahi packet-delivery-opportunity traces (one integer ms
+//            timestamp per line, one MTU per line), windowed into Mbps.
+// errant   — ERRANT-style per-model KPI logs (kbps columns, RAT names).
+// monroe   — MONROE-style metadata+throughput logs (unix-second clock,
+//            bps columns).
+// paper    — the paper's released per-table CSVs (a kpis.csv table, with an
+//            optional rtts.csv overlay).
+//
+// minimal, errant and monroe are pure ColumnMap instances — the proof that
+// formats of that family are data, not code.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "ingest/adapter.hpp"
+
+namespace wheels::ingest {
+
+std::unique_ptr<TraceAdapter> make_minimal_adapter();
+std::unique_ptr<TraceAdapter> make_mahimahi_adapter();
+std::unique_ptr<TraceAdapter> make_errant_adapter();
+std::unique_ptr<TraceAdapter> make_monroe_adapter();
+std::unique_ptr<TraceAdapter> make_paper_tables_adapter();
+
+/// Merge a paired Mahimahi uplink trace into `down` (both already windowed
+/// by the mahimahi adapter on the same tick grid): cap_ul is replaced by the
+/// uplink trace's windowed rate; the shorter side holds its last windowed
+/// rate to the longer side's end.
+void merge_mahimahi_uplink(CanonicalTrace& down, const CanonicalTrace& up);
+
+/// Overlay recorded RTT samples (a paper rtts.csv table) onto `trace`: each
+/// point takes the latest recorded RTT at or before its timestamp (rows for
+/// other carriers are ignored; points before the first RTT sample keep
+/// their fill value). Throws std::runtime_error on a malformed table.
+void attach_paper_rtts(CanonicalTrace& trace, std::istream& rtts,
+                       radio::Carrier carrier);
+
+}  // namespace wheels::ingest

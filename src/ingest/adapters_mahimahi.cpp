@@ -1,0 +1,130 @@
+// Mahimahi packet-delivery-opportunity traces.
+//
+// The de-facto interchange format for cellular capacity records (Winstein et
+// al., NSDI '13; also consumed by ERRANT, Pensieve, Puffer, ...): one line
+// per MTU-sized (1500 B) delivery opportunity, holding the opportunity's
+// integer millisecond timestamp; repeated timestamps mean several packets in
+// the same millisecond, and timestamps are non-decreasing. The adapter
+// windows the opportunity count over the simulator tick and converts it to
+// Mbps — `count * 1500 B * 8 / tick` — producing a trace that is already on
+// the tick grid (windows with no opportunities are zero-capacity, which is a
+// recorded outage, not a gap). A Mahimahi file covers one direction; the
+// paired up/down merge lives in merge_mahimahi_uplink().
+#include <algorithm>
+#include <istream>
+#include <stdexcept>
+#include <string>
+
+#include "ingest/adapters.hpp"
+#include "replay/trace_text.hpp"
+
+namespace wheels::ingest {
+
+namespace {
+
+constexpr double kMtuBits = 1500.0 * 8.0;
+
+bool all_digits(const std::string& line) {
+  if (line.empty()) return false;
+  for (char ch : line) {
+    if (ch < '0' || ch > '9') return false;
+  }
+  return true;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+class MahimahiAdapter final : public TraceAdapter {
+ public:
+  std::string_view name() const override { return "mahimahi"; }
+
+  std::string_view description() const override {
+    return "Mahimahi packet-delivery-opportunity trace (one integer ms "
+           "timestamp per line, one 1500 B opportunity each)";
+  }
+
+  int sniff(const SniffInput& input) const override {
+    if (ends_with(input.path, ".down") || ends_with(input.path, ".up") ||
+        ends_with(input.path, ".pps")) {
+      return 85;
+    }
+    if (input.head.empty()) return 0;
+    for (const std::string& line : input.head) {
+      if (!all_digits(line)) return 0;
+    }
+    return 70;
+  }
+
+  CanonicalTrace parse(std::istream& is,
+                       const IngestOptions& options) const override {
+    const SimMillis tick = options.resample.tick_ms;
+    if (tick <= 0) {
+      throw std::runtime_error{"mahimahi: tick_ms must be > 0"};
+    }
+    if (options.default_rtt_ms <= 0.0) {
+      throw std::runtime_error{"mahimahi: default rtt must be > 0"};
+    }
+
+    replay::TraceLineReader reader{is};
+    std::string line;
+    std::vector<std::size_t> window_counts;
+    SimMillis last = -1;
+    while (reader.next(line)) {
+      const std::size_t line_no = reader.line_number();
+      const SimMillis t = replay::parse_trace_time_ms(line, line_no);
+      if (t < last) {
+        replay::trace_fail(line_no, "time going backwards");
+      }
+      last = t;
+      const std::size_t window = static_cast<std::size_t>(t / tick);
+      if (window >= window_counts.size()) window_counts.resize(window + 1, 0);
+      ++window_counts[window];
+    }
+    if (window_counts.empty()) {
+      replay::trace_fail(reader.line_number(), "trace has no data rows");
+    }
+
+    CanonicalTrace trace;
+    trace.points.reserve(window_counts.size());
+    for (std::size_t w = 0; w < window_counts.size(); ++w) {
+      TracePoint p;
+      p.t = static_cast<SimMillis>(w) * tick;
+      p.cap_dl_mbps = static_cast<double>(window_counts[w]) * kMtuBits /
+                      (static_cast<double>(tick) * 1e-3) / 1e6;
+      p.cap_ul_mbps = p.cap_dl_mbps * options.mahimahi_ul_share;
+      p.rtt_ms = options.default_rtt_ms;
+      p.tech = options.default_tech;
+      trace.points.push_back(p);
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TraceAdapter> make_mahimahi_adapter() {
+  return std::make_unique<MahimahiAdapter>();
+}
+
+void merge_mahimahi_uplink(CanonicalTrace& down, const CanonicalTrace& up) {
+  if (down.points.empty() || up.points.empty()) {
+    throw std::runtime_error{"mahimahi merge: empty trace"};
+  }
+  for (std::size_t i = 0; i < down.points.size(); ++i) {
+    const std::size_t j = std::min(i, up.points.size() - 1);
+    down.points[i].cap_ul_mbps = up.points[j].cap_dl_mbps;
+  }
+  // The uplink trace may outlast the downlink one; extend by holding the
+  // downlink's last windowed rate so neither side's recording is dropped.
+  for (std::size_t j = down.points.size(); j < up.points.size(); ++j) {
+    TracePoint p = down.points.back();
+    p.t = up.points[j].t;
+    p.cap_ul_mbps = up.points[j].cap_dl_mbps;
+    down.points.push_back(p);
+  }
+}
+
+}  // namespace wheels::ingest

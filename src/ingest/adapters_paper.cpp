@@ -1,0 +1,123 @@
+// The paper's released per-table CSVs.
+//
+// The dataset release ships the ConsolidatedDb tables as individual CSVs
+// (measure/csv_export.hpp). A complete bundle goes through
+// replay::read_dataset; this adapter covers the partial-release case — a
+// lone kpis.csv table — by pivoting its per-direction throughput rows into
+// the canonical capacity series: per timestamp, the mean downlink and mean
+// uplink app-layer throughput across that carrier's rows. RTTs live in a
+// separate rtts.csv table; attach_paper_rtts() overlays one when available,
+// otherwise the configured fill applies.
+#include <istream>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "measure/csv_export.hpp"
+#include "measure/enum_names.hpp"
+
+#include "ingest/adapters.hpp"
+
+namespace wheels::ingest {
+
+namespace {
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+class PaperTablesAdapter final : public TraceAdapter {
+ public:
+  std::string_view name() const override { return "paper"; }
+
+  std::string_view description() const override {
+    return "the paper's released kpis.csv table (optionally with a sibling "
+           "rtts.csv overlay)";
+  }
+
+  int sniff(const SniffInput& input) const override {
+    if (input.head.empty()) return 0;
+    return starts_with(input.head.front(), "test_id,t,carrier,tech,cell_id")
+               ? 95
+               : 0;
+  }
+
+  CanonicalTrace parse(std::istream& is,
+                       const IngestOptions& options) const override {
+    if (options.default_rtt_ms <= 0.0) {
+      throw std::runtime_error{"paper tables: default rtt must be > 0"};
+    }
+    const std::vector<measure::KpiRecord> kpis = measure::read_kpis_csv(is);
+
+    struct Accumulator {
+      double dl_sum = 0.0;
+      std::size_t dl_n = 0;
+      double ul_sum = 0.0;
+      std::size_t ul_n = 0;
+      radio::Technology tech = radio::Technology::Lte;
+    };
+    std::map<SimMillis, Accumulator> by_t;
+    std::size_t rows = 0;
+    for (const measure::KpiRecord& k : kpis) {
+      if (k.carrier != options.carrier) continue;
+      ++rows;
+      Accumulator& acc = by_t[k.t];
+      if (k.direction == radio::Direction::Downlink) {
+        acc.dl_sum += k.throughput;
+        ++acc.dl_n;
+      } else {
+        acc.ul_sum += k.throughput;
+        ++acc.ul_n;
+      }
+      acc.tech = k.tech;  // rows share the tick's serving technology
+    }
+    if (rows == 0) {
+      throw std::runtime_error{
+          "paper tables: no KPI rows for carrier " +
+          std::string{measure::names::to_name(options.carrier)}};
+    }
+
+    CanonicalTrace trace;
+    trace.points.reserve(by_t.size());
+    for (const auto& [t, acc] : by_t) {
+      TracePoint p;
+      p.t = t;
+      p.cap_dl_mbps = acc.dl_n > 0
+                          ? acc.dl_sum / static_cast<double>(acc.dl_n)
+                          : 0.0;
+      p.cap_ul_mbps = acc.ul_n > 0
+                          ? acc.ul_sum / static_cast<double>(acc.ul_n)
+                          : 0.0;
+      p.rtt_ms = options.default_rtt_ms;
+      p.tech = acc.tech;
+      trace.points.push_back(p);
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TraceAdapter> make_paper_tables_adapter() {
+  return std::make_unique<PaperTablesAdapter>();
+}
+
+void attach_paper_rtts(CanonicalTrace& trace, std::istream& rtts,
+                       radio::Carrier carrier) {
+  const std::vector<measure::RttRecord> records = measure::read_rtts_csv(rtts);
+  // (t -> rtt) for this carrier; read_rtts_csv does not require ordering,
+  // the map provides it.
+  std::map<SimMillis, double> by_t;
+  for (const measure::RttRecord& r : records) {
+    if (r.carrier == carrier) by_t[r.t] = r.rtt;
+  }
+  if (by_t.empty()) return;
+  for (TracePoint& p : trace.points) {
+    auto it = by_t.upper_bound(p.t);
+    if (it == by_t.begin()) continue;  // before the first sample: keep fill
+    p.rtt_ms = std::prev(it)->second;
+  }
+}
+
+}  // namespace wheels::ingest

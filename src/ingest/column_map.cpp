@@ -1,0 +1,154 @@
+#include "ingest/column_map.hpp"
+
+#include <cmath>
+#include <istream>
+#include <stdexcept>
+
+#include "measure/enum_names.hpp"
+#include "replay/trace_text.hpp"
+
+namespace wheels::ingest {
+
+namespace {
+
+using replay::parse_trace_double;
+using replay::split_trace_row;
+using replay::trace_fail;
+using replay::TraceLineReader;
+
+constexpr std::size_t kMissing = static_cast<std::size_t>(-1);
+
+std::size_t find_column(const std::vector<std::string>& header,
+                        const std::string& name, std::size_t line) {
+  std::size_t found = kMissing;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] != name) continue;
+    if (found != kMissing) {
+      trace_fail(line, "duplicated column '" + name + "'");
+    }
+    found = i;
+  }
+  return found;
+}
+
+radio::Technology parse_tech(const ColumnMap& map, const std::string& cell,
+                             std::size_t line) {
+  for (const TechAlias& alias : map.tech_aliases) {
+    if (alias.name == cell) return alias.tech;
+  }
+  try {
+    return measure::names::parse_technology(cell);
+  } catch (const std::runtime_error& e) {
+    trace_fail(line, e.what());
+  }
+}
+
+}  // namespace
+
+CanonicalTrace parse_with_map(std::istream& is, const ColumnMap& map,
+                              radio::Technology default_tech) {
+  if (map.time_column.empty() || map.time_scale_ms <= 0.0) {
+    throw std::runtime_error{"column map: missing time column or scale"};
+  }
+
+  TraceLineReader reader{is};
+  std::string line;
+  if (!reader.next(line)) trace_fail(reader.line_number(), "empty trace");
+  const std::vector<std::string> header = split_trace_row(line);
+  const std::size_t header_line = reader.line_number();
+
+  const std::size_t time_idx = find_column(header, map.time_column,
+                                           header_line);
+  if (time_idx == kMissing) {
+    trace_fail(header_line, "missing time column '" + map.time_column + "'");
+  }
+  struct Bound {
+    const ColumnRule* rule;
+    std::size_t index;  // kMissing -> use rule->fill
+  };
+  std::vector<Bound> bound;
+  bound.reserve(map.rules.size());
+  std::vector<bool> mapped(header.size(), false);
+  mapped[time_idx] = true;
+  for (const ColumnRule& rule : map.rules) {
+    const std::size_t idx = find_column(header, rule.source, header_line);
+    if (idx == kMissing && !rule.fill.has_value()) {
+      trace_fail(header_line, "missing column '" + rule.source + "'");
+    }
+    if (idx != kMissing) mapped[idx] = true;
+    bound.push_back({&rule, idx});
+  }
+  std::size_t tech_idx = kMissing;
+  if (!map.tech_column.empty()) {
+    tech_idx = find_column(header, map.tech_column, header_line);
+    if (tech_idx != kMissing) mapped[tech_idx] = true;
+  }
+  if (!map.allow_extra_columns) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (!mapped[i]) {
+        trace_fail(header_line, "unmapped column '" + header[i] + "'");
+      }
+    }
+  }
+
+  CanonicalTrace trace;
+  std::optional<double> time_base;
+  while (reader.next(line)) {
+    const std::size_t line_no = reader.line_number();
+    const std::vector<std::string> cells = split_trace_row(line);
+    if (cells.size() != header.size()) {
+      trace_fail(line_no, "expected " + std::to_string(header.size()) +
+                              " columns, got " +
+                              std::to_string(cells.size()));
+    }
+
+    double raw_t = parse_trace_double(cells[time_idx], line_no);
+    if (raw_t < 0.0) trace_fail(line_no, "negative time");
+    if (map.rebase_time) {
+      if (!time_base.has_value()) time_base = raw_t;
+      raw_t -= *time_base;
+    }
+    TracePoint p;
+    p.t = static_cast<SimMillis>(std::llround(raw_t * map.time_scale_ms));
+    p.rtt_ms = 0.0;
+
+    for (const Bound& b : bound) {
+      const double v =
+          b.index == kMissing
+              ? *b.rule->fill
+              : parse_trace_double(cells[b.index], line_no) * b.rule->scale;
+      switch (b.rule->field) {
+        case Field::CapDl:
+          p.cap_dl_mbps = v;
+          break;
+        case Field::CapUl:
+          p.cap_ul_mbps = v;
+          break;
+        case Field::Rtt:
+          p.rtt_ms = v;
+          break;
+      }
+    }
+    if (p.cap_dl_mbps < 0.0 || p.cap_ul_mbps < 0.0) {
+      trace_fail(line_no, "negative capacity");
+    }
+    if (p.rtt_ms <= 0.0) trace_fail(line_no, "rtt must be > 0");
+
+    p.tech = tech_idx == kMissing ? default_tech
+                                  : parse_tech(map, cells[tech_idx], line_no);
+
+    if (!trace.points.empty() && p.t < trace.points.back().t) {
+      trace_fail(line_no, "time going backwards");
+    }
+    if (!trace.points.empty() && p.t == trace.points.back().t) {
+      trace_fail(line_no, "duplicate time " + std::to_string(p.t));
+    }
+    trace.points.push_back(p);
+  }
+  if (trace.points.empty()) {
+    trace_fail(reader.line_number(), "trace has no data rows");
+  }
+  return trace;
+}
+
+}  // namespace wheels::ingest

@@ -1,0 +1,82 @@
+// Declarative column mapping: lift a heterogeneous trace CSV into the
+// canonical per-sample record.
+//
+// Real drive datasets disagree on everything — column names, time units
+// (ms vs. fractional unix seconds), throughput units (Mbps, kbps, bps),
+// whether RTT or technology is recorded at all. A ColumnMap describes one
+// format as *data*: source column -> canonical field, a unit scale, and a
+// constant fill for columns the format lacks. parse_with_map() is the single
+// strict parser behind the minimal/ERRANT/MONROE adapters, so adding a
+// format of this family means writing a ColumnMap, not a parser.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sim_time.hpp"
+#include "radio/technology.hpp"
+
+namespace wheels::ingest {
+
+/// One canonical sample: what every adapter reduces its native row to.
+struct TracePoint {
+  SimMillis t = 0;
+  double cap_dl_mbps = 0.0;
+  double cap_ul_mbps = 0.0;
+  double rtt_ms = 0.0;
+  radio::Technology tech = radio::Technology::Lte;
+};
+
+/// A parsed trace at its native (possibly irregular) timestamps, strictly
+/// increasing in t. The resampling layer turns this into simulator ticks.
+struct CanonicalTrace {
+  std::vector<TracePoint> points;
+};
+
+/// Canonical numeric fields a source column can feed.
+enum class Field { CapDl, CapUl, Rtt };
+
+struct ColumnRule {
+  std::string source;          // header name in the input
+  Field field = Field::CapDl;  // canonical destination
+  double scale = 1.0;          // unit conversion (e.g. kbps -> Mbps: 1e-3)
+  /// Used when `source` is missing from the header; without a fill a
+  /// missing column is an error.
+  std::optional<double> fill;
+};
+
+/// Extra technology spellings a format uses ("4G", "NR-SA", ...), consulted
+/// before the canonical measure::names::parse_technology lookup.
+struct TechAlias {
+  std::string name;
+  radio::Technology tech;
+};
+
+struct ColumnMap {
+  std::string time_column;
+  /// Source time unit in milliseconds (1.0 = ms, 1000.0 = seconds). The
+  /// source value may be fractional; the product is rounded to SimMillis.
+  double time_scale_ms = 1.0;
+  /// Subtract the first sample's time, so unix-epoch clocks land at t = 0.
+  bool rebase_time = false;
+  std::vector<ColumnRule> rules;
+  /// Optional technology column; empty name, or a named column missing from
+  /// the header, falls back to the caller's default technology.
+  std::string tech_column;
+  std::vector<TechAlias> tech_aliases;
+  /// Ignore source columns no rule mentions (operator ids, RSRP, ...).
+  bool allow_extra_columns = false;
+};
+
+/// Parse `is` under `map`. Shares the strict trace dialect of
+/// replay/trace_text.hpp: '#' comments and blank lines are skipped without
+/// renumbering, CRLF is accepted, numbers parse full-string, and time must
+/// be strictly increasing after scaling (duplicates and backwards steps are
+/// rejected). Capacities must be >= 0 and RTTs > 0 after scaling. Throws
+/// std::runtime_error "line N: ..." on the first violation.
+CanonicalTrace parse_with_map(std::istream& is, const ColumnMap& map,
+                              radio::Technology default_tech);
+
+}  // namespace wheels::ingest

@@ -1,0 +1,129 @@
+#include "ingest/ingest.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ingest/adapters.hpp"
+#include "measure/enum_names.hpp"
+
+namespace wheels::ingest {
+
+namespace {
+
+CanonicalTrace parse_file(const TraceAdapter& adapter, const std::string& path,
+                          const IngestOptions& options) {
+  std::ifstream is{path};
+  if (!is) {
+    throw std::runtime_error{"ingest: cannot open " + path};
+  }
+  try {
+    return adapter.parse(is, options);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error{path + ": " + std::string{adapter.name()} + ": " +
+                             e.what()};
+  }
+}
+
+}  // namespace
+
+CanonicalTrace load_trace(const AdapterRegistry& registry,
+                          const std::string& format, const std::string& path,
+                          const IngestOptions& options) {
+  const TraceAdapter* adapter = nullptr;
+  try {
+    adapter = &registry.resolve(format, sniff_file(path));
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error{path + ": " + e.what()};
+  }
+  CanonicalTrace trace = parse_file(*adapter, path, options);
+
+  if (adapter->name() == "mahimahi" && !options.mahimahi_uplink_path.empty()) {
+    const CanonicalTrace up =
+        parse_file(*adapter, options.mahimahi_uplink_path, options);
+    merge_mahimahi_uplink(trace, up);
+  }
+  if (adapter->name() == "paper") {
+    std::string rtts_path = options.paper_rtts_path;
+    if (rtts_path.empty()) {
+      // Sibling pickup: a kpis.csv input next to an rtts.csv gets the
+      // overlay without being asked.
+      const std::filesystem::path p{path};
+      if (p.filename() == "kpis.csv") {
+        const std::filesystem::path sibling = p.parent_path() / "rtts.csv";
+        std::error_code ec;
+        if (std::filesystem::exists(sibling, ec)) {
+          rtts_path = sibling.string();
+        }
+      }
+    }
+    if (!rtts_path.empty()) {
+      std::ifstream rtts{rtts_path};
+      if (!rtts) {
+        throw std::runtime_error{"ingest: cannot open " + rtts_path};
+      }
+      try {
+        attach_paper_rtts(trace, rtts, options.carrier);
+      } catch (const std::runtime_error& e) {
+        throw std::runtime_error{rtts_path + ": " + e.what()};
+      }
+    }
+  }
+  return trace;
+}
+
+replay::ReplayBundle ingest_file(const std::string& format,
+                                 const std::string& path,
+                                 const IngestOptions& options) {
+  return build_bundle(load_trace(builtin_registry(), format, path, options),
+                      options.carrier, options.resample);
+}
+
+std::vector<JoinEntry> parse_join_spec(const std::string& spec) {
+  std::vector<JoinEntry> entries;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t eq = item.find('=');
+    if (item.empty() || eq == std::string::npos || eq == 0 ||
+        eq + 1 == item.size()) {
+      throw std::runtime_error{
+          "join spec: expected CARRIER=PATH[,CARRIER=PATH...], got '" + spec +
+          "'"};
+    }
+    JoinEntry entry;
+    entry.carrier = measure::names::parse_carrier(item.substr(0, eq));
+    entry.path = item.substr(eq + 1);
+    entries.push_back(std::move(entry));
+    pos = comma + 1;
+    if (comma == spec.size()) break;
+  }
+  if (entries.empty()) {
+    throw std::runtime_error{"join spec: empty"};
+  }
+  return entries;
+}
+
+replay::ReplayBundle ingest_join(const std::string& format,
+                                 const std::vector<JoinEntry>& entries,
+                                 const IngestOptions& options,
+                                 const JoinOptions& join) {
+  std::vector<JoinInput> inputs;
+  inputs.reserve(entries.size());
+  for (const JoinEntry& entry : entries) {
+    IngestOptions per_carrier = options;
+    per_carrier.carrier = entry.carrier;
+    JoinInput input;
+    input.carrier = entry.carrier;
+    input.name = entry.path;
+    input.trace =
+        load_trace(builtin_registry(), format, entry.path, per_carrier);
+    inputs.push_back(std::move(input));
+  }
+  return join_traces(std::move(inputs), join, options.resample);
+}
+
+}  // namespace wheels::ingest

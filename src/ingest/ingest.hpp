@@ -1,0 +1,51 @@
+// Top-level ingest API: file in, validated ReplayBundle out.
+//
+// The free functions here tie the subsystem together for callers (the
+// ingest_trace CLI, replay_dataset --import, tests): resolve an adapter from
+// the registry (sniffing the file when the format is "auto"), parse the file
+// into a CanonicalTrace, apply the format's side-channel companions
+// (Mahimahi uplink merge, paper rtts.csv overlay), and hand the result to
+// the join layer for resampling and bundle assembly. Every error is
+// prefixed with the offending path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ingest/adapter.hpp"
+#include "ingest/join.hpp"
+
+namespace wheels::ingest {
+
+/// Parse one file into a canonical trace. `format` is an adapter name or
+/// "auto" (sniff). Applies the Mahimahi uplink merge when
+/// options.mahimahi_uplink_path is set and the resolved adapter is
+/// "mahimahi", and the paper rtts.csv overlay when options.paper_rtts_path
+/// is set and the resolved adapter is "paper". Errors carry the path.
+CanonicalTrace load_trace(const AdapterRegistry& registry,
+                          const std::string& format, const std::string& path,
+                          const IngestOptions& options);
+
+/// load_trace + build_bundle against the builtin registry: the one-call
+/// single-carrier import.
+replay::ReplayBundle ingest_file(const std::string& format,
+                                 const std::string& path,
+                                 const IngestOptions& options);
+
+struct JoinEntry {
+  radio::Carrier carrier = radio::Carrier::Verizon;
+  std::string path;
+};
+
+/// Parse "Carrier=path[,Carrier=path...]" (canonical carrier names) into
+/// join entries. Throws on malformed specs or unknown carriers.
+std::vector<JoinEntry> parse_join_spec(const std::string& spec);
+
+/// Load every entry (each sniffed independently when `format` is "auto")
+/// and join them onto one campaign timeline.
+replay::ReplayBundle ingest_join(const std::string& format,
+                                 const std::vector<JoinEntry>& entries,
+                                 const IngestOptions& options,
+                                 const JoinOptions& join);
+
+}  // namespace wheels::ingest

@@ -1,0 +1,188 @@
+#include "ingest/join.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "measure/csv_export.hpp"
+#include "measure/enum_names.hpp"
+#include "measure/validate.hpp"
+
+namespace wheels::ingest {
+
+namespace {
+
+measure::TestRecord make_test(std::uint32_t id, measure::TestType type,
+                              radio::Carrier carrier, radio::Direction dir,
+                              SimMillis start, SimMillis end, int cycle) {
+  measure::TestRecord t;
+  t.id = id;
+  t.type = type;
+  t.carrier = carrier;
+  t.is_static = false;
+  t.start = start;
+  t.end = end;
+  t.start_km = 0.0;
+  t.end_km = 0.0;
+  t.tz = geo::Timezone::Pacific;
+  t.server = net::ServerKind::Cloud;
+  t.direction = dir;
+  t.cycle = cycle;
+  return t;
+}
+
+void append_segment(measure::ConsolidatedDb& db, radio::Carrier carrier,
+                    const TraceSegment& seg, SimMillis tick_ms, int cycle,
+                    std::uint32_t& next_test_id) {
+  const SimMillis start = seg.ticks.front().t;
+  const SimMillis end = seg.ticks.back().t + tick_ms;
+  const std::uint32_t dl_id = next_test_id++;
+  const std::uint32_t ul_id = next_test_id++;
+  const std::uint32_t rtt_id = next_test_id++;
+
+  db.tests.push_back(make_test(dl_id, measure::TestType::DownlinkBulk,
+                               carrier, radio::Direction::Downlink, start,
+                               end, cycle));
+  db.tests.push_back(make_test(ul_id, measure::TestType::UplinkBulk, carrier,
+                               radio::Direction::Uplink, start, end, cycle));
+  db.tests.push_back(make_test(rtt_id, measure::TestType::Rtt, carrier,
+                               radio::Direction::Downlink, start, end,
+                               cycle));
+
+  for (const TracePoint& p : seg.ticks) {
+    for (const bool dl : {true, false}) {
+      measure::KpiRecord k;
+      k.test_id = dl ? dl_id : ul_id;
+      k.t = p.t;
+      k.carrier = carrier;
+      k.tech = p.tech;
+      k.cell_id = 1;
+      k.rsrp = -90.0;
+      k.mcs = 20;
+      k.bler = 0.0;
+      k.ca = 1;
+      k.throughput = dl ? p.cap_dl_mbps : p.cap_ul_mbps;
+      k.direction = dl ? radio::Direction::Downlink : radio::Direction::Uplink;
+      db.kpis.push_back(k);
+    }
+    measure::RttRecord rr;
+    rr.test_id = rtt_id;
+    rr.t = p.t;
+    rr.carrier = carrier;
+    rr.tech = p.tech;
+    rr.rtt = p.rtt_ms;
+    db.rtts.push_back(rr);
+  }
+
+  db.experiment_runtime[measure::carrier_index(carrier)] +=
+      static_cast<Millis>(end - start) * 3.0;
+}
+
+}  // namespace
+
+replay::ReplayBundle join_traces(std::vector<JoinInput> inputs,
+                                 const JoinOptions& join,
+                                 const ResampleSpec& resample_spec) {
+  if (inputs.empty()) {
+    throw std::runtime_error{"join: no input traces"};
+  }
+  std::sort(inputs.begin(), inputs.end(),
+            [](const JoinInput& a, const JoinInput& b) {
+              return measure::carrier_index(a.carrier) <
+                     measure::carrier_index(b.carrier);
+            });
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    if (inputs[i].carrier == inputs[i - 1].carrier) {
+      throw std::runtime_error{
+          "join: carrier " +
+          std::string{measure::names::to_name(inputs[i].carrier)} +
+          " appears twice (" + inputs[i - 1].name + ", " + inputs[i].name +
+          ")"};
+    }
+  }
+  for (const JoinInput& input : inputs) {
+    if (input.trace.points.empty()) {
+      throw std::runtime_error{"join: " + input.name + ": empty trace"};
+    }
+  }
+
+  // Clock-offset alignment: every carrier's recording starts at t = 0.
+  if (join.align_clocks) {
+    for (JoinInput& input : inputs) {
+      const SimMillis base = input.trace.points.front().t;
+      for (TracePoint& p : input.trace.points) p.t -= base;
+    }
+  }
+
+  // Overlap trimming: keep the window every carrier covers.
+  if (join.trim_to_overlap) {
+    SimMillis lo = inputs.front().trace.points.front().t;
+    SimMillis hi = inputs.front().trace.points.back().t;
+    for (const JoinInput& input : inputs) {
+      lo = std::max(lo, input.trace.points.front().t);
+      hi = std::min(hi, input.trace.points.back().t);
+    }
+    if (lo > hi) {
+      throw std::runtime_error{
+          "join: traces share no overlapping window (re-run without "
+          "trimming, or check the clock alignment)"};
+    }
+    for (JoinInput& input : inputs) {
+      std::vector<TracePoint>& pts = input.trace.points;
+      std::erase_if(pts, [&](const TracePoint& p) {
+        return p.t < lo || p.t > hi;
+      });
+      if (pts.empty()) {
+        throw std::runtime_error{"join: " + input.name +
+                                 ": no samples inside the overlap window"};
+      }
+    }
+  }
+
+  replay::ReplayBundle bundle;
+  measure::ConsolidatedDb& db = bundle.db;
+  for (radio::Carrier c : radio::kAllCarriers) {
+    db.passive[measure::carrier_index(c)].carrier = c;
+  }
+
+  std::ostringstream digest;
+  std::uint32_t next_test_id = 1;
+  for (const JoinInput& input : inputs) {
+    const std::vector<TraceSegment> segments =
+        resample(input.trace, resample_spec);
+    digest << measure::names::to_name(input.carrier) << ':' << input.name
+           << '\n';
+    int cycle = 0;
+    for (const TraceSegment& seg : segments) {
+      append_segment(db, input.carrier, seg, resample_spec.tick_ms, cycle++,
+                     next_test_id);
+      for (const TracePoint& p : seg.ticks) {
+        digest << p.t << ',' << measure::csv_double(p.cap_dl_mbps) << ','
+               << measure::csv_double(p.cap_ul_mbps) << ','
+               << measure::csv_double(p.rtt_ms) << ','
+               << measure::names::to_name(p.tech) << '\n';
+      }
+    }
+  }
+
+  bundle.manifest = core::obs::make_run_manifest();
+  bundle.manifest.seed = 0;
+  bundle.manifest.scale = 1.0;
+  bundle.manifest.threads = 1;
+  bundle.manifest.config_digest =
+      core::obs::hex64(core::obs::fnv1a64(digest.str()));
+
+  measure::validate_or_throw(db);
+  return bundle;
+}
+
+replay::ReplayBundle build_bundle(CanonicalTrace trace, radio::Carrier carrier,
+                                  const ResampleSpec& resample_spec) {
+  std::vector<JoinInput> inputs(1);
+  inputs[0].carrier = carrier;
+  inputs[0].name = "trace";
+  inputs[0].trace = std::move(trace);
+  return join_traces(std::move(inputs), JoinOptions{}, resample_spec);
+}
+
+}  // namespace wheels::ingest

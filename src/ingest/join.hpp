@@ -1,0 +1,53 @@
+// Multi-carrier joins: several single-carrier traces -> one campaign bundle.
+//
+// The paper's campaign runs three carrier phones over one timeline; public
+// traces are recorded one carrier at a time, each on its own clock. The join
+// aligns the clocks (each trace re-based so its first sample is t = 0),
+// optionally trims to the window every carrier covers, resamples each trace
+// onto the shared tick grid, and emits one validated ReplayBundle whose
+// per-carrier test sets live on one timeline — ready for ReplayCampaign and
+// ReplayFleet, which fan out per carrier.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ingest/resample.hpp"
+#include "radio/technology.hpp"
+#include "replay/ingest.hpp"
+
+namespace wheels::ingest {
+
+struct JoinInput {
+  radio::Carrier carrier = radio::Carrier::Verizon;
+  /// Diagnostics label (usually the source path).
+  std::string name;
+  CanonicalTrace trace;
+};
+
+struct JoinOptions {
+  /// Re-base every trace so its first sample lands at t = 0 — the
+  /// clock-offset alignment that makes traces recorded on different days
+  /// share a timeline. Off: native timestamps are kept.
+  bool align_clocks = true;
+  /// Keep only the window every carrier covers (after alignment); a join
+  /// with no common window is an error. Off: each carrier keeps its full
+  /// span.
+  bool trim_to_overlap = false;
+};
+
+/// Join one trace per carrier (>= 1 inputs, one per distinct carrier) into
+/// a single synthetic bundle: per carrier and per resampled segment, one
+/// downlink-bulk, one uplink-bulk and one RTT test over the segment's
+/// ticks. Inputs are assembled in canonical carrier order regardless of
+/// argument order, the manifest digest hashes the joined tick content, and
+/// the database passes measure::validate_or_throw before returning.
+replay::ReplayBundle join_traces(std::vector<JoinInput> inputs,
+                                 const JoinOptions& join,
+                                 const ResampleSpec& resample);
+
+/// Single-trace convenience: a join of one.
+replay::ReplayBundle build_bundle(CanonicalTrace trace, radio::Carrier carrier,
+                                  const ResampleSpec& resample);
+
+}  // namespace wheels::ingest

@@ -1,0 +1,67 @@
+#include "ingest/resample.hpp"
+
+#include <stdexcept>
+
+namespace wheels::ingest {
+
+namespace {
+
+double lerp(double a, double b, double f) { return a + (b - a) * f; }
+
+/// Value at tick `t`, bracketed by pts[prev] and pts[prev + 1]; `end` bounds
+/// the current run so interpolation never reaches across a gap split.
+TracePoint sample_at(const std::vector<TracePoint>& pts, std::size_t prev,
+                     std::size_t end, SimMillis t, GapFill fill) {
+  TracePoint out = pts[prev];
+  out.t = t;
+  if (fill == GapFill::Interpolate && prev + 1 < end && t > pts[prev].t) {
+    const TracePoint& a = pts[prev];
+    const TracePoint& b = pts[prev + 1];
+    const double f = static_cast<double>(t - a.t) /
+                     static_cast<double>(b.t - a.t);
+    out.cap_dl_mbps = lerp(a.cap_dl_mbps, b.cap_dl_mbps, f);
+    out.cap_ul_mbps = lerp(a.cap_ul_mbps, b.cap_ul_mbps, f);
+    out.rtt_ms = lerp(a.rtt_ms, b.rtt_ms, f);
+    // tech is categorical: held from the earlier sample, like TraceChannel.
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TraceSegment> resample(const CanonicalTrace& trace,
+                                   const ResampleSpec& spec) {
+  if (spec.tick_ms <= 0) {
+    throw std::invalid_argument{"resample: tick_ms must be > 0"};
+  }
+  if (spec.max_gap_ms != 0 && spec.max_gap_ms < spec.tick_ms) {
+    throw std::invalid_argument{"resample: max_gap_ms must be 0 or >= tick_ms"};
+  }
+  const std::vector<TracePoint>& pts = trace.points;
+  if (pts.empty()) {
+    throw std::runtime_error{"resample: empty trace"};
+  }
+
+  std::vector<TraceSegment> segments;
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= pts.size(); ++i) {
+    const bool split =
+        i == pts.size() ||
+        (spec.max_gap_ms != 0 && pts[i].t - pts[i - 1].t > spec.max_gap_ms);
+    if (!split) continue;
+
+    TraceSegment seg;
+    const SimMillis t0 = pts[run_start].t;
+    const SimMillis t_last = pts[i - 1].t;
+    std::size_t prev = run_start;
+    for (SimMillis t = t0; t <= t_last; t += spec.tick_ms) {
+      while (prev + 1 < i && pts[prev + 1].t <= t) ++prev;
+      seg.ticks.push_back(sample_at(pts, prev, i, t, spec.fill));
+    }
+    segments.push_back(std::move(seg));
+    run_start = i;
+  }
+  return segments;
+}
+
+}  // namespace wheels::ingest

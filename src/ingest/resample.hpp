@@ -1,0 +1,44 @@
+// Resampling and gap handling: native trace timestamps -> simulator ticks.
+//
+// External traces rarely sample on the simulator's 500 ms grid: MONROE logs
+// tick at 1 s, Mahimahi delivery opportunities are per-millisecond, drive
+// logs pause at gas stations. resample() lays a uniform tick grid over each
+// contiguous stretch of a CanonicalTrace, filling between source samples by
+// holding the last one or linearly interpolating (the same HoldPolicy choice
+// replay::TraceChannel offers at replay time), and splits the trace into
+// independent segments wherever the source goes quiet for longer than
+// max_gap_ms — a gap is missing data, not a record of zero capacity.
+#pragma once
+
+#include <vector>
+
+#include "ingest/column_map.hpp"
+
+namespace wheels::ingest {
+
+enum class GapFill { Hold, Interpolate };
+
+struct ResampleSpec {
+  SimMillis tick_ms = 500;
+  GapFill fill = GapFill::Hold;
+  /// A step between consecutive source samples strictly larger than this
+  /// starts a new segment; 0 disables splitting. Must be 0 or >= tick_ms.
+  SimMillis max_gap_ms = 10'000;
+};
+
+/// One contiguous stretch after resampling: ticks spaced exactly tick_ms
+/// apart, anchored at the segment's first source timestamp.
+struct TraceSegment {
+  std::vector<TracePoint> ticks;
+};
+
+/// Resample `trace` onto `spec`'s grid. Tick timestamps are strictly
+/// increasing within and across segments (segments inherit the source
+/// order), every source stretch contributes ticks from its first through
+/// its last sample, and a single-sample stretch yields one tick. Throws
+/// std::invalid_argument on a malformed spec, std::runtime_error on an
+/// empty trace.
+std::vector<TraceSegment> resample(const CanonicalTrace& trace,
+                                   const ResampleSpec& spec);
+
+}  // namespace wheels::ingest

@@ -1,8 +1,5 @@
 #include "replay/external_adapter.hpp"
 
-#include <cerrno>
-#include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <sstream>
@@ -12,58 +9,13 @@
 
 #include "measure/enum_names.hpp"
 #include "measure/validate.hpp"
+#include "replay/trace_text.hpp"
 
 namespace wheels::replay {
 
 namespace {
 
 constexpr SimMillis kTickMs = 500;
-
-[[noreturn]] void fail(std::size_t line, const std::string& msg) {
-  throw std::runtime_error{"external trace: line " + std::to_string(line) +
-                           ": " + msg};
-}
-
-std::vector<std::string> split_row(const std::string& line) {
-  std::vector<std::string> cells;
-  std::string cell;
-  for (char ch : line) {
-    if (ch == ',') {
-      cells.push_back(cell);
-      cell.clear();
-    } else if (ch != '\r') {
-      cell.push_back(ch);
-    }
-  }
-  cells.push_back(cell);
-  return cells;
-}
-
-double parse_double(const std::string& cell, std::size_t line) {
-  if (cell.empty()) fail(line, "empty numeric field");
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(cell.c_str(), &end);
-  if (end != cell.c_str() + cell.size()) {
-    fail(line, "malformed number '" + cell + "'");
-  }
-  if (errno == ERANGE || !std::isfinite(v)) {
-    fail(line, "non-finite number '" + cell + "'");
-  }
-  return v;
-}
-
-SimMillis parse_time(const std::string& cell, std::size_t line) {
-  if (cell.empty()) fail(line, "empty time field");
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(cell.c_str(), &end, 10);
-  if (end != cell.c_str() + cell.size() || errno == ERANGE) {
-    fail(line, "malformed time '" + cell + "'");
-  }
-  if (v < 0) fail(line, "negative time '" + cell + "'");
-  return static_cast<SimMillis>(v);
-}
 
 measure::TestRecord make_test(std::uint32_t id, measure::TestType type,
                               radio::Carrier carrier, radio::Direction dir,
@@ -84,6 +36,74 @@ measure::TestRecord make_test(std::uint32_t id, measure::TestType type,
   return t;
 }
 
+struct Row {
+  SimMillis t;
+  double cap_dl;
+  double cap_ul;
+  double rtt;
+  radio::Technology tech;
+};
+
+std::vector<Row> parse_rows(std::istream& in, bool& has_tech) {
+  TraceLineReader reader{in};
+  std::string line;
+  if (!reader.next(line)) trace_fail(reader.line_number(), "empty trace");
+  const std::vector<std::string> header = split_trace_row(line);
+  const std::vector<std::string> base{"t_ms", "cap_dl_mbps", "cap_ul_mbps",
+                                      "rtt_ms"};
+  has_tech = false;
+  if (header.size() == base.size() + 1 && header.back() == "tech") {
+    has_tech = true;
+  } else if (header.size() != base.size()) {
+    trace_fail(reader.line_number(),
+               "expected header t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms[,tech]");
+  }
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (header[i] != base[i]) {
+      trace_fail(reader.line_number(), "expected header column '" + base[i] +
+                                           "', got '" + header[i] + "'");
+    }
+  }
+
+  std::vector<Row> rows;
+  while (reader.next(line)) {
+    const std::size_t line_no = reader.line_number();
+    const std::vector<std::string> cells = split_trace_row(line);
+    if (cells.size() != base.size() + (has_tech ? 1 : 0)) {
+      trace_fail(line_no,
+                 "expected " +
+                     std::to_string(base.size() + (has_tech ? 1 : 0)) +
+                     " columns, got " + std::to_string(cells.size()));
+    }
+    Row r;
+    r.t = parse_trace_time_ms(cells[0], line_no);
+    r.cap_dl = parse_trace_double(cells[1], line_no);
+    r.cap_ul = parse_trace_double(cells[2], line_no);
+    r.rtt = parse_trace_double(cells[3], line_no);
+    if (r.cap_dl < 0.0 || r.cap_ul < 0.0) {
+      trace_fail(line_no, "negative capacity");
+    }
+    if (r.rtt <= 0.0) trace_fail(line_no, "rtt must be > 0");
+    r.tech = radio::Technology::Lte;
+    if (has_tech) {
+      try {
+        r.tech = measure::names::parse_technology(cells[4]);
+      } catch (const std::runtime_error& e) {
+        trace_fail(line_no, e.what());
+      }
+    }
+    if (!rows.empty() && r.t < rows.back().t) {
+      trace_fail(line_no, "time going backwards");
+    }
+    if (!rows.empty() && r.t == rows.back().t) {
+      trace_fail(line_no, "duplicate time " + std::to_string(r.t));
+    }
+    rows.push_back(r);
+  }
+  if (rows.empty()) trace_fail(reader.line_number(), "trace has no data rows");
+  return rows;
+}
+
 }  // namespace
 
 ReplayBundle import_external_trace_csv(std::istream& is,
@@ -93,68 +113,13 @@ ReplayBundle import_external_trace_csv(std::istream& is,
   const std::string content = raw.str();
   std::istringstream in{content};
 
-  std::string line;
-  if (!std::getline(in, line)) fail(1, "empty trace");
-  const std::vector<std::string> header = split_row(line);
-  const std::vector<std::string> base{"t_ms", "cap_dl_mbps", "cap_ul_mbps",
-                                      "rtt_ms"};
-  bool has_tech = false;
-  if (header.size() == base.size() + 1 && header.back() == "tech") {
-    has_tech = true;
-  } else if (header.size() != base.size()) {
-    fail(1, "expected header t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms[,tech]");
-  }
-  for (std::size_t i = 0; i < base.size(); ++i) {
-    if (header[i] != base[i]) {
-      fail(1, "expected header column '" + base[i] + "', got '" + header[i] +
-                  "'");
-    }
-  }
-
-  struct Row {
-    SimMillis t;
-    double cap_dl;
-    double cap_ul;
-    double rtt;
-    radio::Technology tech;
-  };
   std::vector<Row> rows;
-  std::size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty() || line == "\r") continue;
-    const std::vector<std::string> cells = split_row(line);
-    if (cells.size() != base.size() + (has_tech ? 1 : 0)) {
-      fail(line_no, "expected " +
-                        std::to_string(base.size() + (has_tech ? 1 : 0)) +
-                        " columns, got " + std::to_string(cells.size()));
-    }
-    Row r;
-    r.t = parse_time(cells[0], line_no);
-    r.cap_dl = parse_double(cells[1], line_no);
-    r.cap_ul = parse_double(cells[2], line_no);
-    r.rtt = parse_double(cells[3], line_no);
-    if (r.cap_dl < 0.0 || r.cap_ul < 0.0) {
-      fail(line_no, "negative capacity");
-    }
-    if (r.rtt <= 0.0) fail(line_no, "rtt must be > 0");
-    r.tech = radio::Technology::Lte;
-    if (has_tech) {
-      try {
-        r.tech = measure::names::parse_technology(cells[4]);
-      } catch (const std::runtime_error& e) {
-        fail(line_no, e.what());
-      }
-    }
-    if (!rows.empty() && r.t < rows.back().t) {
-      fail(line_no, "time going backwards");
-    }
-    if (!rows.empty() && r.t == rows.back().t) {
-      fail(line_no, "duplicate time " + std::to_string(r.t));
-    }
-    rows.push_back(r);
+  try {
+    bool has_tech = false;
+    rows = parse_rows(in, has_tech);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error{std::string{"external trace: "} + e.what()};
   }
-  if (rows.empty()) fail(line_no, "trace has no data rows");
 
   ReplayBundle bundle;
   measure::ConsolidatedDb& db = bundle.db;

@@ -22,9 +22,12 @@ namespace wheels::replay {
 /// Expected header: `t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms` with an optional
 /// trailing `,tech` column (a canonical technology name; defaults to LTE).
 /// Rows must be in strictly increasing time order (out-of-order and
-/// duplicated `t_ms` are both rejected); CRLF line endings are accepted.
-/// Throws std::runtime_error with the offending 1-based line number on
-/// malformed input, and validates the assembled database before returning.
+/// duplicated `t_ms` are both rejected); CRLF line endings, `#`-prefixed
+/// comment lines and blank lines (anywhere, including before the header)
+/// are accepted, and skipped lines still count toward the physical line
+/// numbers diagnostics cite. Throws std::runtime_error with the offending
+/// 1-based line number on malformed input, and validates the assembled
+/// database before returning.
 ReplayBundle import_external_trace_csv(std::istream& is,
                                        radio::Carrier carrier);
 

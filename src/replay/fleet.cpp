@@ -1,5 +1,6 @@
 #include "replay/fleet.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
@@ -60,6 +61,47 @@ std::vector<std::string> split_csv(const std::string& s) {
   }
   out.push_back(cell);
   return out;
+}
+
+/// Percentile bootstrap of (median(cell) - median(base)) with independent
+/// resamples of both series per iteration. Mirrors bootstrap_ci's stream
+/// discipline (one child per iteration, stats sorted before the quantiles
+/// are read) so the CI is identical for every thread count.
+analysis::ConfidenceInterval bootstrap_delta_ci(
+    const std::vector<double>& cell, const std::vector<double>& base_xs,
+    Rng& rng, double level, int iterations) {
+  analysis::ConfidenceInterval ci;
+  ci.point = analysis::median_of(cell) - analysis::median_of(base_xs);
+
+  std::vector<double> stats(static_cast<std::size_t>(iterations));
+  const Rng base{rng.next_u64()};
+  std::vector<double> rc(cell.size());
+  std::vector<double> rb(base_xs.size());
+  const auto draw = [](Rng& r, const std::vector<double>& from,
+                       std::vector<double>& into) {
+    for (std::size_t i = 0; i < into.size(); ++i) {
+      into[i] = from[static_cast<std::size_t>(
+          r.uniform_int(0, static_cast<int>(from.size()) - 1))];
+    }
+  };
+  for (int it = 0; it < iterations; ++it) {
+    Rng r_cell = base.fork("cell", static_cast<std::uint64_t>(it));
+    Rng r_base = base.fork("base", static_cast<std::uint64_t>(it));
+    draw(r_cell, cell, rc);
+    draw(r_base, base_xs, rb);
+    stats[static_cast<std::size_t>(it)] =
+        analysis::median_of(rc) - analysis::median_of(rb);
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - level) / 2.0;
+  const auto idx = [&](double q) {
+    return stats[static_cast<std::size_t>(
+        std::clamp(q * static_cast<double>(stats.size() - 1), 0.0,
+                   static_cast<double>(stats.size() - 1)))];
+  };
+  ci.lo = idx(alpha);
+  ci.hi = idx(1.0 - alpha);
+  return ci;
 }
 
 transport::CcAlgo parse_cc(const std::string& text) {
@@ -251,12 +293,25 @@ FleetResult ReplayFleet::run(const std::vector<FleetItem>& items) const {
                       .fork(kFleetMetricNames[m]);
         agg.ci = analysis::bootstrap_median_ci(xs, rng, 0.95,
                                                config_.ci_iterations, 1);
+        // Significance vs the recorded baseline: does the knob's delta
+        // clear bootstrap noise? Baseline rows carry no delta.
+        const std::vector<double>& base_xs = metric_series(pooled[0][c], m);
+        if (ci == 0 || base_xs.empty()) return;
+        Rng drng = Rng{config_.replay.seed}
+                       .fork("fleet.delta", ci)
+                       .fork(radio::carrier_name(pooled[ci][c].carrier))
+                       .fork(kFleetMetricNames[m]);
+        agg.delta_ci =
+            bootstrap_delta_ci(xs, base_xs, drng, 0.95, config_.ci_iterations);
+        agg.has_delta = true;
+        agg.significant = agg.delta_ci.lo > 0.0 || agg.delta_ci.hi < 0.0;
       });
   return out;
 }
 
 void write_fleet_csv(std::ostream& os, const FleetResult& result) {
-  os << "cell,carrier,metric,n,median,ci_lo,ci_hi,delta_vs_recorded_pct\n";
+  os << "cell,carrier,metric,n,median,ci_lo,ci_hi,delta_vs_recorded_pct,"
+        "significant\n";
   for (const CellAggregate& cell : result.aggregate) {
     const std::string label = cell_label(result.cells[cell.cell]);
     for (std::size_t c = 0; c < kCarriers; ++c) {
@@ -277,6 +332,8 @@ void write_fleet_csv(std::ostream& os, const FleetResult& result) {
         if (a.n > 0 && base.n > 0 && base.median != 0.0) {
           os << measure::csv_double((a.median / base.median - 1.0) * 100.0);
         }
+        os << ',';
+        if (a.has_delta) os << (a.significant ? '1' : '0');
         os << '\n';
       }
     }
@@ -293,7 +350,10 @@ std::string fmt_agg(const MetricAggregate& a) {
 
 std::string fmt_delta(const MetricAggregate& a, const MetricAggregate& base) {
   if (a.n == 0 || base.n == 0 || base.median == 0.0) return "-";
-  return analysis::fmt_pct(a.median / base.median - 1.0);
+  std::string out = analysis::fmt_pct(a.median / base.median - 1.0);
+  // '*': the delta's own bootstrap CI excludes zero.
+  if (a.significant) out += " *";
+  return out;
 }
 
 }  // namespace
@@ -354,6 +414,7 @@ void print_fleet(std::ostream& os, const FleetResult& result) {
       }
     }
     delta.print(os);
+    os << "(* = delta's bootstrap 95% CI excludes zero)\n";
   }
 }
 

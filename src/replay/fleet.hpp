@@ -87,6 +87,15 @@ struct MetricAggregate {
   double median = 0.0;
   /// Percentile-bootstrap 95% CI of the median; {0,0,0} when n == 0.
   analysis::ConfidenceInterval ci;
+  /// Percentile-bootstrap 95% CI of (this cell's median - the recorded
+  /// baseline's median), from independent resamples of both pooled series.
+  /// Only meaningful when has_delta.
+  analysis::ConfidenceInterval delta_ci;
+  /// delta_ci was computed: a non-baseline cell with samples on both sides.
+  bool has_delta = false;
+  /// delta_ci excludes zero — the knob's effect on this metric clears
+  /// bootstrap sampling noise at the 95% level.
+  bool significant = false;
 };
 
 /// The six headline series of CarrierSamples, in fleet table order.
@@ -137,10 +146,12 @@ class ReplayFleet {
 };
 
 /// The aggregate as CSV — `cell,carrier,metric,n,median,ci_lo,ci_hi,
-/// delta_vs_recorded_pct`, doubles at measure::csv_double precision, rows in
-/// (cell, carrier, metric) order: byte-identical for every WHEELS_THREADS.
-/// Empty-series medians/CIs render as empty fields, as does the delta of a
-/// zero or empty baseline.
+/// delta_vs_recorded_pct,significant`, doubles at measure::csv_double
+/// precision, rows in (cell, carrier, metric) order: byte-identical for
+/// every WHEELS_THREADS. Empty-series medians/CIs render as empty fields, as
+/// does the delta of a zero or empty baseline; `significant` is 1/0 where a
+/// delta CI exists (non-baseline cell, samples on both sides) and empty
+/// elsewhere.
 void write_fleet_csv(std::ostream& os, const FleetResult& result);
 
 /// Human-readable report: one per-bundle table per cell, then the pooled

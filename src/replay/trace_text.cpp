@@ -1,0 +1,68 @@
+#include "replay/trace_text.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <stdexcept>
+
+namespace wheels::replay {
+
+bool TraceLineReader::next(std::string& line) {
+  while (std::getline(is_, line)) {
+    ++line_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line.front() == '#') continue;
+    return true;
+  }
+  ++line_;  // diagnostics at end of input point past the last line
+  return false;
+}
+
+std::vector<std::string> split_trace_row(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char ch : line) {
+    if (ch == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else {
+      cell.push_back(ch);
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+double parse_trace_double(const std::string& cell, std::size_t line) {
+  if (cell.empty()) trace_fail(line, "empty numeric field");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) {
+    trace_fail(line, "malformed number '" + cell + "'");
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    trace_fail(line, "non-finite number '" + cell + "'");
+  }
+  return v;
+}
+
+SimMillis parse_trace_time_ms(const std::string& cell, std::size_t line) {
+  if (cell.empty()) trace_fail(line, "empty time field");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(cell.c_str(), &end, 10);
+  if (end != cell.c_str() + cell.size() || errno == ERANGE) {
+    trace_fail(line, "malformed time '" + cell + "'");
+  }
+  if (v < 0) trace_fail(line, "negative time '" + cell + "'");
+  return static_cast<SimMillis>(v);
+}
+
+void trace_fail(std::size_t line, const std::string& msg) {
+  throw std::runtime_error{"line " + std::to_string(line) + ": " + msg};
+}
+
+}  // namespace wheels::replay

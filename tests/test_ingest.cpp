@@ -1,0 +1,497 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ingest/adapters.hpp"
+#include "ingest/ingest.hpp"
+#include "measure/validate.hpp"
+#include "replay/fleet.hpp"
+#include "replay/replay_campaign.hpp"
+
+namespace wheels::ingest {
+namespace {
+
+const std::string kFixtures = WHEELS_INGEST_FIXTURE_DIR;
+
+std::string fixture(const std::string& name) { return kFixtures + "/" + name; }
+
+std::string error_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+// --- registry & sniffing ----------------------------------------------------
+
+TEST(IngestTest, BuiltinRegistryListsEveryFormatInOrder) {
+  const std::vector<const TraceAdapter*> adapters =
+      builtin_registry().adapters();
+  const std::vector<std::string> expected{"minimal", "mahimahi", "errant",
+                                          "monroe", "paper"};
+  ASSERT_EQ(adapters.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(adapters[i]->name(), expected[i]);
+    EXPECT_FALSE(adapters[i]->description().empty());
+  }
+  EXPECT_NE(builtin_registry().find("mahimahi"), nullptr);
+  EXPECT_EQ(builtin_registry().find("pcap"), nullptr);
+}
+
+TEST(IngestTest, ResolveByNameAndErrorListsKnownFormats) {
+  const SniffInput none{};
+  EXPECT_EQ(builtin_registry().resolve("errant", none).name(), "errant");
+  const std::string err = error_of(
+      [&] { (void)builtin_registry().resolve("pcap", none); });
+  EXPECT_NE(err.find("pcap"), std::string::npos);
+  EXPECT_NE(err.find("mahimahi"), std::string::npos);  // lists the formats
+}
+
+TEST(IngestTest, SniffingIdentifiesEveryFixture) {
+  const std::vector<std::pair<std::string, std::string>> cases{
+      {"minimal.csv", "minimal"},     {"mahimahi.down", "mahimahi"},
+      {"mahimahi.up", "mahimahi"},    {"errant.csv", "errant"},
+      {"monroe.csv", "monroe"},       {"paper/kpis.csv", "paper"},
+  };
+  for (const auto& [file, format] : cases) {
+    const SniffInput input = sniff_file(fixture(file));
+    EXPECT_EQ(builtin_registry().sniff_or_throw(input).name(), format)
+        << file;
+    EXPECT_EQ(builtin_registry().resolve("auto", input).name(), format)
+        << file;
+  }
+}
+
+TEST(IngestTest, UnsniffableInputThrows) {
+  SniffInput input;
+  input.path = "notes.txt";
+  input.head = {"hello world"};
+  const std::string err =
+      error_of([&] { (void)builtin_registry().sniff_or_throw(input); });
+  EXPECT_NE(err.find("minimal"), std::string::npos);  // names the candidates
+}
+
+TEST(IngestTest, DuplicateAdapterNameRejected) {
+  AdapterRegistry registry;
+  registry.add(make_minimal_adapter());
+  EXPECT_THROW(registry.add(make_minimal_adapter()), std::runtime_error);
+}
+
+// --- ColumnMap parsing ------------------------------------------------------
+
+TEST(IngestTest, ErrantColumnMapConvertsUnitsAndRatNames) {
+  IngestOptions options;
+  const CanonicalTrace trace =
+      load_trace(builtin_registry(), "errant", fixture("errant.csv"), options);
+  ASSERT_EQ(trace.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.points[0].cap_dl_mbps, 50.0);  // 50000 kbps
+  EXPECT_DOUBLE_EQ(trace.points[1].cap_dl_mbps, 60.0);
+  EXPECT_DOUBLE_EQ(trace.points[2].cap_dl_mbps, 200.0);
+  EXPECT_DOUBLE_EQ(trace.points[0].cap_ul_mbps, 10.0);
+  EXPECT_DOUBLE_EQ(trace.points[2].rtt_ms, 25.0);
+  EXPECT_EQ(trace.points[0].tech, radio::Technology::Lte);    // "4G"
+  EXPECT_EQ(trace.points[1].tech, radio::Technology::LteA);   // "4G+"
+  EXPECT_EQ(trace.points[2].tech, radio::Technology::NrMid);  // "5G"
+}
+
+TEST(IngestTest, MonroeColumnMapRebasesUnixSecondsToMillis) {
+  IngestOptions options;
+  const CanonicalTrace trace =
+      load_trace(builtin_registry(), "auto", fixture("monroe.csv"), options);
+  ASSERT_EQ(trace.points.size(), 3u);
+  EXPECT_EQ(trace.points[0].t, 0);  // 1717000000.25 s re-based
+  EXPECT_EQ(trace.points[1].t, 1000);
+  EXPECT_EQ(trace.points[2].t, 2000);
+  EXPECT_DOUBLE_EQ(trace.points[0].cap_dl_mbps, 40.0);  // 40e6 bps
+  EXPECT_DOUBLE_EQ(trace.points[2].cap_ul_mbps, 16.0);
+  EXPECT_EQ(trace.points[1].tech, radio::Technology::NrLow);  // "NR-NSA"
+  EXPECT_EQ(trace.points[2].tech, radio::Technology::NrMid);  // "NR-SA"
+}
+
+TEST(IngestTest, ColumnMapFillCoversMissingColumn) {
+  ColumnMap map;
+  map.time_column = "t";
+  map.rules = {{"dl", Field::CapDl, 1.0, {}},
+               {"ul", Field::CapUl, 1.0, 2.5},
+               {"rtt", Field::Rtt, 1.0, 40.0}};
+  std::istringstream is{"t,dl\n0,10\n500,20\n"};
+  const CanonicalTrace trace =
+      parse_with_map(is, map, radio::Technology::Lte);
+  ASSERT_EQ(trace.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.points[0].cap_ul_mbps, 2.5);
+  EXPECT_DOUBLE_EQ(trace.points[1].rtt_ms, 40.0);
+  EXPECT_EQ(trace.points[0].tech, radio::Technology::Lte);
+
+  // Without the fill, the same missing column is a header-line error.
+  map.rules[1].fill.reset();
+  std::istringstream again{"t,dl\n0,10\n"};
+  const std::string err = error_of(
+      [&] { (void)parse_with_map(again, map, radio::Technology::Lte); });
+  EXPECT_NE(err.find("missing column 'ul'"), std::string::npos);
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+}
+
+TEST(IngestTest, ColumnMapRejectsUnmappedColumnsUnlessAllowed) {
+  ColumnMap map;
+  map.time_column = "t";
+  map.rules = {{"dl", Field::CapDl, 1.0, {}},
+               {"ul", Field::CapUl, 1.0, 0.0},
+               {"rtt", Field::Rtt, 1.0, 40.0}};
+  std::istringstream is{"t,dl,surprise\n0,10,1\n"};
+  const std::string err = error_of(
+      [&] { (void)parse_with_map(is, map, radio::Technology::Lte); });
+  EXPECT_NE(err.find("unmapped column 'surprise'"), std::string::npos);
+
+  map.allow_extra_columns = true;
+  std::istringstream ok{"t,dl,surprise\n0,10,1\n"};
+  EXPECT_EQ(parse_with_map(ok, map, radio::Technology::Lte).points.size(), 1u);
+}
+
+// --- per-format round trips -------------------------------------------------
+
+TEST(IngestTest, MinimalFixtureRoundTripsThroughBundle) {
+  IngestOptions options;
+  const replay::ReplayBundle bundle =
+      ingest_file("auto", fixture("minimal.csv"), options);
+  EXPECT_TRUE(measure::validate(bundle.db).empty());
+  ASSERT_EQ(bundle.db.tests.size(), 3u);  // DL, UL, RTT over one segment
+  ASSERT_EQ(bundle.db.kpis.size(), 8u);   // 4 ticks x 2 directions
+  ASSERT_EQ(bundle.db.rtts.size(), 4u);
+  // Hand-computed capacities straight from the fixture.
+  const std::vector<double> dl{40, 60, 80, 100};
+  for (std::size_t i = 0; i < dl.size(); ++i) {
+    const measure::KpiRecord& k = bundle.db.kpis[2 * i];
+    EXPECT_EQ(k.t, static_cast<SimMillis>(i) * 500);
+    EXPECT_DOUBLE_EQ(k.throughput, dl[i]);
+    EXPECT_EQ(k.direction, radio::Direction::Downlink);
+  }
+  EXPECT_DOUBLE_EQ(bundle.db.rtts[0].rtt, 45.0);
+  EXPECT_DOUBLE_EQ(bundle.db.rtts[3].rtt, 35.0);
+
+  const measure::ConsolidatedDb replayed =
+      replay::ReplayCampaign{bundle, {}}.run();
+  EXPECT_FALSE(replayed.kpis.empty());
+}
+
+TEST(IngestTest, MahimahiWindowsDeliveryOpportunitiesIntoMbps) {
+  IngestOptions options;
+  options.mahimahi_uplink_path = fixture("mahimahi.up");
+  const CanonicalTrace trace = load_trace(
+      builtin_registry(), "auto", fixture("mahimahi.down"), options);
+  // Windows of 500 ms at 12000 bits per opportunity: count * 0.024 Mbps.
+  ASSERT_EQ(trace.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.points[0].cap_dl_mbps, 10 * 0.024);
+  EXPECT_DOUBLE_EQ(trace.points[1].cap_dl_mbps, 0.0);  // recorded outage
+  EXPECT_DOUBLE_EQ(trace.points[2].cap_dl_mbps, 5 * 0.024);
+  // Merged uplink trace: 2 opportunities, then 1, then held.
+  EXPECT_DOUBLE_EQ(trace.points[0].cap_ul_mbps, 2 * 0.024);
+  EXPECT_DOUBLE_EQ(trace.points[1].cap_ul_mbps, 1 * 0.024);
+  EXPECT_DOUBLE_EQ(trace.points[2].cap_ul_mbps, 1 * 0.024);
+  EXPECT_DOUBLE_EQ(trace.points[0].rtt_ms, 50.0);  // the default fill
+
+  const replay::ReplayBundle bundle =
+      ingest_file("mahimahi", fixture("mahimahi.down"), options);
+  EXPECT_TRUE(measure::validate(bundle.db).empty());
+  const measure::ConsolidatedDb replayed =
+      replay::ReplayCampaign{bundle, {}}.run();
+  EXPECT_FALSE(replayed.kpis.empty());
+}
+
+TEST(IngestTest, ErrantFixtureReplaysEndToEnd) {
+  IngestOptions options;
+  options.carrier = radio::Carrier::TMobile;
+  const replay::ReplayBundle bundle =
+      ingest_file("auto", fixture("errant.csv"), options);
+  EXPECT_TRUE(measure::validate(bundle.db).empty());
+  EXPECT_EQ(bundle.db.tests[0].carrier, radio::Carrier::TMobile);
+  const measure::ConsolidatedDb replayed =
+      replay::ReplayCampaign{bundle, {}}.run();
+  EXPECT_FALSE(replayed.rtts.empty());
+}
+
+TEST(IngestTest, MonroeFixtureResamplesOneSecondCadenceOntoTicks) {
+  IngestOptions options;  // hold fill, 500 ms tick
+  const replay::ReplayBundle bundle =
+      ingest_file("auto", fixture("monroe.csv"), options);
+  EXPECT_TRUE(measure::validate(bundle.db).empty());
+  // 1 s source cadence over [0, 2000] resampled at 500 ms: 5 ticks, each
+  // holding the last source sample.
+  ASSERT_EQ(bundle.db.rtts.size(), 5u);
+  const std::vector<double> dl{40, 40, 60, 60, 80};
+  for (std::size_t i = 0; i < dl.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bundle.db.kpis[2 * i].throughput, dl[i]) << i;
+  }
+}
+
+TEST(IngestTest, PaperKpisFixturePivotsMeansAndPicksUpSiblingRtts) {
+  IngestOptions options;  // carrier Verizon
+  const CanonicalTrace trace = load_trace(
+      builtin_registry(), "auto", fixture("paper/kpis.csv"), options);
+  ASSERT_EQ(trace.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.points[0].cap_dl_mbps, 50.0);  // mean(40, 60)
+  EXPECT_DOUBLE_EQ(trace.points[0].cap_ul_mbps, 10.0);
+  EXPECT_DOUBLE_EQ(trace.points[1].cap_dl_mbps, 80.0);
+  EXPECT_DOUBLE_EQ(trace.points[1].cap_ul_mbps, 20.0);
+  // rtts.csv sibling overlay, Verizon rows only.
+  EXPECT_DOUBLE_EQ(trace.points[0].rtt_ms, 45.0);
+  EXPECT_DOUBLE_EQ(trace.points[1].rtt_ms, 30.0);
+  EXPECT_EQ(trace.points[1].tech, radio::Technology::NrMid);
+
+  const replay::ReplayBundle bundle =
+      ingest_file("paper", fixture("paper/kpis.csv"), options);
+  EXPECT_TRUE(measure::validate(bundle.db).empty());
+}
+
+TEST(IngestTest, MalformedFixturesThrowWithLineNumbers) {
+  const IngestOptions options;
+  const auto ingest_err = [&](const std::string& format,
+                              const std::string& file) {
+    return error_of([&] { (void)ingest_file(format, fixture(file), options); });
+  };
+  EXPECT_NE(ingest_err("minimal", "minimal_bad.csv")
+                .find("line 4: duplicate time 500"),
+            std::string::npos);
+  EXPECT_NE(ingest_err("mahimahi", "mahimahi_bad.down")
+                .find("line 2: time going backwards"),
+            std::string::npos);
+  EXPECT_NE(ingest_err("errant", "errant_bad.csv").find("line 3"),
+            std::string::npos);
+  EXPECT_NE(ingest_err("monroe", "monroe_bad.csv")
+                .find("line 3: negative capacity"),
+            std::string::npos);
+  EXPECT_FALSE(ingest_err("paper", "paper_kpis_bad.csv").empty());
+  // Every message names the offending file.
+  EXPECT_NE(ingest_err("minimal", "minimal_bad.csv").find("minimal_bad.csv"),
+            std::string::npos);
+}
+
+// --- resampling -------------------------------------------------------------
+
+CanonicalTrace irregular_trace() {
+  // Deterministically irregular spacing, including a > max_gap pause.
+  CanonicalTrace trace;
+  SimMillis t = 0;
+  for (int i = 0; i < 40; ++i) {
+    TracePoint p;
+    p.t = t;
+    p.cap_dl_mbps = 10.0 + (i * 13) % 50;
+    p.cap_ul_mbps = 1.0 + (i * 7) % 11;
+    p.rtt_ms = 20.0 + (i * 3) % 40;
+    trace.points.push_back(p);
+    t += 100 + 700 * ((i * 5) % 4);  // 100..2200 ms steps
+    if (i == 19) t += 60'000;        // one long pause
+  }
+  return trace;
+}
+
+TEST(IngestTest, ResamplePreservesOrderingAndDuration) {
+  const CanonicalTrace trace = irregular_trace();
+  for (const GapFill fill : {GapFill::Hold, GapFill::Interpolate}) {
+    ResampleSpec spec;
+    spec.fill = fill;
+    const std::vector<TraceSegment> segments = resample(trace, spec);
+    ASSERT_EQ(segments.size(), 2u);  // split at the long pause
+
+    SimMillis prev = -1;
+    SimMillis covered = 0;
+    for (const TraceSegment& seg : segments) {
+      ASSERT_FALSE(seg.ticks.empty());
+      for (std::size_t i = 0; i < seg.ticks.size(); ++i) {
+        EXPECT_GT(seg.ticks[i].t, prev);  // strictly increasing throughout
+        prev = seg.ticks[i].t;
+        if (i > 0) {
+          EXPECT_EQ(seg.ticks[i].t - seg.ticks[i - 1].t, spec.tick_ms);
+        }
+      }
+      covered += seg.ticks.back().t - seg.ticks.front().t;
+    }
+    // Total tick-grid span matches the source span minus the split gap,
+    // up to one tick of truncation per segment.
+    SimMillis source_span = 0;
+    for (std::size_t i = 1; i < trace.points.size(); ++i) {
+      const SimMillis step = trace.points[i].t - trace.points[i - 1].t;
+      if (step <= spec.max_gap_ms) source_span += step;
+    }
+    EXPECT_LE(covered, source_span);
+    EXPECT_GT(covered, source_span - 2 * spec.tick_ms);
+    // Ticks never leave the recorded window.
+    EXPECT_GE(segments.front().ticks.front().t, trace.points.front().t);
+    EXPECT_LE(segments.back().ticks.back().t, trace.points.back().t);
+  }
+}
+
+TEST(IngestTest, HoldAndInterpolateFillBetweenSamples) {
+  CanonicalTrace trace;
+  for (const auto& [t, dl] : std::vector<std::pair<SimMillis, double>>{
+           {0, 10.0}, {1000, 20.0}}) {
+    TracePoint p;
+    p.t = t;
+    p.cap_dl_mbps = dl;
+    p.cap_ul_mbps = dl / 10.0;
+    p.rtt_ms = 100.0 - dl;
+    trace.points.push_back(p);
+  }
+  ResampleSpec spec;  // tick 500
+  const std::vector<TraceSegment> hold = resample(trace, spec);
+  ASSERT_EQ(hold.size(), 1u);
+  ASSERT_EQ(hold[0].ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(hold[0].ticks[1].cap_dl_mbps, 10.0);
+
+  spec.fill = GapFill::Interpolate;
+  const std::vector<TraceSegment> lerp = resample(trace, spec);
+  ASSERT_EQ(lerp[0].ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(lerp[0].ticks[1].cap_dl_mbps, 15.0);
+  EXPECT_DOUBLE_EQ(lerp[0].ticks[1].cap_ul_mbps, 1.5);
+  EXPECT_DOUBLE_EQ(lerp[0].ticks[1].rtt_ms, 85.0);
+  EXPECT_DOUBLE_EQ(lerp[0].ticks[2].cap_dl_mbps, 20.0);
+}
+
+TEST(IngestTest, MaxGapZeroKeepsOneSegment) {
+  const CanonicalTrace trace = irregular_trace();
+  ResampleSpec spec;
+  spec.max_gap_ms = 0;
+  const std::vector<TraceSegment> segments = resample(trace, spec);
+  EXPECT_EQ(segments.size(), 1u);
+
+  spec.max_gap_ms = 250;  // < tick_ms
+  EXPECT_THROW((void)resample(trace, spec), std::invalid_argument);
+}
+
+// --- multi-carrier joins ----------------------------------------------------
+
+TEST(IngestTest, JoinSpecParsesCanonicalCarrierNames) {
+  const std::vector<JoinEntry> entries =
+      parse_join_spec("T-Mobile=b.csv,Verizon=a.csv");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].carrier, radio::Carrier::TMobile);
+  EXPECT_EQ(entries[0].path, "b.csv");
+  EXPECT_EQ(entries[1].carrier, radio::Carrier::Verizon);
+  EXPECT_THROW((void)parse_join_spec("Verizon"), std::runtime_error);
+  EXPECT_THROW((void)parse_join_spec("=a.csv"), std::runtime_error);
+  EXPECT_THROW((void)parse_join_spec("Sprint=a.csv"), std::runtime_error);
+}
+
+TEST(IngestTest, JoinAlignsClocksAndOrdersCarriersCanonically) {
+  const IngestOptions options;
+  const JoinOptions join;  // align, no trim
+  const std::vector<JoinEntry> entries{
+      {radio::Carrier::TMobile, fixture("monroe.csv")},
+      {radio::Carrier::Verizon, fixture("minimal.csv")},
+  };
+  const replay::ReplayBundle bundle =
+      ingest_join("auto", entries, options, join);
+  EXPECT_TRUE(measure::validate(bundle.db).empty());
+  // Canonical carrier order regardless of argument order, ids from 1.
+  ASSERT_EQ(bundle.db.tests.size(), 6u);
+  EXPECT_EQ(bundle.db.tests[0].id, 1u);
+  EXPECT_EQ(bundle.db.tests[0].carrier, radio::Carrier::Verizon);
+  EXPECT_EQ(bundle.db.tests[3].carrier, radio::Carrier::TMobile);
+  // Clock alignment: both carriers' tests start on the shared t = 0.
+  EXPECT_EQ(bundle.db.tests[0].start, 0);
+  EXPECT_EQ(bundle.db.tests[3].start, 0);
+  EXPECT_GT(bundle.db.experiment_runtime[0], 0.0);
+}
+
+TEST(IngestTest, JoinTrimsToTheOverlapWindow) {
+  const auto flat_trace = [](SimMillis from, SimMillis to) {
+    CanonicalTrace t;
+    for (SimMillis ts = from; ts <= to; ts += 500) {
+      TracePoint p;
+      p.t = ts;
+      p.cap_dl_mbps = 10.0;
+      p.cap_ul_mbps = 1.0;
+      p.rtt_ms = 40.0;
+      t.points.push_back(p);
+    }
+    return t;
+  };
+  std::vector<JoinInput> inputs(2);
+  inputs[0] = {radio::Carrier::Verizon, "a", flat_trace(0, 5000)};
+  inputs[1] = {radio::Carrier::TMobile, "b", flat_trace(2000, 8000)};
+  JoinOptions join;
+  join.align_clocks = false;
+  join.trim_to_overlap = true;
+  const replay::ReplayBundle bundle =
+      join_traces(inputs, join, ResampleSpec{});
+  // Overlap is [2000, 5000]: both carriers' windows agree after trimming.
+  for (const measure::TestRecord& t : bundle.db.tests) {
+    EXPECT_EQ(t.start, 2000);
+    EXPECT_EQ(t.end, 5500);
+  }
+
+  // Disjoint traces cannot be trimmed onto a shared window.
+  inputs[1].trace = flat_trace(9000, 12000);
+  EXPECT_THROW((void)join_traces(inputs, join, ResampleSpec{}),
+               std::runtime_error);
+}
+
+TEST(IngestTest, JoinRejectsDuplicateCarriers) {
+  const IngestOptions options;
+  const std::vector<JoinEntry> entries{
+      {radio::Carrier::Verizon, fixture("minimal.csv")},
+      {radio::Carrier::Verizon, fixture("errant.csv")},
+  };
+  const std::string err = error_of(
+      [&] { (void)ingest_join("auto", entries, options, JoinOptions{}); });
+  EXPECT_NE(err.find("appears twice"), std::string::npos);
+  EXPECT_NE(err.find("Verizon"), std::string::npos);
+}
+
+TEST(IngestTest, JoinedBundleReplaysByteIdenticalAcrossFleetThreads) {
+  const IngestOptions options;
+  const std::vector<JoinEntry> entries{
+      {radio::Carrier::Verizon, fixture("minimal.csv")},
+      {radio::Carrier::TMobile, fixture("monroe.csv")},
+      {radio::Carrier::Att, fixture("errant.csv")},
+  };
+  const replay::ReplayBundle bundle =
+      ingest_join("auto", entries, options, JoinOptions{});
+  EXPECT_TRUE(measure::validate(bundle.db).empty());
+
+  const auto csv_at = [&](int threads) {
+    replay::FleetConfig cfg;
+    cfg.threads = threads;
+    cfg.ci_iterations = 40;
+    replay::apply_grid_axis(cfg.grid, "server=cloud,edge");
+    const replay::FleetResult result =
+        replay::ReplayFleet{cfg}.run({{"joined", &bundle}});
+    std::ostringstream os;
+    replay::write_fleet_csv(os, result);
+    return os.str();
+  };
+  const std::string one = csv_at(1);
+  EXPECT_EQ(one, csv_at(4));
+  EXPECT_NE(one.find("T-Mobile"), std::string::npos);
+}
+
+// --- segmented ingest -------------------------------------------------------
+
+TEST(IngestTest, GapSplitTracesBecomeMultiCycleBundles) {
+  CanonicalTrace trace;
+  for (const SimMillis t : {0, 500, 1000, 30'000, 30'500}) {
+    TracePoint p;
+    p.t = t;
+    p.cap_dl_mbps = 20.0;
+    p.cap_ul_mbps = 2.0;
+    p.rtt_ms = 50.0;
+    trace.points.push_back(p);
+  }
+  const replay::ReplayBundle bundle =
+      build_bundle(trace, radio::Carrier::Att, ResampleSpec{});
+  EXPECT_TRUE(measure::validate(bundle.db).empty());
+  // Two segments -> two test triples, cycle tagging the segment index.
+  ASSERT_EQ(bundle.db.tests.size(), 6u);
+  EXPECT_EQ(bundle.db.tests[0].cycle, 0);
+  EXPECT_EQ(bundle.db.tests[3].cycle, 1);
+  EXPECT_EQ(bundle.db.tests[3].start, 30'000);
+}
+
+}  // namespace
+}  // namespace wheels::ingest

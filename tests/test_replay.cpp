@@ -508,6 +508,52 @@ TEST(ExternalAdapter, AcceptsCrlfLineEndings) {
   EXPECT_TRUE(measure::validate(bundle.db).empty());
 }
 
+TEST(ExternalAdapter, AcceptsCommentAndBlankLines) {
+  // '#' comments and blank lines are allowed anywhere — including before the
+  // header — and do not shift the physical line numbers diagnostics report.
+  std::stringstream ss{
+      "# exported by a field logger\n"
+      "\n"
+      "t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms,tech\n"
+      "0,120.5,18.2,45,5G-mid\n"
+      "# mid-trace annotation\n"
+      "500,95.0,15.0,52,LTE\n"
+      "\n"};
+  const ReplayBundle bundle =
+      import_external_trace_csv(ss, radio::Carrier::Verizon);
+  EXPECT_EQ(bundle.db.kpis.size(), 4u);  // 2 ticks x {DL, UL}
+  EXPECT_EQ(bundle.db.rtts.size(), 2u);
+  EXPECT_EQ(bundle.db.rtts[1].rtt, 52.0);
+  EXPECT_TRUE(measure::validate(bundle.db).empty());
+
+  // Skipped lines still count: the bad row below is physical line 6.
+  std::stringstream bad{
+      "# comment\n"
+      "t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms\n"
+      "0,50,5,60\n"
+      "\n"
+      "# another comment\n"
+      "500,50,5,0\n"};
+  try {
+    (void)import_external_trace_csv(bad, radio::Carrier::Verizon);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 6"), std::string::npos) << what;
+    EXPECT_NE(what.find("rtt must be > 0"), std::string::npos) << what;
+  }
+
+  // A comment-only stream has no header at all.
+  std::stringstream comments_only{"# nothing here\n\n# still nothing\n"};
+  try {
+    (void)import_external_trace_csv(comments_only, radio::Carrier::Verizon);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("empty trace"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ExternalAdapter, FifthHeaderColumnMustBeTech) {
   std::stringstream ss{
       "t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms,band\n"

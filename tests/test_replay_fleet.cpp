@@ -224,16 +224,94 @@ TEST(ReplayFleetTest, TinyFleetCsvIsByteIdenticalAcrossThreadCounts) {
       ReplayFleet{small_fleet_config(4)}.run(tiny_items());
   const std::string csv = fleet_csv(one);
   EXPECT_EQ(csv, fleet_csv(four));
-  EXPECT_EQ(csv.substr(0, csv.find('\n')),
-            "cell,carrier,metric,n,median,ci_lo,ci_hi,delta_vs_recorded_pct");
-  // Baseline rows compare against themselves: delta 0 whenever defined.
+  EXPECT_EQ(
+      csv.substr(0, csv.find('\n')),
+      "cell,carrier,metric,n,median,ci_lo,ci_hi,delta_vs_recorded_pct,"
+      "significant");
+  // Baseline rows compare against themselves: delta 0 whenever defined, and
+  // never a significance verdict.
   std::istringstream lines{csv};
   std::string line;
   std::getline(lines, line);  // header
   while (std::getline(lines, line)) {
     if (line.compare(0, 9, "recorded,") != 0) continue;
-    const std::string delta = line.substr(line.rfind(',') + 1);
+    const std::size_t last = line.rfind(',');
+    EXPECT_EQ(line.substr(last + 1), "") << line;
+    const std::size_t prev = line.rfind(',', last - 1);
+    const std::string delta = line.substr(prev + 1, last - prev - 1);
     EXPECT_TRUE(delta.empty() || delta == "0") << line;
+  }
+}
+
+TEST(ReplayFleetTest, SignificanceMarksDeltasWhoseCiExcludesZero) {
+  const ReplayFleet fleet{small_fleet_config(2)};
+  const FleetResult result = fleet.run(tiny_items());
+  const std::size_t kRtt = 2;
+  // Baseline rows never carry a verdict.
+  for (std::size_t c = 0; c < static_cast<std::size_t>(radio::kCarrierCount);
+       ++c) {
+    for (std::size_t m = 0; m < kFleetMetricCount; ++m) {
+      EXPECT_FALSE(result.aggregate[0].metrics[c][m].has_delta);
+      EXPECT_FALSE(result.aggregate[0].metrics[c][m].significant);
+    }
+  }
+  for (std::size_t ci = 1; ci < result.cells.size(); ++ci) {
+    for (std::size_t c = 0; c < static_cast<std::size_t>(radio::kCarrierCount);
+         ++c) {
+      const MetricAggregate& rtt = result.aggregate[ci].metrics[c][kRtt];
+      // Sampled series on both sides: the delta CI exists and brackets the
+      // point delta.
+      ASSERT_TRUE(rtt.has_delta);
+      EXPECT_LE(rtt.delta_ci.lo, rtt.delta_ci.hi);
+      EXPECT_DOUBLE_EQ(
+          rtt.delta_ci.point,
+          rtt.median - result.aggregate[0].metrics[c][kRtt].median);
+      EXPECT_EQ(rtt.significant,
+                rtt.delta_ci.lo > 0.0 || rtt.delta_ci.hi < 0.0);
+      // Empty series (no app runs in external traces) carry no verdict.
+      EXPECT_FALSE(result.aggregate[ci].metrics[c][3].has_delta);
+    }
+    const bool edge = result.cells[ci].server.has_value() &&
+                      *result.cells[ci].server == net::ServerKind::Edge;
+    std::size_t flagged = 0;
+    for (std::size_t c = 0; c < static_cast<std::size_t>(radio::kCarrierCount);
+         ++c) {
+      const MetricAggregate& rtt = result.aggregate[ci].metrics[c][kRtt];
+      if (edge) {
+        // The cloud->edge swap lowers every carrier's pooled RTT median...
+        EXPECT_LT(rtt.delta_ci.point, 0.0) << cell_label(result.cells[ci]);
+        flagged += rtt.significant ? 1 : 0;
+      } else {
+        // ...while a cc-only swap leaves RTT untouched: the delta is noise
+        // and must never be flagged.
+        EXPECT_FALSE(rtt.significant) << cell_label(result.cells[ci]);
+      }
+    }
+    // ...and for most carriers the drop clears the bootstrap CI. (One
+    // synthetic trace has RTT spread wide enough to keep zero inside its
+    // CI — exactly the verdict the column exists to report.)
+    if (edge) {
+      EXPECT_GE(flagged, 2u) << cell_label(result.cells[ci]);
+    }
+  }
+}
+
+TEST(ReplayFleetTest, SignificanceIsDeterministicAcrossThreadCounts) {
+  const FleetResult one = ReplayFleet{small_fleet_config(1)}.run(tiny_items());
+  const FleetResult four =
+      ReplayFleet{small_fleet_config(4)}.run(tiny_items());
+  for (std::size_t ci = 0; ci < one.aggregate.size(); ++ci) {
+    for (std::size_t c = 0; c < static_cast<std::size_t>(radio::kCarrierCount);
+         ++c) {
+      for (std::size_t m = 0; m < kFleetMetricCount; ++m) {
+        const MetricAggregate& a = one.aggregate[ci].metrics[c][m];
+        const MetricAggregate& b = four.aggregate[ci].metrics[c][m];
+        EXPECT_EQ(a.has_delta, b.has_delta);
+        EXPECT_EQ(a.significant, b.significant);
+        EXPECT_DOUBLE_EQ(a.delta_ci.lo, b.delta_ci.lo);
+        EXPECT_DOUBLE_EQ(a.delta_ci.hi, b.delta_ci.hi);
+      }
+    }
   }
 }
 
