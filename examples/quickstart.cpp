@@ -4,7 +4,10 @@
 //   CampaignConfig → DriveCampaign → ConsolidatedDb → analysis::*
 //
 // Scale 0.05 drives ~286 km of the compressed LA→Boston map (all four
-// timezones, all region types) and takes a few seconds.
+// timezones, all region types) and takes a few seconds. All WHEELS_* knobs
+// apply; in particular WHEELS_UES=50000 adds a background-subscriber
+// population and prints its per-cell load summary (docs/SCALING.md).
+#include <algorithm>
 #include <iostream>
 
 #include "analysis/coverage.hpp"
@@ -16,12 +19,15 @@
 int main() {
   using namespace wheels;
 
-  campaign::CampaignConfig config;
-  config.scale = 0.05;
-  config.seed = 20220808;
+  campaign::CampaignConfig config = campaign::config_from_env(0.05);
 
   std::cout << "Simulating the LA->Boston drive campaign (scale "
-            << config.scale << ")...\n";
+            << config.scale << ")";
+  if (config.population > 0) {
+    std::cout << " with " << config.population << " background UEs ("
+              << ran::scheduler_kind_name(config.scheduler) << " scheduler)";
+  }
+  std::cout << "...\n";
   const measure::ConsolidatedDb db = campaign::DriveCampaign{config}.run();
 
   std::cout << "Drove " << analysis::fmt(db.driven_km, 1) << " km; "
@@ -61,6 +67,31 @@ int main() {
                    std::to_string(hos)});
   }
   table.print(std::cout);
+
+  if (!db.cell_load.empty()) {
+    // The background population's footprint: the busiest cells per carrier.
+    std::vector<measure::CellLoadRecord> load = db.cell_load;
+    std::sort(load.begin(), load.end(),
+              [](const auto& a, const auto& b) {
+                return a.utilization > b.utilization;
+              });
+    analysis::Table cells({"cell", "carrier", "tech", "attached", "active",
+                           "util", "fairness"});
+    const std::size_t top = std::min<std::size_t>(load.size(), 8);
+    for (std::size_t i = 0; i < top; ++i) {
+      const auto& c = load[i];
+      cells.add_row({std::to_string(c.cell_id),
+                     std::string(radio::carrier_name(c.carrier)),
+                     std::string(radio::technology_name(c.tech)),
+                     analysis::fmt(c.avg_attached, 1),
+                     analysis::fmt(c.avg_active, 1),
+                     analysis::fmt_pct(c.utilization),
+                     analysis::fmt(c.fairness, 3)});
+    }
+    std::cout << "\nBusiest cells of the " << db.cell_load.size()
+              << "-cell background population (by utilization):\n";
+    cells.print(std::cout);
+  }
 
   std::cout << "\nPaper headline check: T-Mobile should lead 5G coverage;\n"
                "driving DL medians should sit in the tens of Mbps; RTT\n"

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -27,6 +28,7 @@
 #include "net/server.hpp"
 #include "ran/rrc.hpp"
 #include "ran/session.hpp"
+#include "ran/ue_pool.hpp"
 #include "transport/tcp_flow.hpp"
 
 namespace wheels::campaign {
@@ -65,6 +67,23 @@ CampaignConfig config_from_env(double default_scale) {
   // resolve_threads re-reads WHEELS_THREADS when cfg.threads stays 0; going
   // through it here keeps the two readers' validation identical.
   cfg.threads = 0;
+  if (const auto v = core::env_int("WHEELS_UES")) {
+    if (*v >= 0 && *v <= std::numeric_limits<int>::max()) {
+      cfg.population = static_cast<int>(*v);
+    } else {
+      std::fprintf(stderr,
+                   "[wheels] ignoring WHEELS_UES=%lld: expected >= 0\n", *v);
+    }
+  }
+  if (const char* v = std::getenv("WHEELS_SCHEDULER")) {
+    if (const auto kind = ran::parse_scheduler_kind(v)) {
+      cfg.scheduler = *kind;
+    } else {
+      std::fprintf(stderr,
+                   "[wheels] ignoring WHEELS_SCHEDULER=%s: expected pf|rr\n",
+                   v);
+    }
+  }
   return cfg;
 }
 
@@ -86,7 +105,16 @@ core::obs::RunManifest make_manifest(const CampaignConfig& cfg) {
       cfg.deployment.mid_multiplier, cfg.deployment.mmwave_multiplier,
       cfg.bulk_ticks, cfg.rtt_ticks, cfg.offload_ticks, cfg.video_ticks,
       cfg.gaming_ticks);
-  m.config_digest = core::obs::hex64(core::obs::fnv1a64(buf));
+  std::string canonical{buf};
+  // Population fields join the digest only when a population exists, so
+  // every pre-population bundle (and the committed golden expectations)
+  // keeps its digest.
+  if (cfg.population > 0) {
+    std::snprintf(buf, sizeof(buf), ";ues=%d;sched=%.8s", cfg.population,
+                  std::string{ran::scheduler_kind_name(cfg.scheduler)}.c_str());
+    canonical += buf;
+  }
+  m.config_digest = core::obs::hex64(core::obs::fnv1a64(canonical));
   return m;
 }
 
@@ -101,6 +129,9 @@ struct CarrierContext {
   std::unique_ptr<measure::PassiveLogger> passive;
   std::unique_ptr<net::RttProcess> rtt_process;
   std::unique_ptr<ran::RrcMachine> rrc;
+  /// The carrier's share of the simulated background population; null when
+  /// cfg.population == 0 (the six-handset paper campaign).
+  std::unique_ptr<ran::UePool> ue_pool;
   measure::CoverageTracker active_coverage;
   Rng rng{0};
   /// Thread-private record sink; drained into the db after every fan-out.
@@ -125,7 +156,7 @@ class CampaignRunner {
         view_(route_, cfg.scale),
         fleet_(net::ServerFleet::standard(route_)),
         trace_gen_(route_, make_trace_config(cfg), root_.fork("trace")),
-        pool_(carrier_workers(cfg.threads)) {
+        pool_(carrier_workers(cfg.threads, cfg.population)) {
     for (Carrier c : radio::kAllCarriers) {
       auto& ctx = contexts_[measure::carrier_index(c)];
       ctx.carrier = c;
@@ -140,6 +171,23 @@ class CampaignRunner {
       ctx.rtt_process = std::make_unique<net::RttProcess>(
           c, crng.fork("rtt-process"));
       ctx.rrc = std::make_unique<ran::RrcMachine>(crng.fork("rrc"));
+      if (cfg.population > 0) {
+        // Remainder UEs land on the first carriers in canonical order.
+        const std::size_t ci = measure::carrier_index(c);
+        const int base = cfg.population / radio::kCarrierCount;
+        const int extra =
+            static_cast<std::size_t>(cfg.population % radio::kCarrierCount) >
+                    ci
+                ? 1
+                : 0;
+        ran::UePoolConfig pc;
+        pc.count = static_cast<std::uint32_t>(base + extra);
+        pc.scheduler = cfg.scheduler;
+        pc.tick = kTick;
+        ctx.ue_pool = std::make_unique<ran::UePool>(
+            *ctx.deployment, view_.total_physical_km(), pc,
+            crng.fork("ue-pool"));
+      }
       ctx.rng = crng.fork("tests");
     }
     advance();  // prime the cursor
@@ -166,9 +214,12 @@ class CampaignRunner {
   }
 
   /// The inner fan-out is at most kCarrierCount wide and the coordinator
-  /// thread drains batches too, so kCarrierCount - 1 workers saturate it.
-  static int carrier_workers(int requested) {
+  /// thread drains batches too, so kCarrierCount - 1 workers saturate it —
+  /// unless a UE population is simulated, whose block fan-out (ran::UePool)
+  /// is far wider than three and reuses this pool on the coordinator.
+  static int carrier_workers(int requested, int population) {
     const int threads = core::resolve_threads(requested);
+    if (population > 0) return threads - 1;
     return std::min(threads, static_cast<int>(radio::kCarrierCount)) - 1;
   }
 
@@ -213,6 +264,17 @@ class CampaignRunner {
   void parallel_carriers(Fn&& fn) {
     const std::vector<DriveSample> backlog = std::move(pending_passive_);
     pending_passive_.clear();
+    // The UE pools advance on the coordinator, one pool at a time, each tick
+    // fanning its UE blocks across the full pool — run_batch admits one
+    // batch at a time, so the population tick must not nest inside the
+    // carrier fan-out below. The measurement phones therefore see the
+    // population's contention frozen at segment granularity (documented in
+    // docs/SCALING.md).
+    if (cfg_.population > 0) {
+      for (const DriveSample& s : backlog) {
+        for (auto& ctx : contexts_) ctx.ue_pool->tick(s.t, &pool_);
+      }
+    }
     auto work = [&](CarrierContext& ctx) {
       for (const DriveSample& s : backlog) ctx.passive->tick(s);
       fn(ctx);
@@ -378,7 +440,13 @@ class CampaignRunner {
         const ran::RadioTick tick = ctx.session->tick(s, kTick);
         st.flow->set_base_rtt(net::base_rtt(ctx.carrier, tick.tech,
                                             *st.server, s.pos));
-        const Mbps cap = tick.kpis.capacity(dir);
+        Mbps cap = tick.kpis.capacity(dir);
+        // The simulated population contends for the same cell: the phone
+        // keeps only its scheduler share of the downlink (uplink demand is
+        // not modelled by the population).
+        if (ctx.ue_pool && dir == Direction::Downlink) {
+          cap *= ctx.ue_pool->population_share(tick.cell_id);
+        }
         const double bytes = st.flow->advance(cap, kTick);
         const Mbps mbps = bytes * 8.0 / 1e6 / (kTick / 1000.0);
 
@@ -508,6 +576,9 @@ class CampaignRunner {
       const ran::RadioTick tick = ctx.session->tick(s, kTick);
       LinkTick lt;
       lt.cap_dl = tick.kpis.capacity_dl;
+      if (ctx.ue_pool) {
+        lt.cap_dl *= ctx.ue_pool->population_share(tick.cell_id);
+      }
       lt.cap_ul = tick.kpis.capacity_ul;
       lt.rtt = ctx.rtt_process->sample(tick.tech, server, s.pos, s.speed,
                                        0.0, 0.0);
@@ -753,7 +824,11 @@ class CampaignRunner {
           ctx.rng.fork("static-bulk", city * 2 + (dir == Direction::Uplink))};
       for (int i = 0; i < cfg_.bulk_ticks; ++i) {
         const ran::RadioTick tick = session.tick(kTick);
-        const double bytes = flow.advance(tick.kpis.capacity(dir), kTick);
+        Mbps cap = tick.kpis.capacity(dir);
+        if (ctx.ue_pool && dir == Direction::Downlink) {
+          cap *= ctx.ue_pool->population_share(tick.cell_id);
+        }
+        const double bytes = flow.advance(cap, kTick);
         DriveSample fake;
         fake.t = t0 + static_cast<SimMillis>(i * kTick);
         fake.km = view_.physical_city_km(city);
@@ -799,6 +874,9 @@ class CampaignRunner {
         const ran::RadioTick tick = session.tick(kTick);
         LinkTick lt;
         lt.cap_dl = tick.kpis.capacity_dl;
+        if (ctx.ue_pool) {
+          lt.cap_dl *= ctx.ue_pool->population_share(tick.cell_id);
+        }
         lt.cap_ul = tick.kpis.capacity_ul;
         lt.rtt = ctx.rtt_process->sample(tick.tech, server, city_pt.pos, 0.0,
                                          0.0, 0.0);
@@ -837,6 +915,26 @@ class CampaignRunner {
       const std::size_t ci = measure::carrier_index(ctx.carrier);
       db_.passive[ci] = std::move(*ctx.passive).finish();
       db_.active_coverage[ci] = std::move(ctx.active_coverage).finish();
+    }
+    // Drain the population's per-cell aggregates in canonical carrier order
+    // (cell_load() is sorted by cell id within each carrier).
+    for (auto& ctx : contexts_) {
+      if (!ctx.ue_pool) continue;
+      for (const ran::CellLoadSummary& s : ctx.ue_pool->cell_load()) {
+        measure::CellLoadRecord r;
+        r.carrier = ctx.carrier;
+        r.cell_id = s.cell_id;
+        r.tech = s.tech;
+        r.ticks = s.ticks;
+        r.avg_attached = s.avg_attached;
+        r.avg_active = s.avg_active;
+        r.avg_demand = s.avg_demand;
+        r.avg_allocated = s.avg_allocated;
+        r.avg_capacity = s.avg_capacity;
+        r.utilization = s.utilization;
+        r.fairness = s.fairness;
+        db_.cell_load.push_back(r);
+      }
     }
   }
 

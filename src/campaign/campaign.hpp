@@ -23,6 +23,7 @@
 #include "core/obs/manifest.hpp"
 #include "measure/records.hpp"
 #include "radio/deployment.hpp"
+#include "ran/scheduler.hpp"
 
 namespace wheels::campaign {
 
@@ -56,12 +57,23 @@ struct CampaignConfig {
   /// ConsolidatedDb is byte-identical for every value — see
   /// docs/ARCHITECTURE.md, "Parallel execution".
   int threads = 0;
+
+  /// Size of the simulated background UE population (ran::UePool), split
+  /// evenly across the three carriers; the measurement phones then share
+  /// each cell's downlink with the population (WHEELS_UES). 0 — the default
+  /// — disables the pool entirely and reproduces the six-handset paper
+  /// campaign byte-for-byte; see docs/SCALING.md.
+  int population = 0;
+  /// Per-cell scheduling discipline of the population (WHEELS_SCHEDULER:
+  /// "pf" or "rr"). No effect when population == 0.
+  ran::SchedulerKind scheduler = ran::SchedulerKind::ProportionalFair;
 };
 
-/// Reads WHEELS_SCALE / WHEELS_SEED / WHEELS_THREADS from the environment
-/// (used by the bench binaries so one knob tunes the whole suite). Falls
-/// back to the defaults; malformed values warn on stderr (core::env_int /
-/// core::env_double) instead of silently parsing as 0.
+/// Reads WHEELS_SCALE / WHEELS_SEED / WHEELS_THREADS / WHEELS_UES /
+/// WHEELS_SCHEDULER from the environment (used by the bench binaries so one
+/// knob tunes the whole suite). Falls back to the defaults; malformed values
+/// warn on stderr (core::env_int / core::env_double) instead of silently
+/// parsing as 0.
 CampaignConfig config_from_env(double default_scale = 0.08);
 
 /// The provenance manifest of a campaign about to run with `cfg`: seed,

@@ -57,6 +57,10 @@ constexpr char kAppRunHeader[] =
     "rebuffer_fraction,avg_bitrate,gaming_bitrate,gaming_latency,"
     "gaming_frame_drop,gaming_max_frame_drop";
 
+constexpr char kCellLoadHeader[] =
+    "carrier,cell_id,tech,ticks,avg_attached,avg_active,avg_demand,"
+    "avg_allocated,avg_capacity,utilization,fairness";
+
 constexpr char kCoverageHeader[] = "carrier,view,map_km_start,map_km_end,tech";
 
 constexpr char kSummaryHeader[] = "key,carrier,value";
@@ -267,6 +271,18 @@ void write_app_runs_csv(std::ostream& os, const ConsolidatedDb& db) {
   }
 }
 
+void write_cell_load_csv(std::ostream& os, const ConsolidatedDb& db) {
+  LosslessDoubles guard{os};
+  os << kCellLoadHeader << '\n';
+  for (const auto& c : db.cell_load) {
+    os << names::to_name(c.carrier) << ',' << c.cell_id << ','
+       << names::to_name(c.tech) << ',' << c.ticks << ',' << c.avg_attached
+       << ',' << c.avg_active << ',' << c.avg_demand << ',' << c.avg_allocated
+       << ',' << c.avg_capacity << ',' << c.utilization << ',' << c.fairness
+       << '\n';
+  }
+}
+
 void write_coverage_csv(std::ostream& os,
                         const std::vector<CoverageSegment>& segments,
                         radio::Carrier carrier, bool passive) {
@@ -458,6 +474,28 @@ std::vector<CoverageSegment> read_coverage_csv(std::istream& is,
   return out;
 }
 
+std::vector<CellLoadRecord> read_cell_load_csv(std::istream& is) {
+  CsvTable table{is, kCellLoadHeader, 11};
+  std::vector<CellLoadRecord> out;
+  std::vector<std::string> cells;
+  while (table.next(cells)) {
+    CellLoadRecord c;
+    c.carrier = table.as_enum(cells[0], names::parse_carrier);
+    c.cell_id = table.as_u32(cells[1]);
+    c.tech = table.as_enum(cells[2], names::parse_technology);
+    c.ticks = table.as_i64(cells[3]);
+    c.avg_attached = table.as_double(cells[4]);
+    c.avg_active = table.as_double(cells[5]);
+    c.avg_demand = table.as_double(cells[6]);
+    c.avg_allocated = table.as_double(cells[7]);
+    c.avg_capacity = table.as_double(cells[8]);
+    c.utilization = table.as_double(cells[9]);
+    c.fairness = table.as_double(cells[10]);
+    out.push_back(c);
+  }
+  return out;
+}
+
 void read_summary_csv(std::istream& is, ConsolidatedDb& db) {
   CsvTable table{is, kSummaryHeader, 3};
   std::vector<std::string> cells;
@@ -532,6 +570,13 @@ std::vector<std::string> write_dataset(
   emit("handovers.csv",
        [&](std::ostream& os) { write_handovers_csv(os, db); });
   emit("app_runs.csv", [&](std::ostream& os) { write_app_runs_csv(os, db); });
+  // cell_load.csv exists only for population campaigns: emitting an empty
+  // table unconditionally would change the byte content of every seed bundle
+  // (and the replay_roundtrip / golden CI gates diff bundles recursively).
+  if (!db.cell_load.empty()) {
+    emit("cell_load.csv",
+         [&](std::ostream& os) { write_cell_load_csv(os, db); });
+  }
   for (radio::Carrier c : radio::kAllCarriers) {
     const std::size_t ci = carrier_index(c);
     const std::string base{carrier_name(c)};

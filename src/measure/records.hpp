@@ -146,12 +146,34 @@ struct PassiveLog {
   std::set<std::uint32_t> cells;
 };
 
+/// Whole-run load/fairness aggregate of one cell hosting the simulated UE
+/// population (ran::UePool). Present only when the campaign ran with
+/// WHEELS_UES > 0 — the six-handset paper campaign has no population and
+/// writes no cell_load table, keeping seed bundles byte-identical.
+struct CellLoadRecord {
+  radio::Carrier carrier = radio::Carrier::Verizon;
+  std::uint32_t cell_id = 0;
+  radio::Technology tech = radio::Technology::Lte;
+  /// Ticks during which at least one UE was attached to the cell.
+  std::int64_t ticks = 0;
+  double avg_attached = 0.0;  // mean attached UEs over those ticks
+  double avg_active = 0.0;    // mean UEs with positive demand
+  Mbps avg_demand = 0.0;      // mean summed offered demand
+  Mbps avg_allocated = 0.0;   // mean summed scheduler allocation
+  Mbps avg_capacity = 0.0;    // mean cell capacity offered
+  double utilization = 0.0;   // avg_allocated / avg_capacity, in [0, 1]
+  double fairness = 0.0;      // mean per-tick Jain index, in (0, 1]
+};
+
 struct ConsolidatedDb {
   std::vector<TestRecord> tests;
   std::vector<KpiRecord> kpis;
   std::vector<RttRecord> rtts;
   std::vector<HandoverRecord> handovers;
   std::vector<AppRunRecord> app_runs;
+  /// Per-cell population load (empty unless the campaign simulated a UE
+  /// population; see CellLoadRecord).
+  std::vector<CellLoadRecord> cell_load;
   std::array<PassiveLog, radio::kCarrierCount> passive;
   /// Coverage observed by XCAL during active tests, per carrier.
   std::array<std::vector<CoverageSegment>, radio::kCarrierCount>

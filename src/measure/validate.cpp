@@ -192,6 +192,31 @@ std::vector<std::string> validate(const ConsolidatedDb& db,
     }
   }
 
+  for (std::size_t i = 0; i < db.cell_load.size() && !out.full(); ++i) {
+    const auto& c = db.cell_load[i];
+    if (c.ticks <= 0) {
+      out.add("cell_load[", i, "]: non-positive ticks ", c.ticks);
+    }
+    if (!std::isfinite(c.avg_attached) || c.avg_attached < 0.0 ||
+        !std::isfinite(c.avg_active) || c.avg_active < 0.0 ||
+        !std::isfinite(c.avg_demand) || c.avg_demand < 0.0 ||
+        !std::isfinite(c.avg_allocated) || c.avg_allocated < 0.0 ||
+        !std::isfinite(c.avg_capacity) || c.avg_capacity < 0.0) {
+      out.add("cell_load[", i, "]: non-finite or negative load field");
+    }
+    if (c.avg_active > c.avg_attached) {
+      out.add("cell_load[", i, "]: avg_active ", c.avg_active,
+              " exceeds avg_attached ", c.avg_attached);
+    }
+    if (bad_fraction(c.utilization)) {
+      out.add("cell_load[", i, "]: utilization ", c.utilization,
+              " outside [0, 1]");
+    }
+    if (bad_fraction(c.fairness)) {
+      out.add("cell_load[", i, "]: fairness ", c.fairness, " outside [0, 1]");
+    }
+  }
+
   for (radio::Carrier c : radio::kAllCarriers) {
     if (out.full()) break;
     const std::size_t ci = carrier_index(c);

@@ -1,0 +1,107 @@
+#include "ran/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wheels::ran {
+
+namespace {
+
+/// Floor on the PF rate average: a UE that has never been served would have
+/// an infinite weight, so averages are clamped before inversion. 1 kbps —
+/// far below any real allocation, so a genuinely starved UE still dominates.
+constexpr double kMinAvgMbps = 1e-3;
+
+}  // namespace
+
+std::string_view scheduler_kind_name(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::ProportionalFair: return "pf";
+    case SchedulerKind::RoundRobin: return "rr";
+  }
+  return "pf";
+}
+
+std::optional<SchedulerKind> parse_scheduler_kind(std::string_view name) {
+  if (name == "pf" || name == "proportional-fair") {
+    return SchedulerKind::ProportionalFair;
+  }
+  if (name == "rr" || name == "round-robin") {
+    return SchedulerKind::RoundRobin;
+  }
+  return std::nullopt;
+}
+
+// Both disciplines are one pass of water-filling over the backlogged members,
+// sorted by the level at which each member saturates (its demand for RR, its
+// demand/weight ratio for PF). Processing in that order means that once one
+// member fails to saturate, none of the remaining ones can either, so each
+// subsequent allocation is an exact proportional slice of the remaining
+// capacity. The telescoping `remaining -= alloc` updates make the total
+// allocated exactly equal min(capacity, total demand) in floating point:
+// satisfied members receive their demand verbatim, and the final unsatisfied
+// member receives `remaining` itself.
+void schedule_cell(SchedulerKind kind, Mbps capacity_mbps,
+                   std::span<const std::uint32_t> members,
+                   std::span<const double> demand_mbps,
+                   std::span<const double> avg_mbps,
+                   std::span<double> alloc_mbps, SchedulerScratch& scratch) {
+  scratch.order.clear();
+  scratch.weight.clear();
+  scratch.weight.resize(members.size(), 0.0);
+
+  double total_weight = 0.0;
+  for (std::uint32_t pos = 0; pos < members.size(); ++pos) {
+    const std::uint32_t ue = members[pos];
+    alloc_mbps[ue] = 0.0;
+    const double demand = demand_mbps[ue];
+    if (demand <= 0.0) continue;
+    const double w = kind == SchedulerKind::ProportionalFair
+                         ? 1.0 / std::max(avg_mbps[ue], kMinAvgMbps)
+                         : 1.0;
+    scratch.weight[pos] = w;
+    total_weight += w;
+    scratch.order.push_back(pos);
+  }
+  if (scratch.order.empty() || capacity_mbps <= 0.0) return;
+
+  // Saturation level of member at `pos` is demand/weight: the per-unit-weight
+  // capacity at which its demand is met. Ties break on position so the fill
+  // order — and therefore every rounding — is independent of thread count.
+  std::sort(scratch.order.begin(), scratch.order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const double la = demand_mbps[members[a]] / scratch.weight[a];
+              const double lb = demand_mbps[members[b]] / scratch.weight[b];
+              if (la != lb) return la < lb;
+              return a < b;
+            });
+
+  double remaining = capacity_mbps;
+  double weight_left = total_weight;
+  for (const std::uint32_t pos : scratch.order) {
+    const std::uint32_t ue = members[pos];
+    const double w = scratch.weight[pos];
+    const double fair = remaining * (w / weight_left);
+    const double alloc = std::min(demand_mbps[ue], fair);
+    alloc_mbps[ue] = alloc;
+    remaining -= alloc;
+    weight_left -= w;
+    if (remaining <= 0.0) break;
+  }
+}
+
+double jain_fairness(std::span<const double> values) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+  for (const double v : values) {
+    if (v <= 0.0) continue;
+    sum += v;
+    sum_sq += v * v;
+    ++n;
+  }
+  if (n == 0 || sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(n) * sum_sq);
+}
+
+}  // namespace wheels::ran

@@ -1,0 +1,72 @@
+// Per-cell MAC scheduler: how one cell's capacity is shared among all the
+// UEs attached to it.
+//
+// The paper measured six phones, each effectively alone in its cell's
+// schedule (the channel model's load process stands in for everyone else).
+// The massive-UE core inverts that: the population is simulated explicitly,
+// so the cell's capacity must be *allocated* — and the allocation policy is
+// where tier fairness becomes a first-class simulated phenomenon. Two
+// textbook disciplines are provided:
+//
+//  - Round-robin (RR): every backlogged UE gets an equal share of the
+//    remaining capacity, water-filled so a UE never receives more than it
+//    demands and the leftover of satisfied UEs is redistributed.
+//  - Proportional-fair (PF): each backlogged UE is weighted by the inverse
+//    of its exponentially-averaged served rate, so a UE that has been
+//    starved is prioritised until its average catches up. PF maximises
+//    sum(log(R_i)) in the fluid limit; RR maximises min-share per round.
+//
+// Both disciplines conserve capacity exactly: the sum of allocations equals
+// min(capacity, total demand) up to floating-point rounding — "to the byte"
+// at any realistic tick length (tests/test_scheduler.cpp pins this).
+//
+// The scheduler is deliberately stateless: it reads demand/average spans and
+// writes an allocation span, so the UePool can keep all per-UE state in
+// structure-of-arrays form and fan cells across threads with disjoint
+// writes (docs/SCALING.md, "Determinism").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace wheels::ran {
+
+enum class SchedulerKind { ProportionalFair, RoundRobin };
+
+std::string_view scheduler_kind_name(SchedulerKind k);
+
+/// Parse a scheduler name ("pf", "rr", also the long forms
+/// "proportional-fair" / "round-robin"). nullopt on anything else — callers
+/// warn and fall back, matching the WHEELS_* env-knob convention.
+std::optional<SchedulerKind> parse_scheduler_kind(std::string_view name);
+
+/// Reusable scratch buffers for schedule_cell (one per worker thread; kept
+/// outside the call so the hot path never allocates).
+struct SchedulerScratch {
+  std::vector<std::uint32_t> order;  // member positions, sorted for the fill
+  std::vector<double> weight;        // PF weights per member position
+};
+
+/// Share `capacity_mbps` among `members` (indices into the demand/avg/alloc
+/// arrays). Reads demand_mbps[m] (what the UE wants this tick) and
+/// avg_mbps[m] (its served-rate EWMA, used only by PF); writes alloc_mbps[m]
+/// for every member, zero for members with zero demand. Allocations never
+/// exceed demand, and their sum equals min(capacity, sum of demands) up to
+/// rounding. Members not in `members` are untouched.
+void schedule_cell(SchedulerKind kind, Mbps capacity_mbps,
+                   std::span<const std::uint32_t> members,
+                   std::span<const double> demand_mbps,
+                   std::span<const double> avg_mbps,
+                   std::span<double> alloc_mbps, SchedulerScratch& scratch);
+
+/// Jain's fairness index over the positive entries of `values`:
+/// (sum x)^2 / (n * sum x^2), in (0, 1]; 1.0 means perfectly equal. Returns
+/// 1.0 for empty/all-zero input (an empty cell is trivially fair).
+double jain_fairness(std::span<const double> values);
+
+}  // namespace wheels::ran

@@ -55,6 +55,12 @@ ReplayBundle read_dataset(const std::string& directory,
   db.rtts = read_file(dir, "rtts.csv", measure::read_rtts_csv);
   db.handovers = read_file(dir, "handovers.csv", measure::read_handovers_csv);
   db.app_runs = read_file(dir, "app_runs.csv", measure::read_app_runs_csv);
+  // Optional table: only population campaigns (WHEELS_UES > 0) write it, and
+  // older bundles predate it entirely.
+  if (fs::exists(dir / "cell_load.csv")) {
+    db.cell_load =
+        read_file(dir, "cell_load.csv", measure::read_cell_load_csv);
+  }
   for (radio::Carrier c : radio::kAllCarriers) {
     const std::size_t ci = measure::carrier_index(c);
     const std::string base{radio::carrier_name(c)};

@@ -188,4 +188,17 @@ TraceChannel carrier_timeline(const measure::ConsolidatedDb& db,
   return TraceChannel{std::move(samples), std::move(handovers), policy};
 }
 
+ran::UePool::CapacityFn population_capacity_from_trace(
+    const TraceChannel& channel) {
+  return [&channel](const radio::CellSite& cell, SimMillis t,
+                    Mbps model_capacity) -> Mbps {
+    if (channel.empty()) return model_capacity;
+    const TraceSample s = channel.at(t);
+    // Only the cell the recorded phone was camped on has evidence in the
+    // trace; every other cell keeps the band-plan model.
+    if (s.cell_id != cell.id) return model_capacity;
+    return std::max<Mbps>(s.capacity_dl, 0.0);
+  };
+}
+
 }  // namespace wheels::replay

@@ -20,6 +20,7 @@
 #include "measure/records.hpp"
 #include "radio/channel.hpp"
 #include "ran/handover.hpp"
+#include "ran/ue_pool.hpp"
 
 namespace wheels::replay {
 
@@ -119,5 +120,15 @@ TraceChannel channel_for_test(const measure::ConsolidatedDb& db,
 TraceChannel carrier_timeline(const measure::ConsolidatedDb& db,
                               radio::Carrier carrier, bool is_static,
                               HoldPolicy policy = HoldPolicy::Hold);
+
+/// Adapt a recorded timeline into the UE pool's per-cell capacity hook
+/// (ran::UePool::set_capacity_override): every cell the recorded phone is
+/// currently attached to replays the recorded downlink capacity instead of
+/// the band-plan model — trace-driven cell load, the massive-UE half of the
+/// data-driven/model-based hybrid (docs/SCALING.md, "Replay"). Cells the
+/// trace is not visiting at time t keep their model capacity. `channel` must
+/// outlive the returned callback.
+ran::UePool::CapacityFn population_capacity_from_trace(
+    const TraceChannel& channel);
 
 }  // namespace wheels::replay

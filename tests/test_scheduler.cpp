@@ -1,0 +1,194 @@
+// Unit tests of the per-cell MAC scheduler (ran/scheduler.hpp): exact
+// capacity conservation ("to the byte"), RR's equal split, PF's preference
+// for starved UEs, and the fairness-index contrast between the two
+// disciplines when served-rate averages start skewed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "ran/scheduler.hpp"
+
+namespace wheels::ran {
+namespace {
+
+/// One 500 ms tick turns 1 Mbps into 62,500 bytes; an allocation error below
+/// 1 / kBytesPerMbpsTick Mbps is therefore less than one byte per tick.
+constexpr double kBytesPerMbpsTick = 62500.0;
+
+std::vector<std::uint32_t> iota_members(std::size_t n) {
+  std::vector<std::uint32_t> m(n);
+  std::iota(m.begin(), m.end(), 0u);
+  return m;
+}
+
+double run_once(SchedulerKind kind, double capacity,
+                const std::vector<double>& demand,
+                const std::vector<double>& avg, std::vector<double>& alloc) {
+  const auto members = iota_members(demand.size());
+  alloc.assign(demand.size(), -1.0);
+  SchedulerScratch scratch;
+  schedule_cell(kind, capacity, members, demand, avg, alloc, scratch);
+  return std::accumulate(alloc.begin(), alloc.end(), 0.0);
+}
+
+TEST(SchedulerTest, ConservesCapacityToTheByte) {
+  // Skewed demands around a capacity that cannot satisfy everyone.
+  const std::vector<double> demand{0.3, 41.7, 3.14159, 120.0, 0.0, 7.5, 55.5};
+  const std::vector<double> avg{1.0, 10.0, 0.5, 30.0, 2.0, 0.001, 12.0};
+  const double total_demand =
+      std::accumulate(demand.begin(), demand.end(), 0.0);
+
+  for (const SchedulerKind kind :
+       {SchedulerKind::ProportionalFair, SchedulerKind::RoundRobin}) {
+    for (const double capacity : {1.0, 17.3, 100.0, 500.0}) {
+      std::vector<double> alloc;
+      const double total = run_once(kind, capacity, demand, avg, alloc);
+      const double expected = std::min(capacity, total_demand);
+      EXPECT_NEAR(total, expected, 1.0 / kBytesPerMbpsTick)
+          << scheduler_kind_name(kind) << " capacity " << capacity;
+      for (std::size_t i = 0; i < demand.size(); ++i) {
+        EXPECT_GE(alloc[i], 0.0);
+        EXPECT_LE(alloc[i], demand[i] + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(SchedulerTest, SatisfiedDemandsAreMetVerbatim) {
+  // Capacity above total demand: every allocation must equal its demand
+  // exactly (no rounding drift on the satisfied path).
+  const std::vector<double> demand{0.125, 2.5, 10.0, 0.0625};
+  const std::vector<double> avg{1.0, 1.0, 1.0, 1.0};
+  for (const SchedulerKind kind :
+       {SchedulerKind::ProportionalFair, SchedulerKind::RoundRobin}) {
+    std::vector<double> alloc;
+    run_once(kind, 1000.0, demand, avg, alloc);
+    for (std::size_t i = 0; i < demand.size(); ++i) {
+      EXPECT_EQ(alloc[i], demand[i]);
+    }
+  }
+}
+
+TEST(SchedulerTest, RoundRobinSplitsEquallyAmongBacklogged) {
+  // All four UEs want more than a quarter of the cell: equal split.
+  const std::vector<double> demand{50.0, 60.0, 70.0, 80.0};
+  const std::vector<double> avg{0.1, 1.0, 10.0, 100.0};  // RR must ignore it
+  std::vector<double> alloc;
+  run_once(SchedulerKind::RoundRobin, 40.0, demand, avg, alloc);
+  for (const double a : alloc) EXPECT_NEAR(a, 10.0, 1e-12);
+}
+
+TEST(SchedulerTest, RoundRobinRedistributesLeftovers) {
+  // UE 0 saturates below the fair share; its leftover goes to the others.
+  const std::vector<double> demand{2.0, 100.0, 100.0};
+  const std::vector<double> avg{1.0, 1.0, 1.0};
+  std::vector<double> alloc;
+  run_once(SchedulerKind::RoundRobin, 30.0, demand, avg, alloc);
+  EXPECT_DOUBLE_EQ(alloc[0], 2.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 14.0);
+  EXPECT_DOUBLE_EQ(alloc[2], 14.0);
+}
+
+TEST(SchedulerTest, ProportionalFairFavorsStarvedUe) {
+  // Equal demands, skewed histories: the starved UE (tiny average) must
+  // receive strictly more than the well-served one; RR gives them the same.
+  const std::vector<double> demand{100.0, 100.0};
+  const std::vector<double> avg{0.1, 20.0};
+  std::vector<double> pf_alloc;
+  std::vector<double> rr_alloc;
+  run_once(SchedulerKind::ProportionalFair, 30.0, demand, avg, pf_alloc);
+  run_once(SchedulerKind::RoundRobin, 30.0, demand, avg, rr_alloc);
+  EXPECT_GT(pf_alloc[0], pf_alloc[1]);
+  EXPECT_DOUBLE_EQ(rr_alloc[0], rr_alloc[1]);
+  // PF weights are 1/avg, so the one-tick split follows the inverse
+  // averages: UE 0 gets avg1/(avg0+avg1) of the cell.
+  EXPECT_NEAR(pf_alloc[0], 30.0 * (20.0 / 20.1), 1e-9);
+}
+
+TEST(SchedulerTest, ZeroDemandMembersGetNothing) {
+  const std::vector<double> demand{0.0, 10.0, 0.0};
+  const std::vector<double> avg{1.0, 1.0, 1.0};
+  std::vector<double> alloc;
+  run_once(SchedulerKind::ProportionalFair, 5.0, demand, avg, alloc);
+  EXPECT_EQ(alloc[0], 0.0);
+  EXPECT_EQ(alloc[2], 0.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 5.0);
+}
+
+TEST(SchedulerTest, ZeroCapacityAllocatesNothing) {
+  const std::vector<double> demand{10.0, 20.0};
+  const std::vector<double> avg{1.0, 1.0};
+  for (const SchedulerKind kind :
+       {SchedulerKind::ProportionalFair, SchedulerKind::RoundRobin}) {
+    std::vector<double> alloc;
+    const double total = run_once(kind, 0.0, demand, avg, alloc);
+    EXPECT_EQ(total, 0.0);
+  }
+}
+
+TEST(SchedulerTest, EmptyCellIsANoOp) {
+  std::vector<double> alloc;
+  SchedulerScratch scratch;
+  schedule_cell(SchedulerKind::ProportionalFair, 100.0, {}, {}, {}, alloc,
+                scratch);
+  EXPECT_TRUE(alloc.empty());
+}
+
+TEST(SchedulerTest, PfConvergesFasterThanRrUnderSkewedHistory) {
+  // Run both disciplines for 50 ticks from the same skewed served-rate
+  // averages, with every UE demanding more than its share, folding each
+  // tick's allocation into the EWMA exactly as the UE pool does. PF
+  // compensates the starved UEs, so its averages must end *more* equal
+  // (higher Jain index) than RR's, which ignores history entirely.
+  const std::vector<double> demand{100.0, 100.0, 100.0, 100.0};
+  const double capacity = 40.0;
+  const double alpha = 0.1;
+  const std::vector<double> initial_avg{0.1, 1.0, 5.0, 20.0};
+
+  auto run = [&](SchedulerKind kind) {
+    std::vector<double> avg = initial_avg;
+    std::vector<double> alloc;
+    SchedulerScratch scratch;
+    const auto members = iota_members(demand.size());
+    for (int t = 0; t < 50; ++t) {
+      alloc.assign(demand.size(), 0.0);
+      schedule_cell(kind, capacity, members, demand, avg, alloc, scratch);
+      for (std::size_t i = 0; i < avg.size(); ++i) {
+        avg[i] = (1.0 - alpha) * avg[i] + alpha * alloc[i];
+      }
+    }
+    return jain_fairness(avg);
+  };
+
+  const double pf_jain = run(SchedulerKind::ProportionalFair);
+  const double rr_jain = run(SchedulerKind::RoundRobin);
+  EXPECT_GT(pf_jain, rr_jain);
+  EXPECT_GT(pf_jain, 0.99);  // PF has equalised the averages by tick 50
+}
+
+TEST(SchedulerTest, JainFairnessIndex) {
+  const std::vector<double> equal{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(equal), 1.0);
+  const std::vector<double> one_hot{10.0, 0.0, 0.0};
+  // Zero entries are excluded (idle UEs are not unfairness).
+  EXPECT_DOUBLE_EQ(jain_fairness(one_hot), 1.0);
+  const std::vector<double> skewed{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(skewed), 16.0 / 20.0);
+  EXPECT_DOUBLE_EQ(jain_fairness(std::span<const double>{}), 1.0);
+}
+
+TEST(SchedulerTest, KindNamesRoundTrip) {
+  EXPECT_EQ(parse_scheduler_kind("pf"), SchedulerKind::ProportionalFair);
+  EXPECT_EQ(parse_scheduler_kind("rr"), SchedulerKind::RoundRobin);
+  EXPECT_EQ(parse_scheduler_kind("proportional-fair"),
+            SchedulerKind::ProportionalFair);
+  EXPECT_EQ(parse_scheduler_kind("round-robin"), SchedulerKind::RoundRobin);
+  EXPECT_EQ(parse_scheduler_kind("fifo"), std::nullopt);
+  EXPECT_EQ(scheduler_kind_name(SchedulerKind::ProportionalFair), "pf");
+  EXPECT_EQ(scheduler_kind_name(SchedulerKind::RoundRobin), "rr");
+}
+
+}  // namespace
+}  // namespace wheels::ran

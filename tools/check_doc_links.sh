@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Fail on dead relative links in the documentation set.
+#
+# Scans README.md and docs/*.md for markdown links `[text](target)`, skips
+# absolute URLs (http/https/mailto) and pure in-page anchors (#...), strips
+# any trailing anchor from file targets, resolves each target relative to the
+# file that contains it, and exits non-zero listing every target that does
+# not exist. CI runs this in the docs_links job; run it locally from the
+# repo root before touching the docs:
+#
+#   ./tools/check_doc_links.sh
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=(README.md)
+for f in docs/*.md; do
+  [ -e "$f" ] && files+=("$f")
+done
+
+failures=0
+for file in "${files[@]}"; do
+  dir=$(dirname "$file")
+  # Extract every (...) target of an inline markdown link. One link per
+  # line keeps the while-loop simple; grep -o already guarantees that.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:*) continue ;;
+      '#'*) continue ;;
+      '') continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "dead link in $file: ($target) -> $dir/$path" >&2
+      failures=$((failures + 1))
+    fi
+  done < <(grep -o '\](\([^)]*\))' "$file" | sed 's/^](//; s/)$//')
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "$failures dead link(s)" >&2
+  exit 1
+fi
+echo "doc links OK (${#files[@]} file(s) checked)"
