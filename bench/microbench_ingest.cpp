@@ -1,0 +1,116 @@
+// google-benchmark: streamed ingest throughput. The chunked reader and the
+// incremental adapters are the multi-GB on-ramp; this tracks MB/s through
+// the raw line layer and the full parse→resample→bundle pipeline, for both
+// reader backends. SetBytesProcessed makes the MB/s column first-class, so
+// a reader regression shows up as a rate, not a guess.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ingest/chunked_reader.hpp"
+#include "ingest/ingest.hpp"
+
+namespace {
+
+using namespace wheels;
+
+/// A synthetic Mahimahi trace of roughly `target_bytes`, written once per
+/// process into the temp directory: bursty integer-ms delivery
+/// opportunities, the shape the stress path cares about.
+std::string mahimahi_fixture(std::size_t target_bytes) {
+  static std::string path;
+  static std::size_t built_bytes = 0;
+  if (!path.empty() && built_bytes == target_bytes) return path;
+  path = (std::filesystem::temp_directory_path() /
+          ("wheels_bench_ingest_" + std::to_string(target_bytes) + ".down"))
+             .string();
+  built_bytes = target_bytes;
+  std::ofstream os{path, std::ios::binary};
+  std::mt19937 rng{42};
+  long long t = 0;
+  std::size_t written = 0;
+  std::string line;
+  while (written < target_bytes) {
+    t += static_cast<long long>(rng() % 7);
+    const int burst = 1 + static_cast<int>(rng() % 4);
+    line = std::to_string(t);
+    line += '\n';
+    for (int i = 0; i < burst && written < target_bytes; ++i) {
+      os << line;
+      written += line.size();
+    }
+  }
+  return path;
+}
+
+void BM_ChunkedReaderLines(benchmark::State& state) {
+  const std::string path = mahimahi_fixture(16 << 20);
+  const auto size = std::filesystem::file_size(path);
+  ingest::ChunkSpec spec;
+  spec.use_mmap = state.range(0) != 0;
+  for (auto _ : state) {
+    ingest::ChunkedReader reader{path, spec};
+    std::vector<ingest::LineRef> batch;
+    std::size_t lines = 0;
+    while (reader.next_batch(batch)) lines += batch.size();
+    benchmark::DoNotOptimize(lines);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(size) * state.iterations());
+}
+BENCHMARK(BM_ChunkedReaderLines)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("mmap")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IngestMahimahiBundle(benchmark::State& state) {
+  const std::string path = mahimahi_fixture(16 << 20);
+  const auto size = std::filesystem::file_size(path);
+  ingest::IngestOptions options;
+  options.chunk.use_mmap = state.range(0) != 0;
+  for (auto _ : state) {
+    const auto bundle = ingest::ingest_file("mahimahi", path, options);
+    benchmark::DoNotOptimize(bundle.db.kpis.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(size) * state.iterations());
+}
+BENCHMARK(BM_IngestMahimahiBundle)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("mmap")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IngestMinimalCsvBundle(benchmark::State& state) {
+  static std::string path = [] {
+    const std::string p = (std::filesystem::temp_directory_path() /
+                           "wheels_bench_ingest_minimal.csv")
+                              .string();
+    std::ofstream os{p, std::ios::binary};
+    os << "t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms\n";
+    std::mt19937 rng{7};
+    long long t = 0;
+    for (int i = 0; i < 400'000; ++i) {
+      t += 100 + static_cast<long long>(rng() % 900);
+      os << t << ',' << (rng() % 4000) / 10.0 << ',' << (rng() % 800) / 10.0
+         << ',' << 1 + rng() % 150 << '\n';
+    }
+    return p;
+  }();
+  const auto size = std::filesystem::file_size(path);
+  ingest::IngestOptions options;
+  for (auto _ : state) {
+    const auto bundle = ingest::ingest_file("minimal", path, options);
+    benchmark::DoNotOptimize(bundle.db.kpis.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(size) * state.iterations());
+}
+BENCHMARK(BM_IngestMinimalCsvBundle)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -20,6 +20,16 @@
 //   --interp MODE   hold|linear between source samples (default hold)
 //   --no-align      join: keep native clocks instead of re-basing to t=0
 //   --trim          join: keep only the window every carrier covers
+//   --chunk BYTES   streaming window size (default 1 MiB); peak memory is
+//                   O(chunk), independent of the trace size
+//   --batch LINES   lines per pulled batch (default 4096)
+//   --no-mmap       use buffered reads instead of mmap windows
+//   --shards N      join: parallel ingest shards, one per input file
+//                   (default 1; 0 = WHEELS_THREADS/auto). Output is
+//                   byte-identical at every shard count.
+//   --in-memory     legacy whole-file path (load the full trace first);
+//                   byte-identical to the streaming default, kept for
+//                   equivalence checks
 //   --replay        replay the bundle through ReplayCampaign and print the
 //                   recorded-vs-replayed comparison
 //   --out DIR       write the bundle as a dataset directory
@@ -44,7 +54,8 @@ int usage() {
          "       ingest_trace --list-formats\n"
          "options: --format F --carrier C --up PATH --rtt MS --tech T\n"
          "         --tick MS --max-gap MS --interp hold|linear\n"
-         "         --no-align --trim --replay --out DIR\n";
+         "         --no-align --trim --chunk BYTES --batch LINES --no-mmap\n"
+         "         --shards N --in-memory --replay --out DIR\n";
   return 2;
 }
 
@@ -71,6 +82,7 @@ int main(int argc, char** argv) {
     std::string trace_path;
     std::string out_dir;
     bool do_replay = false;
+    bool in_memory = false;
     ingest::IngestOptions options;
     ingest::JoinOptions join;
 
@@ -112,6 +124,18 @@ int main(int argc, char** argv) {
         join.align_clocks = false;
       } else if (arg == "--trim") {
         join.trim_to_overlap = true;
+      } else if (arg == "--chunk") {
+        options.chunk.chunk_bytes =
+            static_cast<std::size_t>(std::stoull(value(i)));
+      } else if (arg == "--batch") {
+        options.chunk.batch_lines =
+            static_cast<std::size_t>(std::stoull(value(i)));
+      } else if (arg == "--no-mmap") {
+        options.chunk.use_mmap = false;
+      } else if (arg == "--shards") {
+        options.threads = std::stoi(value(i));
+      } else if (arg == "--in-memory") {
+        in_memory = true;
       } else if (arg == "--replay") {
         do_replay = true;
       } else if (arg == "--out") {
@@ -136,16 +160,40 @@ int main(int argc, char** argv) {
         std::cout << "  " << measure::names::to_name(e.carrier) << " <- "
                   << e.path << '\n';
       }
-      bundle = ingest::ingest_join(format, entries, options, join);
+      if (in_memory) {
+        std::vector<ingest::JoinInput> inputs;
+        for (const ingest::JoinEntry& e : entries) {
+          ingest::IngestOptions per_carrier = options;
+          per_carrier.carrier = e.carrier;
+          inputs.push_back({e.carrier, e.path,
+                            ingest::load_trace(ingest::builtin_registry(),
+                                               format, e.path, per_carrier)});
+        }
+        bundle = ingest::join_traces(std::move(inputs), join,
+                                     options.resample);
+      } else {
+        bundle = ingest::ingest_join(format, entries, options, join);
+      }
     } else {
-      const ingest::TraceAdapter& adapter =
-          ingest::builtin_registry().resolve(format,
-                                             ingest::sniff_file(trace_path));
+      // Sniff only when asked to: an explicit --format must work on files
+      // the sniffer would reject.
+      std::string resolved = format;
+      if (format == "auto") {
+        resolved = ingest::builtin_registry()
+                       .resolve(format, ingest::sniff_file(trace_path))
+                       .name();
+      }
       std::cout << "Ingesting " << trace_path << " as "
                 << measure::names::to_name(options.carrier) << " via the '"
-                << adapter.name() << "' adapter.\n";
-      bundle = ingest::ingest_file(std::string{adapter.name()}, trace_path,
-                                   options);
+                << resolved << "' adapter.\n";
+      if (in_memory) {
+        bundle = ingest::build_bundle(
+            ingest::load_trace(ingest::builtin_registry(), resolved,
+                               trace_path, options),
+            options.carrier, options.resample);
+      } else {
+        bundle = ingest::ingest_file(resolved, trace_path, options);
+      }
     }
     print_summary(bundle);
 

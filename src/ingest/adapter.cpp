@@ -8,6 +8,14 @@
 
 namespace wheels::ingest {
 
+CanonicalTrace TraceAdapter::parse(std::istream& is,
+                                   const IngestOptions& options) const {
+  IstreamLineSource lines{is, options.chunk.batch_lines};
+  CollectSink sink;
+  parse_stream(lines, options, sink);
+  return sink.take();
+}
+
 void AdapterRegistry::add(std::unique_ptr<TraceAdapter> adapter) {
   for (const auto& existing : adapters_) {
     if (existing->name() == adapter->name()) {

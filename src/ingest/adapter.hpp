@@ -13,8 +13,10 @@
 #include <string_view>
 #include <vector>
 
+#include "ingest/chunked_reader.hpp"
 #include "ingest/column_map.hpp"
 #include "ingest/resample.hpp"
+#include "ingest/stream.hpp"
 #include "radio/technology.hpp"
 
 namespace wheels::ingest {
@@ -44,6 +46,11 @@ struct IngestOptions {
   /// automatically.
   std::string paper_rtts_path;
   ResampleSpec resample;
+  /// Geometry of the chunked file reader (window size, batch size, mmap).
+  ChunkSpec chunk;
+  /// Ingest shards for multi-trace joins: one worker per input file.
+  /// 0 = resolve from WHEELS_THREADS / hardware concurrency.
+  int threads = 1;
 };
 
 class TraceAdapter {
@@ -57,10 +64,16 @@ class TraceAdapter {
   /// Confidence in [0, 100] that `input` is this format; 0 = no. The
   /// registry picks the highest strictly positive score.
   virtual int sniff(const SniffInput& input) const = 0;
-  /// Parse one trace. Throws std::runtime_error "line N: ..." on malformed
-  /// input (callers prefix the file path).
-  virtual CanonicalTrace parse(std::istream& is,
-                               const IngestOptions& options) const = 0;
+  /// Incrementally parse one trace: pull bounded line batches from `lines`,
+  /// emit canonical points into `sink` (finishing it exactly once, on
+  /// success). Adapter state stays O(1) in the input size. Throws
+  /// std::runtime_error "line N: ..." on malformed input (callers prefix
+  /// the file path).
+  virtual void parse_stream(LineSource& lines, const IngestOptions& options,
+                            PointSink& sink) const = 0;
+  /// Whole-stream convenience wrapper over parse_stream; identical
+  /// semantics and errors.
+  CanonicalTrace parse(std::istream& is, const IngestOptions& options) const;
 };
 
 class AdapterRegistry {

@@ -38,9 +38,9 @@ class ColumnMapAdapter : public TraceAdapter {
   std::string_view name() const override { return name_; }
   std::string_view description() const override { return description_; }
 
-  CanonicalTrace parse(std::istream& is,
-                       const IngestOptions& options) const override {
-    return parse_with_map(is, map(options), options.default_tech);
+  void parse_stream(LineSource& lines, const IngestOptions& options,
+                    PointSink& sink) const override {
+    parse_with_map(lines, map(options), options.default_tech, sink);
   }
 
  protected:

@@ -7,13 +7,17 @@
 // the same millisecond, and timestamps are non-decreasing. The adapter
 // windows the opportunity count over the simulator tick and converts it to
 // Mbps — `count * 1500 B * 8 / tick` — producing a trace that is already on
-// the tick grid (windows with no opportunities are zero-capacity, which is a
-// recorded outage, not a gap). A Mahimahi file covers one direction; the
-// paired up/down merge lives in merge_mahimahi_uplink().
+// the tick grid. Windows are counted incrementally as timestamps stream by:
+// the first timestamp anchors the first window (a recording that starts on
+// an epoch-millisecond clock must not allocate one counter per window since
+// 1970 — that dense vector is exactly the OOM this replaces), interior
+// windows with no opportunities emit zero capacity (a recorded outage, not a
+// gap), and parser state is O(1) in the trace length. A Mahimahi file covers
+// one direction; the paired up/down merge lives in the uplink-merge sink.
 #include <algorithm>
-#include <istream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "ingest/adapters.hpp"
 #include "replay/trace_text.hpp"
@@ -58,8 +62,8 @@ class MahimahiAdapter final : public TraceAdapter {
     return 70;
   }
 
-  CanonicalTrace parse(std::istream& is,
-                       const IngestOptions& options) const override {
+  void parse_stream(LineSource& lines, const IngestOptions& options,
+                    PointSink& sink) const override {
     const SimMillis tick = options.resample.tick_ms;
     if (tick <= 0) {
       throw std::runtime_error{"mahimahi: tick_ms must be > 0"};
@@ -68,39 +72,105 @@ class MahimahiAdapter final : public TraceAdapter {
       throw std::runtime_error{"mahimahi: default rtt must be > 0"};
     }
 
-    replay::TraceLineReader reader{is};
-    std::string line;
-    std::vector<std::size_t> window_counts;
-    SimMillis last = -1;
-    while (reader.next(line)) {
-      const std::size_t line_no = reader.line_number();
-      const SimMillis t = replay::parse_trace_time_ms(line, line_no);
-      if (t < last) {
-        replay::trace_fail(line_no, "time going backwards");
-      }
-      last = t;
-      const std::size_t window = static_cast<std::size_t>(t / tick);
-      if (window >= window_counts.size()) window_counts.resize(window + 1, 0);
-      ++window_counts[window];
-    }
-    if (window_counts.empty()) {
-      replay::trace_fail(reader.line_number(), "trace has no data rows");
-    }
-
-    CanonicalTrace trace;
-    trace.points.reserve(window_counts.size());
-    for (std::size_t w = 0; w < window_counts.size(); ++w) {
+    RunEmitter out{sink};
+    const auto emit_window = [&](SimMillis window, std::size_t count) {
       TracePoint p;
-      p.t = static_cast<SimMillis>(w) * tick;
-      p.cap_dl_mbps = static_cast<double>(window_counts[w]) * kMtuBits /
+      p.t = window * tick;
+      p.cap_dl_mbps = static_cast<double>(count) * kMtuBits /
                       (static_cast<double>(tick) * 1e-3) / 1e6;
       p.cap_ul_mbps = p.cap_dl_mbps * options.mahimahi_ul_share;
       p.rtt_ms = options.default_rtt_ms;
       p.tech = options.default_tech;
-      trace.points.push_back(p);
+      out.push(p);
+    };
+
+    std::vector<LineRef> batch;
+    SimMillis last = -1;
+    SimMillis window = 0;  // current window index, valid once have_window
+    std::size_t count = 0;
+    bool have_window = false;
+    while (lines.next_batch(batch)) {
+      for (const LineRef& line : batch) {
+        const SimMillis t = replay::parse_trace_time_ms(line.text,
+                                                        line.number);
+        if (t < last) {
+          replay::trace_fail(line.number, "time going backwards");
+        }
+        last = t;
+        const SimMillis w = t / tick;
+        if (!have_window) {
+          // The first timestamp anchors windowing — no counters for the
+          // (possibly billions of) empty windows before the recording.
+          window = w;
+          have_window = true;
+        }
+        while (window < w) {
+          emit_window(window, count);
+          ++window;
+          count = 0;
+        }
+        ++count;
+      }
     }
-    return trace;
+    if (!have_window) {
+      replay::trace_fail(lines.line_number(), "trace has no data rows");
+    }
+    emit_window(window, count);
+    out.finish();
   }
+};
+
+/// Streaming positional merge of a paired (windowed) uplink trace: downlink
+/// point i takes up[min(i, last)]'s downlink rate as its uplink capacity,
+/// and when the uplink trace outlasts the downlink one the tail extends by
+/// holding the downlink's final windowed rate. The uplink side is already
+/// reduced to one point per covered window, so holding it is O(recording
+/// duration / tick), not O(file bytes).
+class MahimahiUplinkMerge final : public PointSink {
+ public:
+  MahimahiUplinkMerge(CanonicalTrace up, PointSink& inner)
+      : up_(std::move(up)), inner_(inner) {
+    if (up_.points.empty()) {
+      throw std::runtime_error{"mahimahi merge: empty trace"};
+    }
+  }
+
+  void on_run(std::span<const TracePoint> run) override {
+    scratch_.assign(run.begin(), run.end());
+    for (TracePoint& p : scratch_) {
+      const std::size_t j = std::min(index_, up_.points.size() - 1);
+      p.cap_ul_mbps = up_.points[j].cap_dl_mbps;
+      ++index_;
+    }
+    if (!scratch_.empty()) last_ = scratch_.back();
+    inner_.on_run(std::span<const TracePoint>{scratch_.data(),
+                                              scratch_.size()});
+  }
+
+  void finish() override {
+    if (index_ == 0) {
+      throw std::runtime_error{"mahimahi merge: empty trace"};
+    }
+    if (index_ < up_.points.size()) {
+      std::vector<TracePoint> tail;
+      tail.reserve(up_.points.size() - index_);
+      for (std::size_t j = index_; j < up_.points.size(); ++j) {
+        TracePoint p = last_;
+        p.t = up_.points[j].t;
+        p.cap_ul_mbps = up_.points[j].cap_dl_mbps;
+        tail.push_back(p);
+      }
+      inner_.on_run(std::span<const TracePoint>{tail.data(), tail.size()});
+    }
+    inner_.finish();
+  }
+
+ private:
+  CanonicalTrace up_;
+  PointSink& inner_;
+  std::vector<TracePoint> scratch_;
+  TracePoint last_{};
+  std::size_t index_ = 0;
 };
 
 }  // namespace
@@ -109,22 +179,18 @@ std::unique_ptr<TraceAdapter> make_mahimahi_adapter() {
   return std::make_unique<MahimahiAdapter>();
 }
 
+std::unique_ptr<PointSink> make_mahimahi_uplink_merge(CanonicalTrace up,
+                                                      PointSink& inner) {
+  return std::make_unique<MahimahiUplinkMerge>(std::move(up), inner);
+}
+
 void merge_mahimahi_uplink(CanonicalTrace& down, const CanonicalTrace& up) {
-  if (down.points.empty() || up.points.empty()) {
-    throw std::runtime_error{"mahimahi merge: empty trace"};
-  }
-  for (std::size_t i = 0; i < down.points.size(); ++i) {
-    const std::size_t j = std::min(i, up.points.size() - 1);
-    down.points[i].cap_ul_mbps = up.points[j].cap_dl_mbps;
-  }
-  // The uplink trace may outlast the downlink one; extend by holding the
-  // downlink's last windowed rate so neither side's recording is dropped.
-  for (std::size_t j = down.points.size(); j < up.points.size(); ++j) {
-    TracePoint p = down.points.back();
-    p.t = up.points[j].t;
-    p.cap_ul_mbps = up.points[j].cap_dl_mbps;
-    down.points.push_back(p);
-  }
+  CollectSink merged;
+  const auto sink = make_mahimahi_uplink_merge(up, merged);
+  sink->on_run(std::span<const TracePoint>{down.points.data(),
+                                           down.points.size()});
+  sink->finish();
+  down = merged.take();
 }
 
 }  // namespace wheels::ingest

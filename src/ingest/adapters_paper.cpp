@@ -5,26 +5,66 @@
 // replay::read_dataset; this adapter covers the partial-release case — a
 // lone kpis.csv table — by pivoting its per-direction throughput rows into
 // the canonical capacity series: per timestamp, the mean downlink and mean
-// uplink app-layer throughput across that carrier's rows. RTTs live in a
-// separate rtts.csv table; attach_paper_rtts() overlays one when available,
-// otherwise the configured fill applies.
+// uplink app-layer throughput across that carrier's rows. Rows stream
+// through an incremental parser that keeps only the per-timestamp
+// accumulators (the pivot's inherent state, O(unique ticks), independent of
+// the row count). RTTs live in a separate rtts.csv table;
+// attach_paper_rtts() / make_paper_rtt_overlay() overlay one when
+// available, otherwise the configured fill applies.
+#include <charconv>
 #include <istream>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "measure/csv_export.hpp"
 #include "measure/enum_names.hpp"
 
 #include "ingest/adapters.hpp"
+#include "replay/trace_text.hpp"
 
 namespace wheels::ingest {
 
 namespace {
 
+// Mirrors measure/csv_export.cpp's kKpiHeader; the full-bundle reader over
+// there and this partial-release parser must accept the same table.
+constexpr std::string_view kKpiHeader =
+    "test_id,t,carrier,tech,cell_id,rsrp,mcs,bler,ca,throughput,speed,km,"
+    "map_km,tz,region,handovers,server,direction,is_static";
+constexpr std::size_t kKpiColumns = 19;
+
 bool starts_with(const std::string& s, std::string_view prefix) {
   return s.size() >= prefix.size() &&
          s.compare(0, prefix.size(), prefix) == 0;
+}
+
+[[noreturn]] void csv_fail(std::size_t line, const std::string& msg) {
+  throw std::runtime_error{"csv: line " + std::to_string(line) + ": " + msg};
+}
+
+SimMillis csv_i64(std::string_view cell, std::size_t line) {
+  if (cell.empty()) csv_fail(line, "empty integer field");
+  SimMillis v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), v);
+  if (ec == std::errc::result_out_of_range) {
+    csv_fail(line, "integer out of range '" + std::string{cell} + "'");
+  }
+  if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+    csv_fail(line, "malformed integer '" + std::string{cell} + "'");
+  }
+  return v;
+}
+
+template <typename Parser>
+auto csv_enum(std::string_view cell, std::size_t line, Parser parser) {
+  try {
+    return parser(cell);
+  } catch (const std::runtime_error& e) {
+    csv_fail(line, e.what());
+  }
 }
 
 class PaperTablesAdapter final : public TraceAdapter {
@@ -43,12 +83,23 @@ class PaperTablesAdapter final : public TraceAdapter {
                : 0;
   }
 
-  CanonicalTrace parse(std::istream& is,
-                       const IngestOptions& options) const override {
+  void parse_stream(LineSource& lines, const IngestOptions& options,
+                    PointSink& sink) const override {
     if (options.default_rtt_ms <= 0.0) {
       throw std::runtime_error{"paper tables: default rtt must be > 0"};
     }
-    const std::vector<measure::KpiRecord> kpis = measure::read_kpis_csv(is);
+
+    std::vector<LineRef> batch;
+    if (!lines.next_batch(batch)) {
+      csv_fail(1, "missing header, expected '" + std::string{kKpiHeader} +
+                      "'");
+    }
+    if (batch.front().text != kKpiHeader) {
+      csv_fail(batch.front().number,
+               "unexpected header '" + std::string{batch.front().text} +
+                   "', expected '" + std::string{kKpiHeader} + "'");
+    }
+    std::size_t row = 1;
 
     struct Accumulator {
       double dl_sum = 0.0;
@@ -59,18 +110,39 @@ class PaperTablesAdapter final : public TraceAdapter {
     };
     std::map<SimMillis, Accumulator> by_t;
     std::size_t rows = 0;
-    for (const measure::KpiRecord& k : kpis) {
-      if (k.carrier != options.carrier) continue;
+    std::vector<std::string_view> cells;
+    while (true) {
+      if (row == batch.size()) {
+        if (!lines.next_batch(batch)) break;
+        row = 0;
+      }
+      const std::string_view text = batch[row].text;
+      const std::size_t line_no = batch[row].number;
+      ++row;
+      if (text == kKpiHeader) csv_fail(line_no, "duplicated header");
+      replay::split_trace_row(text, cells);
+      if (cells.size() != kKpiColumns) {
+        csv_fail(line_no, "expected " + std::to_string(kKpiColumns) +
+                              " fields, got " +
+                              std::to_string(cells.size()));
+      }
+      const auto carrier =
+          csv_enum(cells[2], line_no, measure::names::parse_carrier);
+      if (carrier != options.carrier) continue;
       ++rows;
-      Accumulator& acc = by_t[k.t];
-      if (k.direction == radio::Direction::Downlink) {
-        acc.dl_sum += k.throughput;
+      Accumulator& acc = by_t[csv_i64(cells[1], line_no)];
+      const auto direction =
+          csv_enum(cells[17], line_no, measure::names::parse_direction);
+      const double throughput = replay::parse_trace_double(cells[9], line_no);
+      if (direction == radio::Direction::Downlink) {
+        acc.dl_sum += throughput;
         ++acc.dl_n;
       } else {
-        acc.ul_sum += k.throughput;
+        acc.ul_sum += throughput;
         ++acc.ul_n;
       }
-      acc.tech = k.tech;  // rows share the tick's serving technology
+      acc.tech = csv_enum(cells[3], line_no,
+                          measure::names::parse_technology);
     }
     if (rows == 0) {
       throw std::runtime_error{
@@ -78,8 +150,7 @@ class PaperTablesAdapter final : public TraceAdapter {
           std::string{measure::names::to_name(options.carrier)}};
     }
 
-    CanonicalTrace trace;
-    trace.points.reserve(by_t.size());
+    RunEmitter out{sink};
     for (const auto& [t, acc] : by_t) {
       TracePoint p;
       p.t = t;
@@ -91,10 +162,53 @@ class PaperTablesAdapter final : public TraceAdapter {
                           : 0.0;
       p.rtt_ms = options.default_rtt_ms;
       p.tech = acc.tech;
-      trace.points.push_back(p);
+      out.push(p);
     }
-    return trace;
+    out.finish();
   }
+};
+
+std::map<SimMillis, double> load_rtt_map(std::istream& rtts,
+                                         radio::Carrier carrier) {
+  const std::vector<measure::RttRecord> records = measure::read_rtts_csv(rtts);
+  // (t -> rtt) for this carrier; read_rtts_csv does not require ordering,
+  // the map provides it.
+  std::map<SimMillis, double> by_t;
+  for (const measure::RttRecord& r : records) {
+    if (r.carrier == carrier) by_t[r.t] = r.rtt;
+  }
+  return by_t;
+}
+
+void overlay_rtt(const std::map<SimMillis, double>& by_t, TracePoint& p) {
+  auto it = by_t.upper_bound(p.t);
+  if (it == by_t.begin()) return;  // before the first sample: keep fill
+  p.rtt_ms = std::prev(it)->second;
+}
+
+class PaperRttOverlay final : public PointSink {
+ public:
+  PaperRttOverlay(std::istream& rtts, radio::Carrier carrier,
+                  PointSink& inner)
+      : by_t_(load_rtt_map(rtts, carrier)), inner_(inner) {}
+
+  void on_run(std::span<const TracePoint> run) override {
+    if (by_t_.empty()) {
+      inner_.on_run(run);
+      return;
+    }
+    scratch_.assign(run.begin(), run.end());
+    for (TracePoint& p : scratch_) overlay_rtt(by_t_, p);
+    inner_.on_run(std::span<const TracePoint>{scratch_.data(),
+                                              scratch_.size()});
+  }
+
+  void finish() override { inner_.finish(); }
+
+ private:
+  std::map<SimMillis, double> by_t_;
+  PointSink& inner_;
+  std::vector<TracePoint> scratch_;
 };
 
 }  // namespace
@@ -105,19 +219,15 @@ std::unique_ptr<TraceAdapter> make_paper_tables_adapter() {
 
 void attach_paper_rtts(CanonicalTrace& trace, std::istream& rtts,
                        radio::Carrier carrier) {
-  const std::vector<measure::RttRecord> records = measure::read_rtts_csv(rtts);
-  // (t -> rtt) for this carrier; read_rtts_csv does not require ordering,
-  // the map provides it.
-  std::map<SimMillis, double> by_t;
-  for (const measure::RttRecord& r : records) {
-    if (r.carrier == carrier) by_t[r.t] = r.rtt;
-  }
+  const std::map<SimMillis, double> by_t = load_rtt_map(rtts, carrier);
   if (by_t.empty()) return;
-  for (TracePoint& p : trace.points) {
-    auto it = by_t.upper_bound(p.t);
-    if (it == by_t.begin()) continue;  // before the first sample: keep fill
-    p.rtt_ms = std::prev(it)->second;
-  }
+  for (TracePoint& p : trace.points) overlay_rtt(by_t, p);
+}
+
+std::unique_ptr<PointSink> make_paper_rtt_overlay(std::istream& rtts,
+                                                  radio::Carrier carrier,
+                                                  PointSink& inner) {
+  return std::make_unique<PaperRttOverlay>(rtts, carrier, inner);
 }
 
 }  // namespace wheels::ingest

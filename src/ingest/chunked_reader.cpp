@@ -1,0 +1,196 @@
+#include "ingest/chunked_reader.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WHEELS_INGEST_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "core/obs/metrics.hpp"
+
+namespace wheels::ingest {
+
+namespace {
+
+void count_window(std::size_t bytes) {
+  static const core::obs::Counter chunks{"ingest.chunks"};
+  static const core::obs::Counter read{"ingest.bytes_read"};
+  chunks.add();
+  read.add(bytes);
+}
+
+}  // namespace
+
+ChunkedReader::ChunkedReader(const std::string& path, const ChunkSpec& spec)
+    : spec_(spec), path_(path) {
+  if (spec_.chunk_bytes == 0) spec_.chunk_bytes = 1;
+  if (spec_.batch_lines == 0) spec_.batch_lines = 1;
+#ifdef WHEELS_INGEST_HAVE_MMAP
+  if (spec_.use_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st {};
+      if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+        fd_ = fd;
+        file_size_ = static_cast<std::uint64_t>(st.st_size);
+        return;
+      }
+      ::close(fd);  // pipe, device, directory: buffered fallback below
+    }
+  }
+#endif
+  is_.open(path, std::ios::binary);
+  if (!is_) {
+    throw std::runtime_error{"ingest: cannot open " + path};
+  }
+}
+
+ChunkedReader::~ChunkedReader() {
+  unmap();
+#ifdef WHEELS_INGEST_HAVE_MMAP
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+void ChunkedReader::unmap() {
+#ifdef WHEELS_INGEST_HAVE_MMAP
+  if (map_ != nullptr) {
+    ::munmap(map_, map_len_);
+    map_ = nullptr;
+    map_len_ = 0;
+  }
+#endif
+}
+
+bool ChunkedReader::load_window() {
+  data_ = nullptr;
+  size_ = 0;
+  cur_ = 0;
+#ifdef WHEELS_INGEST_HAVE_MMAP
+  if (fd_ >= 0) {
+    if (offset_ >= file_size_) return false;
+    unmap();
+    static const std::size_t page =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    const std::uint64_t aligned = offset_ & ~static_cast<std::uint64_t>(page - 1);
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(spec_.chunk_bytes, file_size_ - offset_));
+    map_len_ = static_cast<std::size_t>(offset_ - aligned) + want;
+    void* map = ::mmap(nullptr, map_len_, PROT_READ, MAP_PRIVATE, fd_,
+                       static_cast<off_t>(aligned));
+    if (map == MAP_FAILED) {
+      map_len_ = 0;
+      throw std::runtime_error{"ingest: mmap failed on " + path_};
+    }
+    map_ = map;
+#ifdef MADV_SEQUENTIAL
+    ::madvise(map_, map_len_, MADV_SEQUENTIAL);
+#endif
+    data_ = static_cast<const char*>(map_) + (offset_ - aligned);
+    size_ = want;
+    offset_ += want;
+    count_window(want);
+    return true;
+  }
+#endif
+  buf_.resize(spec_.chunk_bytes);
+  is_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  const std::size_t got = static_cast<std::size_t>(is_.gcount());
+  if (got == 0) return false;
+  data_ = buf_.data();
+  size_ = got;
+  count_window(got);
+  return true;
+}
+
+bool ChunkedReader::next_batch(std::vector<LineRef>& batch) {
+  batch.clear();
+  carry_.clear();
+  if (finished_) return false;
+  while (true) {
+    if (cur_ == size_) {
+      // Window exhausted. A non-empty batch must be returned before the
+      // window is replaced — its views point into this window.
+      if (!batch.empty()) return true;
+      if (!load_window()) {
+        if (pending_active_) {
+          // Final physical line without a trailing newline.
+          pending_active_ = false;
+          ++line_;
+          if (!pending_.empty() && pending_.back() == '\r') pending_.pop_back();
+          if (!pending_.empty() && pending_.front() != '#') {
+            carry_.push_back(std::move(pending_));
+            pending_.clear();
+            batch.push_back({carry_.back(), line_});
+            return true;
+          }
+          pending_.clear();
+        }
+        finished_ = true;
+        ++line_;  // diagnostics at end of input point past the last line
+        return false;
+      }
+      continue;
+    }
+    const char* nl = static_cast<const char*>(
+        std::memchr(data_ + cur_, '\n', size_ - cur_));
+    if (nl == nullptr) {
+      pending_.append(data_ + cur_, size_ - cur_);
+      pending_active_ = true;
+      cur_ = size_;
+      continue;
+    }
+    std::string_view text{data_ + cur_,
+                          static_cast<std::size_t>(nl - (data_ + cur_))};
+    cur_ = static_cast<std::size_t>(nl - data_) + 1;
+    ++line_;
+    if (pending_active_) {
+      pending_.append(text);
+      pending_active_ = false;
+      if (!pending_.empty() && pending_.back() == '\r') pending_.pop_back();
+      if (pending_.empty() || pending_.front() == '#') {
+        pending_.clear();
+        continue;
+      }
+      carry_.push_back(std::move(pending_));
+      pending_.clear();
+      text = carry_.back();
+    } else {
+      if (!text.empty() && text.back() == '\r') text.remove_suffix(1);
+      if (text.empty() || text.front() == '#') continue;
+    }
+    batch.push_back({text, line_});
+    if (batch.size() >= spec_.batch_lines) return true;
+  }
+}
+
+IstreamLineSource::IstreamLineSource(std::istream& is, std::size_t batch_lines)
+    : reader_(is), batch_lines_(batch_lines == 0 ? 1 : batch_lines) {}
+
+bool IstreamLineSource::next_batch(std::vector<LineRef>& batch) {
+  batch.clear();
+  if (done_) return false;
+  lines_.clear();
+  std::string line;
+  while (lines_.size() < batch_lines_) {
+    if (!reader_.next(line)) {
+      done_ = true;  // the reader's line number now points past the end
+      break;
+    }
+    lines_.emplace_back(line, reader_.line_number());
+  }
+  if (lines_.empty()) return false;
+  batch.reserve(lines_.size());
+  for (const auto& [text, number] : lines_) {
+    batch.push_back({text, number});
+  }
+  return true;
+}
+
+}  // namespace wheels::ingest

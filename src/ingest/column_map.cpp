@@ -4,6 +4,8 @@
 #include <istream>
 #include <stdexcept>
 
+#include "ingest/chunked_reader.hpp"
+#include "ingest/stream.hpp"
 #include "measure/enum_names.hpp"
 #include "replay/trace_text.hpp"
 
@@ -14,7 +16,6 @@ namespace {
 using replay::parse_trace_double;
 using replay::split_trace_row;
 using replay::trace_fail;
-using replay::TraceLineReader;
 
 constexpr std::size_t kMissing = static_cast<std::size_t>(-1);
 
@@ -31,10 +32,10 @@ std::size_t find_column(const std::vector<std::string>& header,
   return found;
 }
 
-radio::Technology parse_tech(const ColumnMap& map, const std::string& cell,
+radio::Technology parse_tech(const ColumnMap& map, std::string_view cell,
                              std::size_t line) {
   for (const TechAlias& alias : map.tech_aliases) {
-    if (alias.name == cell) return alias.tech;
+    if (std::string_view{alias.name} == cell) return alias.tech;
   }
   try {
     return measure::names::parse_technology(cell);
@@ -45,17 +46,27 @@ radio::Technology parse_tech(const ColumnMap& map, const std::string& cell,
 
 }  // namespace
 
-CanonicalTrace parse_with_map(std::istream& is, const ColumnMap& map,
-                              radio::Technology default_tech) {
+void parse_with_map(LineSource& lines, const ColumnMap& map,
+                    radio::Technology default_tech, PointSink& sink) {
   if (map.time_column.empty() || map.time_scale_ms <= 0.0) {
     throw std::runtime_error{"column map: missing time column or scale"};
   }
 
-  TraceLineReader reader{is};
-  std::string line;
-  if (!reader.next(line)) trace_fail(reader.line_number(), "empty trace");
-  const std::vector<std::string> header = split_trace_row(line);
-  const std::size_t header_line = reader.line_number();
+  std::vector<LineRef> batch;
+  if (!lines.next_batch(batch)) {
+    trace_fail(lines.line_number(), "empty trace");
+  }
+  std::size_t row = 0;  // cursor into the current batch
+
+  // Bind the header row. The header is tiny and owned — batch views die at
+  // the next pull, so the column names are copied out.
+  std::vector<std::string_view> cells;
+  split_trace_row(batch[row].text, cells);
+  std::vector<std::string> header;
+  header.reserve(cells.size());
+  for (std::string_view cell : cells) header.emplace_back(cell);
+  const std::size_t header_line = batch[row].number;
+  ++row;
 
   const std::size_t time_idx = find_column(header, map.time_column,
                                            header_line);
@@ -91,11 +102,18 @@ CanonicalTrace parse_with_map(std::istream& is, const ColumnMap& map,
     }
   }
 
-  CanonicalTrace trace;
+  RunEmitter out{sink};
   std::optional<double> time_base;
-  while (reader.next(line)) {
-    const std::size_t line_no = reader.line_number();
-    const std::vector<std::string> cells = split_trace_row(line);
+  SimMillis prev_t = 0;
+  bool have_prev = false;
+  while (true) {
+    if (row == batch.size()) {
+      if (!lines.next_batch(batch)) break;
+      row = 0;
+    }
+    const std::size_t line_no = batch[row].number;
+    split_trace_row(batch[row].text, cells);
+    ++row;
     if (cells.size() != header.size()) {
       trace_fail(line_no, "expected " + std::to_string(header.size()) +
                               " columns, got " +
@@ -137,18 +155,28 @@ CanonicalTrace parse_with_map(std::istream& is, const ColumnMap& map,
     p.tech = tech_idx == kMissing ? default_tech
                                   : parse_tech(map, cells[tech_idx], line_no);
 
-    if (!trace.points.empty() && p.t < trace.points.back().t) {
+    if (have_prev && p.t < prev_t) {
       trace_fail(line_no, "time going backwards");
     }
-    if (!trace.points.empty() && p.t == trace.points.back().t) {
+    if (have_prev && p.t == prev_t) {
       trace_fail(line_no, "duplicate time " + std::to_string(p.t));
     }
-    trace.points.push_back(p);
+    prev_t = p.t;
+    have_prev = true;
+    out.push(p);
   }
-  if (trace.points.empty()) {
-    trace_fail(reader.line_number(), "trace has no data rows");
+  if (!have_prev) {
+    trace_fail(lines.line_number(), "trace has no data rows");
   }
-  return trace;
+  out.finish();
+}
+
+CanonicalTrace parse_with_map(std::istream& is, const ColumnMap& map,
+                              radio::Technology default_tech) {
+  IstreamLineSource lines{is};
+  CollectSink sink;
+  parse_with_map(lines, map, default_tech, sink);
+  return sink.take();
 }
 
 }  // namespace wheels::ingest

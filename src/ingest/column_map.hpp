@@ -8,6 +8,11 @@
 // constant fill for columns the format lacks. parse_with_map() is the single
 // strict parser behind the minimal/ERRANT/MONROE adapters, so adding a
 // format of this family means writing a ColumnMap, not a parser.
+//
+// The streaming overload is the real parser: it pulls bounded line batches
+// from a LineSource and emits points into a PointSink, holding only the
+// header binding and the previous timestamp — O(1) state however large the
+// input. The istream overload is the whole-file wrapper over it.
 #pragma once
 
 #include <iosfwd>
@@ -19,6 +24,9 @@
 #include "radio/technology.hpp"
 
 namespace wheels::ingest {
+
+class LineSource;
+class PointSink;
 
 /// One canonical sample: what every adapter reduces its native row to.
 struct TracePoint {
@@ -70,12 +78,17 @@ struct ColumnMap {
   bool allow_extra_columns = false;
 };
 
-/// Parse `is` under `map`. Shares the strict trace dialect of
+/// Incrementally parse `lines` under `map`, emitting canonical points into
+/// `sink` (finishing it exactly once). Shares the strict trace dialect of
 /// replay/trace_text.hpp: '#' comments and blank lines are skipped without
 /// renumbering, CRLF is accepted, numbers parse full-string, and time must
 /// be strictly increasing after scaling (duplicates and backwards steps are
 /// rejected). Capacities must be >= 0 and RTTs > 0 after scaling. Throws
 /// std::runtime_error "line N: ..." on the first violation.
+void parse_with_map(LineSource& lines, const ColumnMap& map,
+                    radio::Technology default_tech, PointSink& sink);
+
+/// Whole-stream wrapper over the streaming parser; identical semantics.
 CanonicalTrace parse_with_map(std::istream& is, const ColumnMap& map,
                               radio::Technology default_tech);
 

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -12,72 +13,108 @@ namespace wheels::ingest {
 
 namespace {
 
-CanonicalTrace parse_file(const TraceAdapter& adapter, const std::string& path,
-                          const IngestOptions& options) {
-  std::ifstream is{path};
-  if (!is) {
-    throw std::runtime_error{"ingest: cannot open " + path};
-  }
+/// Resolve `format` against the registry, sniffing the file's head only for
+/// "auto" — an explicit format must work on files the sniffer cannot score
+/// (satellite-dish CSVs with reordered headers, unreadable-by-sniff pipes).
+const TraceAdapter& resolve_adapter(const AdapterRegistry& registry,
+                                    const std::string& format,
+                                    const std::string& path) {
   try {
-    return adapter.parse(is, options);
+    if (format == "auto") {
+      return registry.resolve(format, sniff_file(path));
+    }
+    return registry.resolve(format, SniffInput{});
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error{path + ": " + e.what()};
+  }
+}
+
+/// Chunked parse of `path` through `adapter` into `sink`, with the adapter
+/// errors prefixed "path: adapter: ...". The open error is not prefixed —
+/// it already names the path.
+void parse_path(const TraceAdapter& adapter, const std::string& path,
+                const IngestOptions& options, PointSink& sink) {
+  ChunkedReader reader{path, options.chunk};
+  try {
+    adapter.parse_stream(reader, options, sink);
   } catch (const std::runtime_error& e) {
     throw std::runtime_error{path + ": " + std::string{adapter.name()} + ": " +
                              e.what()};
   }
 }
 
+/// The paper adapter's rtts.csv resolution: the explicit option, or the
+/// sibling pickup — a kpis.csv input next to an rtts.csv gets the overlay
+/// without being asked.
+std::string resolve_paper_rtts(const std::string& path,
+                               const IngestOptions& options) {
+  if (!options.paper_rtts_path.empty()) return options.paper_rtts_path;
+  const std::filesystem::path p{path};
+  if (p.filename() == "kpis.csv") {
+    const std::filesystem::path sibling = p.parent_path() / "rtts.csv";
+    std::error_code ec;
+    if (std::filesystem::exists(sibling, ec)) {
+      return sibling.string();
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
-CanonicalTrace load_trace(const AdapterRegistry& registry,
-                          const std::string& format, const std::string& path,
-                          const IngestOptions& options) {
-  const TraceAdapter* adapter = nullptr;
-  try {
-    adapter = &registry.resolve(format, sniff_file(path));
-  } catch (const std::runtime_error& e) {
-    throw std::runtime_error{path + ": " + e.what()};
-  }
-  CanonicalTrace trace = parse_file(*adapter, path, options);
+void stream_trace(const AdapterRegistry& registry, const std::string& format,
+                  const std::string& path, const IngestOptions& options,
+                  PointSink& sink) {
+  const TraceAdapter& adapter = resolve_adapter(registry, format, path);
 
-  if (adapter->name() == "mahimahi" && !options.mahimahi_uplink_path.empty()) {
-    const CanonicalTrace up =
-        parse_file(*adapter, options.mahimahi_uplink_path, options);
-    merge_mahimahi_uplink(trace, up);
-  }
-  if (adapter->name() == "paper") {
-    std::string rtts_path = options.paper_rtts_path;
-    if (rtts_path.empty()) {
-      // Sibling pickup: a kpis.csv input next to an rtts.csv gets the
-      // overlay without being asked.
-      const std::filesystem::path p{path};
-      if (p.filename() == "kpis.csv") {
-        const std::filesystem::path sibling = p.parent_path() / "rtts.csv";
-        std::error_code ec;
-        if (std::filesystem::exists(sibling, ec)) {
-          rtts_path = sibling.string();
-        }
-      }
-    }
+  // Companion side-channels wrap the caller's sink so the main trace flows
+  // through them without being materialized.
+  PointSink* target = &sink;
+  std::unique_ptr<PointSink> companion;
+  if (adapter.name() == "mahimahi" && !options.mahimahi_uplink_path.empty()) {
+    // The paired uplink is windowed into memory first — O(duration / tick),
+    // not O(file bytes) — then merged positionally into the downlink stream.
+    CollectSink up;
+    parse_path(adapter, options.mahimahi_uplink_path, options, up);
+    companion = make_mahimahi_uplink_merge(up.take(), sink);
+    target = companion.get();
+  } else if (adapter.name() == "paper") {
+    const std::string rtts_path = resolve_paper_rtts(path, options);
     if (!rtts_path.empty()) {
       std::ifstream rtts{rtts_path};
       if (!rtts) {
         throw std::runtime_error{"ingest: cannot open " + rtts_path};
       }
       try {
-        attach_paper_rtts(trace, rtts, options.carrier);
+        companion = make_paper_rtt_overlay(rtts, options.carrier, sink);
       } catch (const std::runtime_error& e) {
         throw std::runtime_error{rtts_path + ": " + e.what()};
       }
+      target = companion.get();
     }
   }
-  return trace;
+
+  parse_path(adapter, path, options, *target);
+}
+
+CanonicalTrace load_trace(const AdapterRegistry& registry,
+                          const std::string& format, const std::string& path,
+                          const IngestOptions& options) {
+  CollectSink sink;
+  stream_trace(registry, format, path, options, sink);
+  return sink.take();
 }
 
 replay::ReplayBundle ingest_file(const std::string& format,
                                  const std::string& path,
                                  const IngestOptions& options) {
-  return build_bundle(load_trace(builtin_registry(), format, path, options),
-                      options.carrier, options.resample);
+  std::vector<StreamSource> sources(1);
+  sources[0].carrier = options.carrier;
+  sources[0].name = "trace";
+  sources[0].produce = [&format, &path, &options](PointSink& sink) {
+    stream_trace(builtin_registry(), format, path, options, sink);
+  };
+  return join_streams(std::move(sources), JoinOptions{}, options.resample, 1);
 }
 
 std::vector<JoinEntry> parse_join_spec(const std::string& spec) {
@@ -111,19 +148,22 @@ replay::ReplayBundle ingest_join(const std::string& format,
                                  const std::vector<JoinEntry>& entries,
                                  const IngestOptions& options,
                                  const JoinOptions& join) {
-  std::vector<JoinInput> inputs;
-  inputs.reserve(entries.size());
+  std::vector<StreamSource> sources;
+  sources.reserve(entries.size());
   for (const JoinEntry& entry : entries) {
     IngestOptions per_carrier = options;
     per_carrier.carrier = entry.carrier;
-    JoinInput input;
-    input.carrier = entry.carrier;
-    input.name = entry.path;
-    input.trace =
-        load_trace(builtin_registry(), format, entry.path, per_carrier);
-    inputs.push_back(std::move(input));
+    StreamSource source;
+    source.carrier = entry.carrier;
+    source.name = entry.path;
+    source.produce = [&format, path = entry.path,
+                      per_carrier](PointSink& sink) {
+      stream_trace(builtin_registry(), format, path, per_carrier, sink);
+    };
+    sources.push_back(std::move(source));
   }
-  return join_traces(std::move(inputs), join, options.resample);
+  return join_streams(std::move(sources), join, options.resample,
+                      options.threads);
 }
 
 }  // namespace wheels::ingest

@@ -2,11 +2,14 @@
 //
 // The free functions here tie the subsystem together for callers (the
 // ingest_trace CLI, replay_dataset --import, tests): resolve an adapter from
-// the registry (sniffing the file when the format is "auto"), parse the file
-// into a CanonicalTrace, apply the format's side-channel companions
-// (Mahimahi uplink merge, paper rtts.csv overlay), and hand the result to
-// the join layer for resampling and bundle assembly. Every error is
-// prefixed with the offending path.
+// the registry (sniffing the file only when the format is "auto" — an
+// explicit format never requires a readable, sniffable head), stream the
+// file through the adapter's incremental parser with the format's
+// side-channel companions applied in-line (Mahimahi uplink merge, paper
+// rtts.csv overlay), and hand the point stream to the join layer for
+// resampling and bundle assembly. stream_trace() is the bounded-memory
+// core; load_trace() is its whole-file wrapper. Every error is prefixed
+// with the offending path.
 #pragma once
 
 #include <string>
@@ -17,17 +20,26 @@
 
 namespace wheels::ingest {
 
-/// Parse one file into a canonical trace. `format` is an adapter name or
-/// "auto" (sniff). Applies the Mahimahi uplink merge when
-/// options.mahimahi_uplink_path is set and the resolved adapter is
-/// "mahimahi", and the paper rtts.csv overlay when options.paper_rtts_path
-/// is set and the resolved adapter is "paper". Errors carry the path.
+/// Stream one file's canonical points into `sink` (finished exactly once on
+/// success) through a ChunkedReader sized by options.chunk. `format` is an
+/// adapter name or "auto" (sniff — only then is the file head read twice).
+/// Applies the Mahimahi uplink merge when options.mahimahi_uplink_path is
+/// set and the resolved adapter is "mahimahi", and the paper rtts.csv
+/// overlay when options.paper_rtts_path is set (or a sibling rtts.csv
+/// exists) and the resolved adapter is "paper". Errors carry the path.
+void stream_trace(const AdapterRegistry& registry, const std::string& format,
+                  const std::string& path, const IngestOptions& options,
+                  PointSink& sink);
+
+/// Whole-file wrapper over stream_trace: materializes the stream as a
+/// CanonicalTrace. Identical resolution, companions and errors.
 CanonicalTrace load_trace(const AdapterRegistry& registry,
                           const std::string& format, const std::string& path,
                           const IngestOptions& options);
 
-/// load_trace + build_bundle against the builtin registry: the one-call
-/// single-carrier import.
+/// stream_trace + the join layer against the builtin registry: the one-call
+/// single-carrier import, with peak memory bounded by options.chunk rather
+/// than the input size.
 replay::ReplayBundle ingest_file(const std::string& format,
                                  const std::string& path,
                                  const IngestOptions& options);
@@ -41,8 +53,10 @@ struct JoinEntry {
 /// join entries. Throws on malformed specs or unknown carriers.
 std::vector<JoinEntry> parse_join_spec(const std::string& spec);
 
-/// Load every entry (each sniffed independently when `format` is "auto")
-/// and join them onto one campaign timeline.
+/// Stream every entry (each sniffed independently when `format` is "auto")
+/// and join them onto one campaign timeline. Inputs are sharded
+/// options.threads wide (one worker per input file, 0 = WHEELS_THREADS /
+/// auto); the bundle is byte-identical at every shard count.
 replay::ReplayBundle ingest_join(const std::string& format,
                                  const std::vector<JoinEntry>& entries,
                                  const IngestOptions& options,

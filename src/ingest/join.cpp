@@ -1,9 +1,13 @@
 #include "ingest/join.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "core/thread_pool.hpp"
 #include "measure/csv_export.hpp"
 #include "measure/enum_names.hpp"
 #include "measure/validate.hpp"
@@ -78,66 +82,223 @@ void append_segment(measure::ConsolidatedDb& db, radio::Carrier carrier,
       static_cast<Millis>(end - start) * 3.0;
 }
 
+/// Pass-through sink that throws `msg` when the stream ends empty. Sits at
+/// the head of each source's chain so an empty source reports the join's
+/// error, not a downstream one.
+class EmptyGuard final : public PointSink {
+ public:
+  EmptyGuard(std::string msg, PointSink& inner)
+      : msg_(std::move(msg)), inner_(inner) {}
+
+  void on_run(std::span<const TracePoint> run) override {
+    if (!run.empty()) seen_ = true;
+    inner_.on_run(run);
+  }
+
+  void finish() override {
+    if (!seen_) throw std::runtime_error{msg_};
+    inner_.finish();
+  }
+
+ private:
+  std::string msg_;
+  PointSink& inner_;
+  bool seen_ = false;
+};
+
+/// Clock-offset alignment: subtracts the stream's first timestamp from
+/// every point, so the recording starts at t = 0.
+class RebaseSink final : public PointSink {
+ public:
+  explicit RebaseSink(PointSink& inner) : inner_(inner) {}
+
+  void on_run(std::span<const TracePoint> run) override {
+    if (run.empty()) return;
+    if (!have_base_) {
+      base_ = run.front().t;
+      have_base_ = true;
+    }
+    scratch_.assign(run.begin(), run.end());
+    for (TracePoint& p : scratch_) p.t -= base_;
+    inner_.on_run(std::span<const TracePoint>{scratch_.data(),
+                                              scratch_.size()});
+  }
+
+  void finish() override { inner_.finish(); }
+
+ private:
+  PointSink& inner_;
+  std::vector<TracePoint> scratch_;
+  SimMillis base_ = 0;
+  bool have_base_ = false;
+};
+
+/// Overlap trimming: forwards only the points inside [lo, hi]. A
+/// downstream EmptyGuard reports the nothing-survived error.
+class TrimSink final : public PointSink {
+ public:
+  TrimSink(SimMillis lo, SimMillis hi, PointSink& inner)
+      : lo_(lo), hi_(hi), inner_(inner) {}
+
+  void on_run(std::span<const TracePoint> run) override {
+    scratch_.clear();
+    for (const TracePoint& p : run) {
+      if (p.t >= lo_ && p.t <= hi_) scratch_.push_back(p);
+    }
+    if (scratch_.empty()) return;
+    inner_.on_run(std::span<const TracePoint>{scratch_.data(),
+                                              scratch_.size()});
+  }
+
+  void finish() override { inner_.finish(); }
+
+ private:
+  SimMillis lo_;
+  SimMillis hi_;
+  PointSink& inner_;
+  std::vector<TracePoint> scratch_;
+};
+
+/// Bounds pre-pass for overlap trimming: records the (aligned) first and
+/// last timestamp of the stream.
+class SpanSink final : public PointSink {
+ public:
+  void on_run(std::span<const TracePoint> run) override {
+    if (run.empty()) return;
+    if (!seen_) {
+      first = run.front().t;
+      seen_ = true;
+    }
+    last = run.back().t;
+  }
+
+  bool seen() const { return seen_; }
+
+  SimMillis first = 0;
+  SimMillis last = 0;
+
+ private:
+  bool seen_ = false;
+};
+
+/// Run `fn(i)` for every source index, sharded `width` wide over a
+/// core::ThreadPool when width > 1. Exceptions are captured per shard and
+/// rethrown in canonical (index) order — a multi-source failure reports the
+/// same error at every thread count.
+void run_sharded(std::size_t n, int threads,
+                 const std::function<void(std::size_t)>& fn) {
+  const int width = static_cast<int>(
+      std::min<std::size_t>(n, static_cast<std::size_t>(
+                                   core::resolve_threads(threads))));
+  if (width <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<core::ThreadPool::Task> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back([&fn, &errors, i] {
+      // The pool terminates on an escaping exception; capture and rethrow
+      // deterministically after the batch drains.
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  core::ThreadPool pool{width - 1};
+  pool.run_batch(std::move(tasks));
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
 }  // namespace
 
-replay::ReplayBundle join_traces(std::vector<JoinInput> inputs,
-                                 const JoinOptions& join,
-                                 const ResampleSpec& resample_spec) {
-  if (inputs.empty()) {
+replay::ReplayBundle join_streams(std::vector<StreamSource> sources,
+                                  const JoinOptions& join,
+                                  const ResampleSpec& resample_spec,
+                                  int threads) {
+  if (sources.empty()) {
     throw std::runtime_error{"join: no input traces"};
   }
-  std::sort(inputs.begin(), inputs.end(),
-            [](const JoinInput& a, const JoinInput& b) {
+  std::sort(sources.begin(), sources.end(),
+            [](const StreamSource& a, const StreamSource& b) {
               return measure::carrier_index(a.carrier) <
                      measure::carrier_index(b.carrier);
             });
-  for (std::size_t i = 1; i < inputs.size(); ++i) {
-    if (inputs[i].carrier == inputs[i - 1].carrier) {
+  for (std::size_t i = 1; i < sources.size(); ++i) {
+    if (sources[i].carrier == sources[i - 1].carrier) {
       throw std::runtime_error{
           "join: carrier " +
-          std::string{measure::names::to_name(inputs[i].carrier)} +
-          " appears twice (" + inputs[i - 1].name + ", " + inputs[i].name +
+          std::string{measure::names::to_name(sources[i].carrier)} +
+          " appears twice (" + sources[i - 1].name + ", " + sources[i].name +
           ")"};
     }
   }
-  for (const JoinInput& input : inputs) {
-    if (input.trace.points.empty()) {
-      throw std::runtime_error{"join: " + input.name + ": empty trace"};
-    }
-  }
+  // Spec errors must not wait for the first stream to flow.
+  { StreamingResampler probe{resample_spec, [](TraceSegment&&) {}}; }
 
-  // Clock-offset alignment: every carrier's recording starts at t = 0.
-  if (join.align_clocks) {
-    for (JoinInput& input : inputs) {
-      const SimMillis base = input.trace.points.front().t;
-      for (TracePoint& p : input.trace.points) p.t -= base;
-    }
-  }
-
-  // Overlap trimming: keep the window every carrier covers.
+  // Overlap trimming needs every source's (aligned) bounds before any
+  // stream can be resampled: a bounds pre-pass over all sources.
+  SimMillis trim_lo = 0;
+  SimMillis trim_hi = 0;
   if (join.trim_to_overlap) {
-    SimMillis lo = inputs.front().trace.points.front().t;
-    SimMillis hi = inputs.front().trace.points.back().t;
-    for (const JoinInput& input : inputs) {
-      lo = std::max(lo, input.trace.points.front().t);
-      hi = std::min(hi, input.trace.points.back().t);
+    std::vector<SpanSink> spans(sources.size());
+    run_sharded(sources.size(), threads, [&](std::size_t i) {
+      SpanSink& span = spans[i];
+      EmptyGuard guard{"join: " + sources[i].name + ": empty trace", span};
+      if (join.align_clocks) {
+        RebaseSink rebase{guard};
+        sources[i].produce(rebase);
+      } else {
+        sources[i].produce(guard);
+      }
+    });
+    trim_lo = spans.front().first;
+    trim_hi = spans.front().last;
+    for (const SpanSink& span : spans) {
+      trim_lo = std::max(trim_lo, span.first);
+      trim_hi = std::min(trim_hi, span.last);
     }
-    if (lo > hi) {
+    if (trim_lo > trim_hi) {
       throw std::runtime_error{
           "join: traces share no overlapping window (re-run without "
           "trimming, or check the clock alignment)"};
     }
-    for (JoinInput& input : inputs) {
-      std::vector<TracePoint>& pts = input.trace.points;
-      std::erase_if(pts, [&](const TracePoint& p) {
-        return p.t < lo || p.t > hi;
-      });
-      if (pts.empty()) {
-        throw std::runtime_error{"join: " + input.name +
-                                 ": no samples inside the overlap window"};
-      }
-    }
   }
+
+  // Main pass: every source flows produce -> [rebase] -> [trim] -> resample
+  // into its own segment list. Shards only race on disjoint slots; the
+  // bundle below is assembled serially in canonical order, which is what
+  // keeps the output byte-identical at any thread count.
+  std::vector<std::vector<TraceSegment>> segments(sources.size());
+  run_sharded(sources.size(), threads, [&](std::size_t i) {
+    std::vector<TraceSegment>& out = segments[i];
+    StreamingResampler resampler{resample_spec, [&out](TraceSegment&& seg) {
+                                   out.push_back(std::move(seg));
+                                 }};
+    PointSink* sink = &resampler;
+    std::unique_ptr<TrimSink> trim;
+    std::unique_ptr<EmptyGuard> survived;
+    if (join.trim_to_overlap) {
+      survived = std::make_unique<EmptyGuard>(
+          "join: " + sources[i].name + ": no samples inside the overlap "
+          "window",
+          *sink);
+      trim = std::make_unique<TrimSink>(trim_lo, trim_hi, *survived);
+      sink = trim.get();
+    }
+    EmptyGuard guard{"join: " + sources[i].name + ": empty trace", *sink};
+    if (join.align_clocks) {
+      RebaseSink rebase{guard};
+      sources[i].produce(rebase);
+    } else {
+      sources[i].produce(guard);
+    }
+  });
 
   replay::ReplayBundle bundle;
   measure::ConsolidatedDb& db = bundle.db;
@@ -147,15 +308,13 @@ replay::ReplayBundle join_traces(std::vector<JoinInput> inputs,
 
   std::ostringstream digest;
   std::uint32_t next_test_id = 1;
-  for (const JoinInput& input : inputs) {
-    const std::vector<TraceSegment> segments =
-        resample(input.trace, resample_spec);
-    digest << measure::names::to_name(input.carrier) << ':' << input.name
-           << '\n';
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    digest << measure::names::to_name(sources[i].carrier) << ':'
+           << sources[i].name << '\n';
     int cycle = 0;
-    for (const TraceSegment& seg : segments) {
-      append_segment(db, input.carrier, seg, resample_spec.tick_ms, cycle++,
-                     next_test_id);
+    for (const TraceSegment& seg : segments[i]) {
+      append_segment(db, sources[i].carrier, seg, resample_spec.tick_ms,
+                     cycle++, next_test_id);
       for (const TracePoint& p : seg.ticks) {
         digest << p.t << ',' << measure::csv_double(p.cap_dl_mbps) << ','
                << measure::csv_double(p.cap_ul_mbps) << ','
@@ -174,6 +333,27 @@ replay::ReplayBundle join_traces(std::vector<JoinInput> inputs,
 
   measure::validate_or_throw(db);
   return bundle;
+}
+
+replay::ReplayBundle join_traces(std::vector<JoinInput> inputs,
+                                 const JoinOptions& join,
+                                 const ResampleSpec& resample_spec) {
+  std::vector<StreamSource> sources;
+  sources.reserve(inputs.size());
+  for (JoinInput& input : inputs) {
+    StreamSource source;
+    source.carrier = input.carrier;
+    source.name = std::move(input.name);
+    // Shared: the trim pre-pass replays the producer.
+    auto trace = std::make_shared<CanonicalTrace>(std::move(input.trace));
+    source.produce = [trace](PointSink& sink) {
+      sink.on_run(std::span<const TracePoint>{trace->points.data(),
+                                              trace->points.size()});
+      sink.finish();
+    };
+    sources.push_back(std::move(source));
+  }
+  return join_streams(std::move(sources), join, resample_spec, 1);
 }
 
 replay::ReplayBundle build_bundle(CanonicalTrace trace, radio::Carrier carrier,

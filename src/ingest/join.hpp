@@ -7,12 +7,23 @@
 // onto the shared tick grid, and emits one validated ReplayBundle whose
 // per-carrier test sets live on one timeline — ready for ReplayCampaign and
 // ReplayFleet, which fan out per carrier.
+//
+// join_streams() is the core: each input is a *producer* that pushes its
+// point stream through the align/trim/resample sink chain, so a source
+// backed by a chunked file reader joins without its raw trace ever being
+// materialized. Sources may be sharded across a core::ThreadPool (one
+// worker per input file); the bundle is always assembled serially in
+// canonical carrier order, so the output — manifest digest included — is
+// byte-identical at any thread count. join_traces() is the in-memory
+// wrapper over the same core.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "ingest/resample.hpp"
+#include "ingest/stream.hpp"
 #include "radio/technology.hpp"
 #include "replay/ingest.hpp"
 
@@ -23,6 +34,17 @@ struct JoinInput {
   /// Diagnostics label (usually the source path).
   std::string name;
   CanonicalTrace trace;
+};
+
+/// One input of a streaming join: `produce` pushes the source's whole point
+/// stream into the sink it is given (finishing it exactly once) and must be
+/// repeatable — overlap trimming runs a bounds pre-pass over every source
+/// before the real one. With shards > 1 producers run concurrently, so a
+/// producer must not touch shared mutable state.
+struct StreamSource {
+  radio::Carrier carrier = radio::Carrier::Verizon;
+  std::string name;
+  std::function<void(PointSink&)> produce;
 };
 
 struct JoinOptions {
@@ -36,12 +58,20 @@ struct JoinOptions {
   bool trim_to_overlap = false;
 };
 
-/// Join one trace per carrier (>= 1 inputs, one per distinct carrier) into
-/// a single synthetic bundle: per carrier and per resampled segment, one
-/// downlink-bulk, one uplink-bulk and one RTT test over the segment's
-/// ticks. Inputs are assembled in canonical carrier order regardless of
-/// argument order, the manifest digest hashes the joined tick content, and
-/// the database passes measure::validate_or_throw before returning.
+/// Join one point stream per carrier (>= 1 sources, one per distinct
+/// carrier) into a single synthetic bundle: per carrier and per resampled
+/// segment, one downlink-bulk, one uplink-bulk and one RTT test over the
+/// segment's ticks. Sources are assembled in canonical carrier order
+/// regardless of argument order (and of `threads`, the ingest shard count —
+/// 0 resolves via WHEELS_THREADS), the manifest digest hashes the joined
+/// tick content, and the database passes measure::validate_or_throw before
+/// returning.
+replay::ReplayBundle join_streams(std::vector<StreamSource> sources,
+                                  const JoinOptions& join,
+                                  const ResampleSpec& resample,
+                                  int threads = 1);
+
+/// In-memory convenience over join_streams: identical output and errors.
 replay::ReplayBundle join_traces(std::vector<JoinInput> inputs,
                                  const JoinOptions& join,
                                  const ResampleSpec& resample);

@@ -1,6 +1,8 @@
 #include "ingest/resample.hpp"
 
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace wheels::ingest {
 
@@ -8,59 +10,98 @@ namespace {
 
 double lerp(double a, double b, double f) { return a + (b - a) * f; }
 
-/// Value at tick `t`, bracketed by pts[prev] and pts[prev + 1]; `end` bounds
-/// the current run so interpolation never reaches across a gap split.
-TracePoint sample_at(const std::vector<TracePoint>& pts, std::size_t prev,
-                     std::size_t end, SimMillis t, GapFill fill) {
-  TracePoint out = pts[prev];
-  out.t = t;
-  if (fill == GapFill::Interpolate && prev + 1 < end && t > pts[prev].t) {
-    const TracePoint& a = pts[prev];
-    const TracePoint& b = pts[prev + 1];
-    const double f = static_cast<double>(t - a.t) /
-                     static_cast<double>(b.t - a.t);
-    out.cap_dl_mbps = lerp(a.cap_dl_mbps, b.cap_dl_mbps, f);
-    out.cap_ul_mbps = lerp(a.cap_ul_mbps, b.cap_ul_mbps, f);
-    out.rtt_ms = lerp(a.rtt_ms, b.rtt_ms, f);
-    // tech is categorical: held from the earlier sample, like TraceChannel.
+}  // namespace
+
+StreamingResampler::StreamingResampler(const ResampleSpec& spec,
+                                       SegmentFn emit)
+    : spec_(spec), emit_(std::move(emit)) {
+  if (spec_.tick_ms <= 0) {
+    throw std::invalid_argument{"resample: tick_ms must be > 0"};
   }
-  return out;
+  if (spec_.max_gap_ms != 0 && spec_.max_gap_ms < spec_.tick_ms) {
+    throw std::invalid_argument{"resample: max_gap_ms must be 0 or >= tick_ms"};
+  }
 }
 
-}  // namespace
+void StreamingResampler::on_run(std::span<const TracePoint> run) {
+  for (const TracePoint& p : run) accept(p);
+}
+
+void StreamingResampler::accept(const TracePoint& p) {
+  ++index_;
+  if (!have_prev_) {
+    prev_ = p;
+    have_prev_ = true;
+    t_next_ = p.t;
+    return;
+  }
+  if (p.t == prev_.t) {
+    throw std::runtime_error{"resample: point " + std::to_string(index_) +
+                             ": duplicate time " + std::to_string(p.t)};
+  }
+  if (p.t < prev_.t) {
+    throw std::runtime_error{"resample: point " + std::to_string(index_) +
+                             ": time going backwards (" +
+                             std::to_string(p.t) + " after " +
+                             std::to_string(prev_.t) + ")"};
+  }
+  if (spec_.max_gap_ms != 0 && p.t - prev_.t > spec_.max_gap_ms) {
+    close_segment();
+    prev_ = p;
+    t_next_ = p.t;
+    return;
+  }
+  // Every grid tick strictly before the new point is bracketed by
+  // (prev_, p) — the bounded lookahead: one pending source sample.
+  while (t_next_ < p.t) {
+    TracePoint out = prev_;
+    out.t = t_next_;
+    if (spec_.fill == GapFill::Interpolate && t_next_ > prev_.t) {
+      const double f = static_cast<double>(t_next_ - prev_.t) /
+                       static_cast<double>(p.t - prev_.t);
+      out.cap_dl_mbps = lerp(prev_.cap_dl_mbps, p.cap_dl_mbps, f);
+      out.cap_ul_mbps = lerp(prev_.cap_ul_mbps, p.cap_ul_mbps, f);
+      out.rtt_ms = lerp(prev_.rtt_ms, p.rtt_ms, f);
+      // tech is categorical: held from the earlier sample, like TraceChannel.
+    }
+    seg_.ticks.push_back(out);
+    t_next_ += spec_.tick_ms;
+  }
+  prev_ = p;
+}
+
+void StreamingResampler::close_segment() {
+  // All ticks before prev_.t were emitted when prev_ arrived; at most the
+  // tick landing exactly on the segment's last sample remains.
+  while (t_next_ <= prev_.t) {
+    TracePoint out = prev_;
+    out.t = t_next_;
+    seg_.ticks.push_back(out);
+    t_next_ += spec_.tick_ms;
+  }
+  emit_(std::move(seg_));
+  seg_ = TraceSegment{};
+}
+
+void StreamingResampler::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!have_prev_) {
+    throw std::runtime_error{"resample: empty trace"};
+  }
+  close_segment();
+}
 
 std::vector<TraceSegment> resample(const CanonicalTrace& trace,
                                    const ResampleSpec& spec) {
-  if (spec.tick_ms <= 0) {
-    throw std::invalid_argument{"resample: tick_ms must be > 0"};
-  }
-  if (spec.max_gap_ms != 0 && spec.max_gap_ms < spec.tick_ms) {
-    throw std::invalid_argument{"resample: max_gap_ms must be 0 or >= tick_ms"};
-  }
-  const std::vector<TracePoint>& pts = trace.points;
-  if (pts.empty()) {
-    throw std::runtime_error{"resample: empty trace"};
-  }
-
   std::vector<TraceSegment> segments;
-  std::size_t run_start = 0;
-  for (std::size_t i = 1; i <= pts.size(); ++i) {
-    const bool split =
-        i == pts.size() ||
-        (spec.max_gap_ms != 0 && pts[i].t - pts[i - 1].t > spec.max_gap_ms);
-    if (!split) continue;
-
-    TraceSegment seg;
-    const SimMillis t0 = pts[run_start].t;
-    const SimMillis t_last = pts[i - 1].t;
-    std::size_t prev = run_start;
-    for (SimMillis t = t0; t <= t_last; t += spec.tick_ms) {
-      while (prev + 1 < i && pts[prev + 1].t <= t) ++prev;
-      seg.ticks.push_back(sample_at(pts, prev, i, t, spec.fill));
-    }
-    segments.push_back(std::move(seg));
-    run_start = i;
-  }
+  StreamingResampler resampler{
+      spec, [&segments](TraceSegment&& seg) {
+        segments.push_back(std::move(seg));
+      }};
+  resampler.on_run(std::span<const TracePoint>{trace.points.data(),
+                                               trace.points.size()});
+  resampler.finish();
   return segments;
 }
 

@@ -2,17 +2,22 @@
 //
 // External traces rarely sample on the simulator's 500 ms grid: MONROE logs
 // tick at 1 s, Mahimahi delivery opportunities are per-millisecond, drive
-// logs pause at gas stations. resample() lays a uniform tick grid over each
-// contiguous stretch of a CanonicalTrace, filling between source samples by
-// holding the last one or linearly interpolating (the same HoldPolicy choice
-// replay::TraceChannel offers at replay time), and splits the trace into
-// independent segments wherever the source goes quiet for longer than
-// max_gap_ms — a gap is missing data, not a record of zero capacity.
+// logs pause at gas stations. The StreamingResampler lays a uniform tick
+// grid over each contiguous stretch of a point stream with *bounded
+// lookahead* — interpolation needs only the bracketing source pair, and a
+// gap split compares adjacent points — so resampling a multi-GB trace holds
+// one pending point plus the segment being built. It also validates the
+// stream: source timestamps must be strictly increasing (a duplicate would
+// divide by zero under GapFill::Interpolate, a backwards step would corrupt
+// the tick loop), and violations throw with the 1-based point index.
+// resample() is the whole-trace convenience wrapper over the same core.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "ingest/column_map.hpp"
+#include "ingest/stream.hpp"
 
 namespace wheels::ingest {
 
@@ -32,12 +37,40 @@ struct TraceSegment {
   std::vector<TracePoint> ticks;
 };
 
-/// Resample `trace` onto `spec`'s grid. Tick timestamps are strictly
-/// increasing within and across segments (segments inherit the source
-/// order), every source stretch contributes ticks from its first through
-/// its last sample, and a single-sample stretch yields one tick. Throws
-/// std::invalid_argument on a malformed spec, std::runtime_error on an
-/// empty trace.
+/// PointSink that resamples a strictly-increasing point stream onto `spec`'s
+/// grid, handing each completed segment to `emit`. Tick timestamps are
+/// strictly increasing within and across segments, every source stretch
+/// contributes ticks from its first through its last sample, and a
+/// single-sample stretch yields one tick. Memory is O(one segment); the
+/// only lookahead is the pending source point. Throws std::invalid_argument
+/// on a malformed spec (at construction), std::runtime_error "resample:
+/// point N: ..." on a non-monotonic stream and "resample: empty trace" when
+/// finish() is reached without any point.
+class StreamingResampler final : public PointSink {
+ public:
+  using SegmentFn = std::function<void(TraceSegment&&)>;
+
+  StreamingResampler(const ResampleSpec& spec, SegmentFn emit);
+
+  void on_run(std::span<const TracePoint> run) override;
+  void finish() override;
+
+ private:
+  void accept(const TracePoint& p);
+  void close_segment();
+
+  ResampleSpec spec_;
+  SegmentFn emit_;
+  TraceSegment seg_;
+  TracePoint prev_{};
+  bool have_prev_ = false;
+  SimMillis t_next_ = 0;
+  std::size_t index_ = 0;  // 1-based count of points consumed, diagnostics
+  bool finished_ = false;
+};
+
+/// Resample a whole trace onto `spec`'s grid: the in-memory wrapper over
+/// StreamingResampler, with identical semantics and errors.
 std::vector<TraceSegment> resample(const CanonicalTrace& trace,
                                    const ResampleSpec& spec);
 

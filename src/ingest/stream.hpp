@@ -1,0 +1,77 @@
+// TracePoint run plumbing for the streaming ingest pipeline.
+//
+// Incremental adapters do not build one giant point vector; they push points
+// through a RunEmitter, which packs them into a fixed-capacity arena block
+// and hands the consumer bounded *runs* (spans into the recycled block).
+// Consumers are PointSinks — the streaming resampler, the join layer's
+// rebase/trim wrappers, the Mahimahi uplink merger — chained so a point
+// flows reader -> adapter -> arena -> resample/join without the full trace
+// ever existing in memory. CollectSink terminates a chain with an in-memory
+// CanonicalTrace; it is what keeps the whole-file convenience entry points
+// thin wrappers over the same streaming core.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ingest/column_map.hpp"
+
+namespace wheels::ingest {
+
+/// Consumer of a point stream. Points arrive in runs; across the whole
+/// stream their timestamps follow the producing adapter's ordering contract
+/// (strictly increasing for every built-in format). Runs die when on_run
+/// returns — a sink that keeps points must copy them.
+class PointSink {
+ public:
+  virtual ~PointSink() = default;
+  virtual void on_run(std::span<const TracePoint> run) = 0;
+  /// End of stream. A producer finishes its sink exactly once; wrapper
+  /// sinks forward the call down the chain.
+  virtual void finish() {}
+};
+
+/// Push-side helper over a PointSink: buffers points in one arena block of
+/// `run_points` capacity and flushes it as a run each time it fills (and
+/// once more on finish). The block is recycled, so an emitter's memory is
+/// O(run_points) for the life of the stream. Counts rows and arena bytes
+/// into the core::obs registry ("ingest.rows_emitted", "ingest.arena_bytes").
+class RunEmitter {
+ public:
+  static constexpr std::size_t kDefaultRunPoints = 4096;
+
+  explicit RunEmitter(PointSink& sink,
+                      std::size_t run_points = kDefaultRunPoints);
+
+  void push(const TracePoint& p) {
+    arena_.push_back(p);
+    if (arena_.size() >= capacity_) flush();
+  }
+
+  /// Flush the partial run and finish the sink. Call exactly once.
+  void finish();
+
+ private:
+  void flush();
+
+  PointSink& sink_;
+  std::size_t capacity_;
+  std::vector<TracePoint> arena_;
+};
+
+/// Terminal sink that materializes the stream — the bridge back to the
+/// in-memory CanonicalTrace API.
+class CollectSink final : public PointSink {
+ public:
+  void on_run(std::span<const TracePoint> run) override {
+    trace.points.insert(trace.points.end(), run.begin(), run.end());
+  }
+
+  CanonicalTrace take() { return std::move(trace); }
+
+  CanonicalTrace trace;
+};
+
+}  // namespace wheels::ingest

@@ -11,6 +11,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/sim_time.hpp"
@@ -38,12 +39,20 @@ class TraceLineReader {
 /// Split one CSV row on ','. The caller strips CR via TraceLineReader.
 std::vector<std::string> split_trace_row(const std::string& line);
 
+/// Zero-copy split for the chunked ingest path: refill `cells` with views
+/// into `line` (valid only as long as the underlying buffer).
+void split_trace_row(std::string_view line, std::vector<std::string_view>& cells);
+
 /// Full-string strtod with a finiteness check. Throws std::runtime_error
 /// "line N: ..." on malformed input (callers prefix their own context).
+/// The string_view overload has identical semantics and never requires the
+/// cell to be NUL-terminated.
 double parse_trace_double(const std::string& cell, std::size_t line);
+double parse_trace_double(std::string_view cell, std::size_t line);
 
 /// Non-negative integer milliseconds, full-string. Throws like above.
 SimMillis parse_trace_time_ms(const std::string& cell, std::size_t line);
+SimMillis parse_trace_time_ms(std::string_view cell, std::size_t line);
 
 /// Throws std::runtime_error{"line N: msg"}.
 [[noreturn]] void trace_fail(std::size_t line, const std::string& msg);

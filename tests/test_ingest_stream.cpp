@@ -1,0 +1,430 @@
+// The streamed ingest path: chunked reading, incremental adapters, and the
+// byte-equivalence contract against the whole-file path.
+//
+// The hard compatibility contract under test: for every fixture, every
+// chunk/batch geometry, both reader backends and every shard count, the
+// streaming pipeline produces a bundle byte-identical (manifest digest and
+// every table) to the in-memory load_trace + join_traces path.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/obs/metrics.hpp"
+#include "ingest/adapters.hpp"
+#include "ingest/chunked_reader.hpp"
+#include "ingest/ingest.hpp"
+#include "measure/csv_export.hpp"
+#include "replay/trace_text.hpp"
+
+namespace wheels::ingest {
+namespace {
+
+const std::string kFixtures = WHEELS_INGEST_FIXTURE_DIR;
+
+std::string fixture(const std::string& name) { return kFixtures + "/" + name; }
+
+std::string error_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+/// Every byte of bundle content that write_dataset would emit, minus the
+/// wall-clock manifest fields: the equality the contract is stated over.
+std::string bundle_fingerprint(const replay::ReplayBundle& bundle) {
+  std::ostringstream os;
+  os << bundle.manifest.config_digest << '\n';
+  measure::write_tests_csv(os, bundle.db);
+  measure::write_kpis_csv(os, bundle.db);
+  measure::write_rtts_csv(os, bundle.db);
+  measure::write_summary_csv(os, bundle.db);
+  return os.str();
+}
+
+struct NumberedLine {
+  std::string text;
+  std::size_t number;
+  bool operator==(const NumberedLine&) const = default;
+};
+
+std::vector<NumberedLine> lines_via_reference(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  EXPECT_TRUE(static_cast<bool>(is)) << path;
+  replay::TraceLineReader reader{is};
+  std::vector<NumberedLine> out;
+  std::string line;
+  while (reader.next(line)) out.push_back({line, reader.line_number()});
+  out.push_back({"<eof>", reader.line_number()});
+  return out;
+}
+
+std::vector<NumberedLine> lines_via_chunked(const std::string& path,
+                                            const ChunkSpec& spec) {
+  ChunkedReader reader{path, spec};
+  std::vector<NumberedLine> out;
+  std::vector<LineRef> batch;
+  while (reader.next_batch(batch)) {
+    EXPECT_FALSE(batch.empty());
+    EXPECT_LE(batch.size(), spec.batch_lines == 0 ? 1 : spec.batch_lines);
+    for (const LineRef& ref : batch) {
+      out.push_back({std::string{ref.text}, ref.number});
+    }
+  }
+  out.push_back({"<eof>", reader.line_number()});
+  return out;
+}
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path =
+      (std::filesystem::path{::testing::TempDir()} / name).string();
+  std::ofstream os{path, std::ios::binary};
+  os << content;
+  return path;
+}
+
+// --- chunked reader ---------------------------------------------------------
+
+TEST(ChunkedReaderTest, MatchesTraceLineReaderAcrossGeometries) {
+  const std::vector<std::string> files{
+      "minimal.csv",  "mahimahi.down",      "mahimahi.up",
+      "errant.csv",   "monroe.csv",         "paper/kpis.csv",
+      "paper/rtts.csv", "minimal_reordered.csv"};
+  for (const std::string& file : files) {
+    const std::vector<NumberedLine> expected =
+        lines_via_reference(fixture(file));
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{7}, std::size_t{64},
+                                    std::size_t{1} << 20}) {
+      for (const bool mmap : {true, false}) {
+        for (const std::size_t batch : {std::size_t{1}, std::size_t{4096}}) {
+          ChunkSpec spec;
+          spec.chunk_bytes = chunk;
+          spec.batch_lines = batch;
+          spec.use_mmap = mmap;
+          EXPECT_EQ(lines_via_chunked(fixture(file), spec), expected)
+              << file << " chunk=" << chunk << " mmap=" << mmap
+              << " batch=" << batch;
+        }
+      }
+    }
+  }
+}
+
+TEST(ChunkedReaderTest, MmapBacksRegularFilesAndCanBeDisabled) {
+  ChunkSpec spec;
+  ChunkedReader mapped{fixture("minimal.csv"), spec};
+  EXPECT_TRUE(mapped.mmap_active());
+  spec.use_mmap = false;
+  ChunkedReader buffered{fixture("minimal.csv"), spec};
+  EXPECT_FALSE(buffered.mmap_active());
+}
+
+TEST(ChunkedReaderTest, FinalLineWithoutNewlineSurvivesEveryChunkSize) {
+  const std::string path =
+      write_temp("no_trailing_newline.txt", "alpha\nbeta\r\ngamma");
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{1} << 20}) {
+    ChunkSpec spec;
+    spec.chunk_bytes = chunk;
+    const std::vector<NumberedLine> got = lines_via_chunked(path, spec);
+    const std::vector<NumberedLine> want{
+        {"alpha", 1}, {"beta", 2}, {"gamma", 3}, {"<eof>", 4}};
+    EXPECT_EQ(got, want) << "chunk=" << chunk;
+  }
+}
+
+TEST(ChunkedReaderTest, EmptyAndCommentOnlyFiles) {
+  ChunkSpec spec;
+  {
+    ChunkedReader reader{write_temp("empty.txt", ""), spec};
+    std::vector<LineRef> batch;
+    EXPECT_FALSE(reader.next_batch(batch));
+    EXPECT_EQ(reader.line_number(), 1u);
+  }
+  {
+    ChunkedReader reader{write_temp("comments.txt", "# a\n\n# b\n"), spec};
+    std::vector<LineRef> batch;
+    EXPECT_FALSE(reader.next_batch(batch));
+    EXPECT_EQ(reader.line_number(), 4u);  // past the final physical line
+  }
+  EXPECT_NE(error_of([&] { ChunkedReader r{fixture("missing.csv"), spec}; })
+                .find("cannot open"),
+            std::string::npos);
+}
+
+TEST(ChunkedReaderTest, ObsCountersTrackBytesAndChunks) {
+  const std::uintmax_t size =
+      std::filesystem::file_size(fixture("minimal.csv"));
+  core::obs::MetricsRegistry::global().reset();
+  ChunkSpec spec;
+  spec.chunk_bytes = 16;
+  ChunkedReader reader{fixture("minimal.csv"), spec};
+  std::vector<LineRef> batch;
+  while (reader.next_batch(batch)) {
+  }
+  const auto snapshot = core::obs::MetricsRegistry::global().snapshot();
+  std::uint64_t bytes = 0;
+  std::uint64_t chunks = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "ingest.bytes_read") bytes = value;
+    if (name == "ingest.chunks") chunks = value;
+  }
+  EXPECT_EQ(bytes, size);
+  EXPECT_EQ(chunks, (size + 15) / 16);
+}
+
+// --- streaming == whole-file ------------------------------------------------
+
+TEST(IngestStreamTest, StreamingBundleMatchesInMemoryForEveryFixture) {
+  const std::vector<std::pair<std::string, std::string>> cases{
+      {"minimal.csv", "minimal"},   {"mahimahi.down", "mahimahi"},
+      {"errant.csv", "errant"},     {"monroe.csv", "monroe"},
+      {"paper/kpis.csv", "paper"},  {"mahimahi_late.down", "mahimahi"},
+      {"minimal_reordered.csv", "minimal"}};
+  for (const auto& [file, format] : cases) {
+    IngestOptions options;
+    const replay::ReplayBundle reference = build_bundle(
+        load_trace(builtin_registry(), format, fixture(file), options),
+        options.carrier, options.resample);
+    const std::string expected = bundle_fingerprint(reference);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{17},
+                                    std::size_t{1} << 20}) {
+      for (const bool mmap : {true, false}) {
+        IngestOptions streamed = options;
+        streamed.chunk.chunk_bytes = chunk;
+        streamed.chunk.batch_lines = 3;
+        streamed.chunk.use_mmap = mmap;
+        const replay::ReplayBundle bundle =
+            ingest_file(format, fixture(file), streamed);
+        EXPECT_EQ(bundle_fingerprint(bundle), expected)
+            << file << " chunk=" << chunk << " mmap=" << mmap;
+      }
+    }
+  }
+}
+
+TEST(IngestStreamTest, MahimahiUplinkMergeMatchesInMemory) {
+  IngestOptions options;
+  options.mahimahi_uplink_path = fixture("mahimahi.up");
+  const replay::ReplayBundle reference = build_bundle(
+      load_trace(builtin_registry(), "mahimahi", fixture("mahimahi.down"),
+                 options),
+      options.carrier, options.resample);
+  IngestOptions streamed = options;
+  streamed.chunk.chunk_bytes = 5;
+  const replay::ReplayBundle bundle =
+      ingest_file("mahimahi", fixture("mahimahi.down"), streamed);
+  EXPECT_EQ(bundle_fingerprint(bundle), bundle_fingerprint(reference));
+}
+
+TEST(IngestStreamTest, ThreeCarrierJoinByteIdenticalAcrossShardsAndPaths) {
+  const std::vector<JoinEntry> entries{
+      {radio::Carrier::Verizon, fixture("minimal.csv")},
+      {radio::Carrier::TMobile, fixture("monroe.csv")},
+      {radio::Carrier::Att, fixture("errant.csv")},
+  };
+  IngestOptions options;
+  std::vector<JoinInput> inputs;
+  for (const JoinEntry& e : entries) {
+    IngestOptions per_carrier = options;
+    per_carrier.carrier = e.carrier;
+    inputs.push_back({e.carrier, e.path,
+                      load_trace(builtin_registry(), "auto", e.path,
+                                 per_carrier)});
+  }
+  const std::string expected = bundle_fingerprint(
+      join_traces(std::move(inputs), JoinOptions{}, options.resample));
+
+  for (const int threads : {1, 4}) {
+    for (const bool trim : {false, true}) {
+      IngestOptions streamed = options;
+      streamed.threads = threads;
+      streamed.chunk.chunk_bytes = 11;
+      JoinOptions join;
+      join.trim_to_overlap = trim;
+      const replay::ReplayBundle bundle =
+          ingest_join("auto", entries, streamed, join);
+      if (!trim) {
+        EXPECT_EQ(bundle_fingerprint(bundle), expected)
+            << "threads=" << threads;
+      } else {
+        // Trimmed joins are compared across shard counts below.
+        IngestOptions one = streamed;
+        one.threads = 1;
+        EXPECT_EQ(bundle_fingerprint(bundle),
+                  bundle_fingerprint(ingest_join("auto", entries, one, join)))
+            << "trimmed, threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(IngestStreamTest, RandomMinimalTracesRoundTripAtOddChunkSizes) {
+  std::mt19937 rng{20260807};
+  std::uniform_real_distribution<double> value{0.5, 400.0};
+  std::ostringstream os;
+  os << "t_ms,cap_dl_mbps,cap_ul_mbps,rtt_ms\n";
+  SimMillis t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += 100 + static_cast<SimMillis>(rng() % 900);
+    os << t << ',' << value(rng) << ',' << value(rng) << ',' << value(rng)
+       << '\n';
+  }
+  const std::string path = write_temp("random_minimal.csv", os.str());
+
+  IngestOptions options;
+  const replay::ReplayBundle reference = build_bundle(
+      load_trace(builtin_registry(), "minimal", path, options),
+      options.carrier, options.resample);
+  for (const std::size_t chunk : {std::size_t{13}, std::size_t{257}}) {
+    IngestOptions streamed = options;
+    streamed.chunk.chunk_bytes = chunk;
+    streamed.chunk.batch_lines = 7;
+    EXPECT_EQ(bundle_fingerprint(ingest_file("minimal", path, streamed)),
+              bundle_fingerprint(reference))
+        << "chunk=" << chunk;
+  }
+}
+
+// --- the adapter bugs that blocked multi-GB traces --------------------------
+
+TEST(IngestStreamTest, MahimahiEpochTimestampsStayBounded) {
+  // Pre-fix, the dense window vector was resized to timestamp/tick entries —
+  // an epoch-millisecond clock meant ~3.4 billion counters. Now the first
+  // timestamp anchors the windowing and the parse is O(1).
+  IngestOptions options;
+  const CanonicalTrace trace = load_trace(
+      builtin_registry(), "mahimahi", fixture("mahimahi_epoch.down"), options);
+  ASSERT_EQ(trace.points.size(), 3u);
+  EXPECT_EQ(trace.points[0].t, 1'717'000'000'000);
+  EXPECT_EQ(trace.points[1].t, 1'717'000'000'500);
+  EXPECT_EQ(trace.points[2].t, 1'717'000'001'000);
+  // 3 opportunities in the first window, an empty (outage) window, then 1.
+  EXPECT_DOUBLE_EQ(trace.points[0].cap_dl_mbps, 3 * 1500 * 8 / 0.5 / 1e6);
+  EXPECT_DOUBLE_EQ(trace.points[1].cap_dl_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(trace.points[2].cap_dl_mbps, 1 * 1500 * 8 / 0.5 / 1e6);
+
+  // And the whole pipeline holds: the bundle aligns the epoch clock to t=0.
+  const replay::ReplayBundle bundle =
+      ingest_file("mahimahi", fixture("mahimahi_epoch.down"), options);
+  EXPECT_EQ(bundle.db.rtts.front().t, 0);
+}
+
+TEST(IngestStreamTest, MahimahiLateStartDropsLeadingEmptyWindows) {
+  IngestOptions options;
+  const CanonicalTrace trace = load_trace(
+      builtin_registry(), "mahimahi", fixture("mahimahi_late.down"), options);
+  ASSERT_EQ(trace.points.size(), 2u);
+  EXPECT_EQ(trace.points[0].t, 1000);  // not t=0: no synthetic leading outage
+  EXPECT_EQ(trace.points[1].t, 1500);
+  EXPECT_DOUBLE_EQ(trace.points[0].cap_dl_mbps, 2 * 1500 * 8 / 0.5 / 1e6);
+  EXPECT_DOUBLE_EQ(trace.points[1].cap_dl_mbps, 1 * 1500 * 8 / 0.5 / 1e6);
+}
+
+TEST(IngestStreamTest, ExplicitFormatSkipsSniffing) {
+  // The sniffer cannot score the reordered header; pre-fix, load_trace
+  // sniffed unconditionally and an explicit --format could not save it.
+  IngestOptions options;
+  const std::string err = error_of([&] {
+    (void)load_trace(builtin_registry(), "auto",
+                     fixture("minimal_reordered.csv"), options);
+  });
+  EXPECT_NE(err.find("cannot sniff"), std::string::npos);
+
+  const CanonicalTrace trace =
+      load_trace(builtin_registry(), "minimal",
+                 fixture("minimal_reordered.csv"), options);
+  ASSERT_EQ(trace.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.points[1].cap_dl_mbps, 60.0);
+}
+
+TEST(IngestStreamTest, ResampleRejectsNonMonotonicInput) {
+  const auto trace_of = [](std::vector<SimMillis> ts) {
+    CanonicalTrace trace;
+    for (const SimMillis t : ts) {
+      TracePoint p;
+      p.t = t;
+      p.cap_dl_mbps = 1.0;
+      p.cap_ul_mbps = 1.0;
+      p.rtt_ms = 50.0;
+      trace.points.push_back(p);
+    }
+    return trace;
+  };
+  for (const GapFill fill : {GapFill::Hold, GapFill::Interpolate}) {
+    ResampleSpec spec;
+    spec.fill = fill;
+    // Pre-fix, equal adjacent timestamps divided by zero under Interpolate
+    // instead of failing loudly.
+    const std::string dup =
+        error_of([&] { (void)resample(trace_of({0, 500, 500}), spec); });
+    EXPECT_NE(dup.find("resample: point 3: duplicate time 500"),
+              std::string::npos);
+    const std::string back =
+        error_of([&] { (void)resample(trace_of({0, 500, 250}), spec); });
+    EXPECT_NE(back.find("resample: point 3: time going backwards"),
+              std::string::npos);
+  }
+}
+
+TEST(IngestStreamTest, StreamingResamplerMatchesBatchOnIrregularInput) {
+  std::mt19937 rng{7};
+  CanonicalTrace trace;
+  SimMillis t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += 1 + static_cast<SimMillis>(rng() % 2000);
+    TracePoint p;
+    p.t = t;
+    p.cap_dl_mbps = static_cast<double>(rng() % 1000) / 7.0;
+    p.cap_ul_mbps = static_cast<double>(rng() % 500) / 7.0;
+    p.rtt_ms = 1.0 + static_cast<double>(rng() % 200);
+    trace.points.push_back(p);
+  }
+  for (const GapFill fill : {GapFill::Hold, GapFill::Interpolate}) {
+    ResampleSpec spec;
+    spec.fill = fill;
+    spec.max_gap_ms = 1500;
+    const std::vector<TraceSegment> batch = resample(trace, spec);
+
+    std::vector<TraceSegment> streamed;
+    StreamingResampler resampler{spec, [&](TraceSegment&& seg) {
+                                   streamed.push_back(std::move(seg));
+                                 }};
+    // Feed in awkward run sizes to exercise run boundaries.
+    std::size_t i = 0;
+    while (i < trace.points.size()) {
+      const std::size_t n = std::min<std::size_t>(
+          1 + (i % 5), trace.points.size() - i);
+      resampler.on_run(
+          std::span<const TracePoint>{trace.points.data() + i, n});
+      i += n;
+    }
+    resampler.finish();
+
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+      ASSERT_EQ(streamed[s].ticks.size(), batch[s].ticks.size());
+      for (std::size_t k = 0; k < batch[s].ticks.size(); ++k) {
+        EXPECT_EQ(streamed[s].ticks[k].t, batch[s].ticks[k].t);
+        EXPECT_DOUBLE_EQ(streamed[s].ticks[k].cap_dl_mbps,
+                         batch[s].ticks[k].cap_dl_mbps);
+        EXPECT_DOUBLE_EQ(streamed[s].ticks[k].rtt_ms,
+                         batch[s].ticks[k].rtt_ms);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wheels::ingest
