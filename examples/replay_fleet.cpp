@@ -10,8 +10,10 @@
 //                                         a cc x server grid over them
 //
 // Bundle specs ending in ".csv" go through the external per-tick trace
-// adapter (optionally "@carrier" picks the synthetic carrier); everything
-// else is a dataset directory. Grid values "recorded" keep a knob at its
+// adapter (optionally "@carrier" picks the synthetic carrier); a directory
+// that is not itself a bundle expands to its bundle subdirectories (the
+// layout synth_trace --out produces), and everything else is a dataset
+// directory. Grid values "recorded" keep a knob at its
 // recorded value; the all-recorded baseline cell is always included and is
 // the reference of every delta. The aggregate CSV (--out) is byte-identical
 // for every WHEELS_THREADS.
@@ -126,6 +128,7 @@ int main(int argc, char** argv) {
         names.push_back("seed-" + std::to_string(cc.seed));
       }
     } else {
+      bundle_specs = replay::expand_fleet_specs(bundle_specs);
       bundles.reserve(bundle_specs.size());
       for (const std::string& spec : bundle_specs) {
         std::cout << "Loading " << spec << "...\n";

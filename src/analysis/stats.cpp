@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace wheels::analysis {
 
@@ -83,6 +84,33 @@ double pearson(std::span<const double> x, std::span<const double> y) {
   }
   if (sxx <= 0.0 || syy <= 0.0) return 0.0;
   return sxy / std::sqrt(sxx * syy);
+}
+
+double ks_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument{"ks_distance: empty sample"};
+  }
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double ks = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    // Consume every observation tied at the smaller head value from *both*
+    // sides, then compare the CDFs just past it: the exact statistic, with
+    // no dependence on which side a tie was drained from first.
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] == x) ++ia;
+    while (ib < sb.size() && sb[ib] == x) ++ib;
+    ks = std::max(ks, std::abs(static_cast<double>(ia) / na -
+                               static_cast<double>(ib) / nb));
+  }
+  // The tail of the longer sample only narrows the gap back to 0.
+  return ks;
 }
 
 double median_of(std::vector<double> xs) {

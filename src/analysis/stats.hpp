@@ -55,6 +55,14 @@ class Cdf {
 /// or the series are shorter than 2.
 double pearson(std::span<const double> x, std::span<const double> y);
 
+/// Exact two-sample Kolmogorov-Smirnov statistic: sup_x |F_a(x) - F_b(x)|
+/// over the empirical CDFs of the two samples. Ties — within one sample and
+/// across the two — are handled exactly: all observations equal to a value
+/// are consumed on both sides before the CDF gap at that value is taken, so
+/// the result is independent of input order (and of any sort tie-breaking).
+/// Throws std::invalid_argument when either sample is empty.
+double ks_distance(std::span<const double> a, std::span<const double> b);
+
 /// Median convenience. SENTINEL: returns 0.0 for an empty input — check
 /// xs.empty() before calling when 0 is a plausible median.
 double median_of(std::vector<double> xs);

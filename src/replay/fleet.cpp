@@ -1,6 +1,7 @@
 #include "replay/fleet.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
@@ -219,6 +220,34 @@ ReplayBundle load_fleet_bundle(const std::string& spec) {
       path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
   if (is_csv) return import_external_trace_file(path, carrier);
   return read_dataset(path);
+}
+
+std::vector<std::string> expand_fleet_specs(
+    const std::vector<std::string>& specs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const std::string& spec : specs) {
+    const bool is_csv = spec.find(".csv") != std::string::npos;
+    if (is_csv || !fs::is_directory(spec) ||
+        fs::exists(fs::path{spec} / "manifest.json")) {
+      out.push_back(spec);
+      continue;
+    }
+    std::vector<std::string> children;
+    for (const fs::directory_entry& entry : fs::directory_iterator{spec}) {
+      if (entry.is_directory() &&
+          fs::exists(entry.path() / "manifest.json")) {
+        children.push_back(entry.path().string());
+      }
+    }
+    if (children.empty()) {
+      throw std::runtime_error{"fleet: " + spec +
+                               " contains no bundle directories"};
+    }
+    std::sort(children.begin(), children.end());
+    out.insert(out.end(), children.begin(), children.end());
+  }
+  return out;
 }
 
 ReplayFleet::ReplayFleet(FleetConfig config)

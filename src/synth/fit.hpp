@@ -1,0 +1,48 @@
+// Fit a SynthProfile from recorded ReplayBundles.
+//
+// Per (carrier, RAT) stream with enough evidence, the fitter discretizes the
+// 500 ms downlink-throughput marginal into regimes — regime 0 is the outage
+// band (<= outage_mbps), the rest are equal-probability quantile bands of
+// the non-outage marginal — counts the regime transition matrix over
+// tick-adjacent pairs, and captures each regime's value distribution as an
+// inverse-CDF quantile grid. RTT gets its own chain the same way, the
+// uplink marginal an (unconditional) emission grid, and per-carrier RAT
+// occupancy/transitions form the mix chain. Streams under the sample floor
+// are dropped: a model fitted from a handful of ticks would sample noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "replay/ingest.hpp"
+#include "synth/profile.hpp"
+
+namespace wheels::synth {
+
+struct FitOptions {
+  SimMillis tick_ms = 500;
+  /// Throughput at or below this is the outage band (regime 0).
+  double outage_mbps = 0.1;
+  /// Throughput regimes including the outage band; >= 2.
+  std::size_t throughput_regimes = 4;
+  /// RTT regimes (plain quantile bands); >= 1.
+  std::size_t rtt_regimes = 3;
+  /// A (carrier, RAT) stream needs at least this many downlink ticks AND
+  /// this many RTT samples to be fitted; smaller streams are dropped.
+  std::uint64_t min_stream_ticks = 24;
+  /// Add-k smoothing over *visited* regimes when normalizing transition
+  /// rows, so a rarely-left regime is not an absorbing state.
+  double smoothing = 0.5;
+};
+
+/// Fit one profile from every bundle's pooled evidence. Throws
+/// std::runtime_error when options are malformed or no stream clears the
+/// sample floor.
+SynthProfile fit_profile(const std::vector<const replay::ReplayBundle*>& bundles,
+                         const FitOptions& options = {});
+
+/// Single-bundle convenience.
+SynthProfile fit_profile(const replay::ReplayBundle& bundle,
+                         const FitOptions& options = {});
+
+}  // namespace wheels::synth

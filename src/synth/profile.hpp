@@ -1,0 +1,123 @@
+// SynthProfile: the serialized regime model a fitter writes and a sampler
+// reads.
+//
+// One profile captures, per (carrier, RAT) stream of a recorded fleet, a
+// regime-switching Markov model of the 500 ms link dynamics: the throughput
+// marginal discretized into regimes (regime 0 is the outage band), a
+// row-stochastic transition matrix between consecutive ticks, and a
+// per-regime emission model (an inverse-CDF quantile grid, so sampling a
+// regime reproduces that regime's empirical value distribution). RTT gets
+// its own independent chain; uplink throughput is emitted conditioned on the
+// downlink regime. A per-carrier RAT chain (tech occupancy + transitions)
+// drives which stream model is active at each tick, and per-stream outage /
+// handover arrival statistics feed the scenario what-if knobs.
+//
+// The JSON form is versioned (kProfileVersion) and round-trips bit-exactly:
+// doubles are written at max_digits10 via measure::csv_double, and the
+// parser is a strict line-tracking recursive-descent reader, so a malformed
+// or version-skewed profile fails with "profile: line N: ..." instead of
+// sampling garbage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/sim_time.hpp"
+#include "radio/technology.hpp"
+
+namespace wheels::synth {
+
+inline constexpr int kProfileVersion = 1;
+
+/// Inverse-CDF emission: `points` are the values at kEmissionGrid evenly
+/// spaced quantiles (0, 1/(n-1), ..., 1) of the regime's empirical marginal.
+/// Sampling draws u ~ U[0,1) and interpolates linearly between grid points.
+struct EmissionModel {
+  std::vector<double> points;
+
+  bool empty() const { return points.empty(); }
+};
+
+/// Number of quantile grid points per emission model. 33 keeps the
+/// within-regime KS error of the piecewise-linear inverse CDF well under
+/// the 0.15 validation gate while the profile stays a few KB per stream.
+inline constexpr std::size_t kEmissionGrid = 33;
+
+/// One regime-switching chain over a scalar marginal: regimes are value
+/// bands (ascending `upper_edges`, the last implicit +inf), `occupancy` is
+/// the empirical time share per regime (the chain's entry distribution) and
+/// `transitions[i][j]` the probability of moving regime i -> j between
+/// consecutive ticks. A regime the recording never visited keeps an empty
+/// emission, zero occupancy and zero inbound probability.
+struct RegimeChain {
+  std::vector<double> upper_edges;  // size = regimes - 1
+  std::vector<double> occupancy;    // size = regimes, sums to 1
+  std::vector<std::vector<double>> transitions;  // regimes x regimes
+  std::vector<EmissionModel> emissions;          // size = regimes
+
+  std::size_t regimes() const { return occupancy.size(); }
+};
+
+/// The fitted model of one (carrier, RAT) stream.
+struct StreamModel {
+  radio::Carrier carrier = radio::Carrier::Verizon;
+  radio::Technology tech = radio::Technology::Lte;
+  /// Downlink 500 ms ticks the fit consumed (the KS gate's sample floor).
+  std::uint64_t n_ticks = 0;
+  std::uint64_t n_rtt = 0;
+  /// Throughput chain; regime 0 is the outage band (<= outage_mbps).
+  RegimeChain dl;
+  /// Uplink emission per *downlink* regime (uplink tracks downlink load).
+  std::vector<EmissionModel> ul;
+  /// Independent RTT chain (no outage band; plain quantile regimes).
+  RegimeChain rtt;
+  /// Outage arrival process: share of ticks in regime 0 and the mean run
+  /// length of an outage, in ticks (informational; the chain itself already
+  /// reproduces both — the degraded-coverage what-if scales the chain).
+  double outage_fraction = 0.0;
+  double mean_outage_ticks = 0.0;
+  /// Handover arrivals per tick (KPI rows with handovers > 0).
+  double handover_rate = 0.0;
+};
+
+/// Per-carrier RAT mix: which fitted techs the carrier visits, their time
+/// shares, and the tech-to-tech transition matrix between consecutive ticks
+/// (inter-RAT handover process).
+struct CarrierMix {
+  radio::Carrier carrier = radio::Carrier::Verizon;
+  std::vector<radio::Technology> techs;
+  std::vector<double> occupancy;
+  std::vector<std::vector<double>> transitions;
+};
+
+struct SynthProfile {
+  int version = kProfileVersion;
+  SimMillis tick_ms = 500;
+  /// Throughput at or below this is the outage band (regime 0).
+  double outage_mbps = 0.1;
+  /// config_digest of the fitted bundle(s), ':'-joined — provenance only.
+  std::string source_digest;
+  std::vector<CarrierMix> mixes;
+  std::vector<StreamModel> streams;
+
+  const CarrierMix* find_mix(radio::Carrier c) const;
+  const StreamModel* find_stream(radio::Carrier c, radio::Technology t) const;
+
+  /// Versioned JSON rendering; parse_profile(to_json()) reproduces the
+  /// profile bit-exactly (doubles at max_digits10).
+  std::string to_json() const;
+};
+
+/// Inverse of SynthProfile::to_json. Throws std::runtime_error
+/// "profile: line N: ..." on malformed JSON, a missing or mistyped key, an
+/// unsupported version, or a structurally inconsistent model (ragged
+/// matrices, occupancy/emission size mismatches).
+SynthProfile parse_profile(std::string_view json);
+
+/// Write / read a profile file. Errors are prefixed with the path.
+void write_profile(const SynthProfile& profile, const std::string& path);
+SynthProfile read_profile(const std::string& path);
+
+}  // namespace wheels::synth

@@ -1,0 +1,85 @@
+// Sample unlimited synthetic drive cycles from a fitted SynthProfile.
+//
+// Every uniform the sampler consumes is a counter-based draw: a splitmix64
+// hash of (seed, carrier, cycle index, tick index, channel), never a shared
+// generator — so any cycle can be produced independently, reproduced alone
+// or in a batch, and the bundle is byte-identical at every thread count.
+// Per cycle and carrier, a RAT mix chain picks the active technology each
+// tick (handover arrivals reset the throughput regime — post-handover
+// re-establishment — while inter-RAT switching is the mix chain itself),
+// the active stream's regime chains step and emit 500 ms downlink/uplink
+// throughput and RTT, and the scenario knobs (rush-hour load, degraded
+// coverage, RAT cap) reshape the draw. Cycles flow through the regular
+// ingest join (join_streams), so a synthesized bundle replays through
+// ReplayCampaign / ReplayFleet exactly like a recorded one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ingest/resample.hpp"
+#include "ingest/stream.hpp"
+#include "replay/ingest.hpp"
+#include "synth/profile.hpp"
+
+namespace wheels::synth {
+
+struct ScenarioSpec {
+  /// Drive-cycle length in seconds. 0 derives it from route_km / speed_kmh.
+  double duration_s = 120.0;
+  /// Route length; with duration_s = 0, cycle duration is the drive time of
+  /// this route at speed_kmh.
+  double route_km = 0.0;
+  double speed_kmh = 40.0;
+  /// Rush-hour load multiplier: capacities divide by it, RTTs inflate by
+  /// 1 + 0.3 * (load - 1). 1.0 reproduces the fitted conditions.
+  double load = 1.0;
+  /// Degraded-coverage what-if: multiplies the probability of entering the
+  /// throughput outage regime (a stream that never recorded an outage has
+  /// no outage emission and stays outage-free). 1.0 = as fitted.
+  double outage_factor = 1.0;
+  /// Cap the RAT mix at this tier (e.g. LTE-only what-if). A carrier whose
+  /// fitted techs are all above the cap is an error.
+  std::optional<radio::Technology> max_tier;
+  /// Carriers to synthesize; empty = every carrier in the profile.
+  std::vector<radio::Carrier> carriers;
+};
+
+/// Parse "key=value[,key=value...]": duration_s, route_km, speed_kmh, load,
+/// outage_factor, max_tier (technology name), carriers
+/// (carrier[+carrier...], canonical names). Empty spec = defaults. Throws
+/// std::runtime_error naming the offending key or value.
+ScenarioSpec parse_scenario_spec(const std::string& spec);
+
+/// One-line human rendering of the resolved spec.
+std::string scenario_summary(const ScenarioSpec& spec, SimMillis tick_ms);
+
+/// Ticks per cycle under `spec` (>= 1).
+std::int64_t cycle_ticks(const ScenarioSpec& spec, SimMillis tick_ms);
+
+/// Stream one carrier's cycles [first_cycle, first_cycle + cycles) into
+/// `sink`: cycle j's ticks start at (j - first_cycle) * cycle span, with an
+/// inter-cycle gap that splits cycles into separate drive cycles under
+/// sample_resample_spec(). A given (profile, spec, seed, carrier, cycle)
+/// always produces the same points, wherever and however often it runs.
+void sample_stream(const SynthProfile& profile, const ScenarioSpec& spec,
+                   std::uint64_t seed, radio::Carrier carrier, int first_cycle,
+                   int cycles, ingest::PointSink& sink);
+
+/// The resample spec a sampled stream is joined under: the profile's tick,
+/// hold fill, and a gap threshold the inter-cycle gap exceeds.
+ingest::ResampleSpec sample_resample_spec(const SynthProfile& profile);
+
+/// Synthesize `cycles` drive cycles (indices first_cycle ..) for every
+/// selected carrier and join them into one validated ReplayBundle via
+/// ingest::join_streams — byte-identical for every `threads` (0 = auto).
+/// The manifest digest hashes the joined ticks; manifest.seed records the
+/// sampling seed.
+replay::ReplayBundle sample_bundle(const SynthProfile& profile,
+                                   const ScenarioSpec& spec,
+                                   std::uint64_t seed, int first_cycle,
+                                   int cycles, int threads = 1);
+
+}  // namespace wheels::synth

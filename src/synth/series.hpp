@@ -1,0 +1,65 @@
+// Per-(carrier, RAT) tick series extracted from a ConsolidatedDb.
+//
+// The fitter and the KS validator both need the same view of a bundle: the
+// time-ordered 500 ms downlink-throughput and RTT sequences of every
+// (carrier, technology) stream, split into *runs* — maximal stretches of
+// tick-contiguous rows of one test — so Markov transitions are only ever
+// counted between ticks that really were adjacent in the recording, never
+// across test boundaries, gaps, or (for the per-stream series) RAT changes.
+// The per-carrier technology sequence keeps RAT changes inside a run: that
+// is the inter-RAT transition evidence the carrier mix chain is fitted from.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "measure/records.hpp"
+#include "radio/technology.hpp"
+
+namespace wheels::synth {
+
+/// One (carrier, tech) stream's evidence.
+struct StreamSeries {
+  /// Downlink KPI throughput, grouped into tick-contiguous same-tech runs.
+  std::vector<std::vector<double>> dl_runs;
+  /// RTT samples, grouped into tick-contiguous runs.
+  std::vector<std::vector<double>> rtt_runs;
+  /// Downlink ticks whose KPI row recorded at least one handover.
+  std::uint64_t handover_ticks = 0;
+
+  std::uint64_t dl_ticks() const;
+  std::uint64_t rtt_ticks() const;
+  /// All run values concatenated in run order (the stream's marginal).
+  std::vector<double> dl_values() const;
+  std::vector<double> rtt_values() const;
+};
+
+/// One carrier's RAT sequence evidence.
+struct CarrierSeries {
+  /// Tech of every downlink tick, grouped into tick-contiguous runs of one
+  /// test (runs do NOT break on tech change — that change is the signal).
+  std::vector<std::vector<radio::Technology>> tech_runs;
+};
+
+struct FleetSeries {
+  std::array<std::array<StreamSeries, radio::kTechnologyCount>,
+             radio::kCarrierCount>
+      streams;
+  std::array<CarrierSeries, radio::kCarrierCount> carriers;
+
+  StreamSeries& stream(radio::Carrier c, radio::Technology t);
+  const StreamSeries& stream(radio::Carrier c, radio::Technology t) const;
+};
+
+/// Append `db`'s evidence to `out`. Rows are grouped by test id and sorted
+/// by timestamp before run-splitting, so the extraction is independent of
+/// the database's row order; a run breaks wherever the timestamp step is not
+/// exactly `tick_ms`.
+void append_series(FleetSeries& out, const measure::ConsolidatedDb& db,
+                   SimMillis tick_ms);
+
+FleetSeries extract_series(const measure::ConsolidatedDb& db,
+                           SimMillis tick_ms);
+
+}  // namespace wheels::synth

@@ -1,0 +1,86 @@
+#include "synth/validate.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "analysis/stats.hpp"
+#include "measure/enum_names.hpp"
+#include "synth/series.hpp"
+
+namespace wheels::synth {
+
+double ValidationReport::max_ks() const {
+  double m = 0.0;
+  for (const StreamKs& s : streams) {
+    if (!s.gated) continue;
+    m = std::max({m, s.ks_throughput, s.ks_rtt});
+  }
+  return m;
+}
+
+bool ValidationReport::passes(double gate) const {
+  bool any = false;
+  for (const StreamKs& s : streams) {
+    if (!s.gated) continue;
+    any = true;
+    if (s.ks_throughput > gate || s.ks_rtt > gate) return false;
+  }
+  return any;
+}
+
+ValidationReport validate_synthesis(const measure::ConsolidatedDb& source,
+                                    const measure::ConsolidatedDb& synth,
+                                    const SynthProfile& profile) {
+  const FleetSeries src = extract_series(source, profile.tick_ms);
+  const FleetSeries syn = extract_series(synth, profile.tick_ms);
+
+  ValidationReport report;
+  for (const StreamModel& model : profile.streams) {
+    const StreamSeries& a = src.stream(model.carrier, model.tech);
+    const StreamSeries& b = syn.stream(model.carrier, model.tech);
+    StreamKs ks;
+    ks.carrier = model.carrier;
+    ks.tech = model.tech;
+    ks.n_source = a.dl_ticks();
+    ks.n_synth = b.dl_ticks();
+    ks.n_source_rtt = a.rtt_ticks();
+    ks.n_synth_rtt = b.rtt_ticks();
+    ks.gated = ks.n_source >= kMinSynthSamples &&
+               ks.n_synth >= kMinSynthSamples &&
+               ks.n_source_rtt >= kMinSynthSamples &&
+               ks.n_synth_rtt >= kMinSynthSamples;
+    if (ks.n_source > 0 && ks.n_synth > 0) {
+      ks.ks_throughput = analysis::ks_distance(a.dl_values(), b.dl_values());
+    }
+    if (ks.n_source_rtt > 0 && ks.n_synth_rtt > 0) {
+      ks.ks_rtt = analysis::ks_distance(a.rtt_values(), b.rtt_values());
+    }
+    report.streams.push_back(ks);
+  }
+  return report;
+}
+
+void print_validation(std::ostream& os, const ValidationReport& report,
+                      double gate) {
+  os << "KS validation (gate " << gate << " on 500 ms marginals):\n";
+  os << "  carrier    tech       n_src  n_syn  KS(tput)  KS(rtt)  gated\n";
+  for (const StreamKs& s : report.streams) {
+    os << "  " << std::left << std::setw(10)
+       << measure::names::to_name(s.carrier) << " " << std::setw(10)
+       << measure::names::to_name(s.tech) << std::right << " " << std::setw(6)
+       << s.n_source << " " << std::setw(6) << s.n_synth << "  " << std::fixed
+       << std::setprecision(4) << std::setw(8) << s.ks_throughput << " "
+       << std::setw(8) << s.ks_rtt << "  "
+       << (s.gated ? (s.ks_throughput <= gate && s.ks_rtt <= gate ? "ok"
+                                                                  : "FAIL")
+                   : "-")
+       << '\n';
+    os.unsetf(std::ios::fixed);
+    os << std::setprecision(6);
+  }
+  os << (report.passes(gate) ? "KS gate PASSED" : "KS gate FAILED")
+     << " (max gated KS " << report.max_ks() << ")\n";
+}
+
+}  // namespace wheels::synth

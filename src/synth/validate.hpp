@@ -1,0 +1,58 @@
+// Distributional validation of synthesized bundles against their source.
+//
+// The acceptance spine of the synthesis subsystem: per fitted (carrier,
+// RAT) stream, the exact two-sample KS distance (analysis::ks_distance)
+// between the source and the synthesized 500 ms downlink-throughput
+// marginals, and between the RTT marginals. A stream the synthesis did not
+// visit often enough for the statistic to mean anything (fewer than
+// kMinSynthSamples ticks) is reported but excluded from the gate.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "measure/records.hpp"
+#include "synth/profile.hpp"
+
+namespace wheels::synth {
+
+/// Synthesized sample floor below which a stream's KS is not gated: the
+/// statistic's own sampling noise at n = 32 (~0.24 at 95%) would swamp the
+/// 0.15 gate. Scenario specs behind a gate must sample long enough.
+inline constexpr std::uint64_t kMinSynthSamples = 32;
+
+struct StreamKs {
+  radio::Carrier carrier = radio::Carrier::Verizon;
+  radio::Technology tech = radio::Technology::Lte;
+  std::uint64_t n_source = 0;  // source downlink ticks
+  std::uint64_t n_synth = 0;   // synthesized downlink ticks
+  std::uint64_t n_source_rtt = 0;
+  std::uint64_t n_synth_rtt = 0;
+  double ks_throughput = 0.0;
+  double ks_rtt = 0.0;
+  /// Both marginals cleared kMinSynthSamples, so the KS values are gated.
+  bool gated = false;
+};
+
+struct ValidationReport {
+  std::vector<StreamKs> streams;
+
+  /// Largest gated KS over both marginals; 0 when nothing is gated.
+  double max_ks() const;
+  /// Every gated stream's throughput AND RTT KS <= gate, and at least one
+  /// stream was gated.
+  bool passes(double gate) const;
+};
+
+/// Compare the synthesized db against the source db over the profile's
+/// fitted streams. `tick_ms` must be the profile's tick (run adjacency).
+ValidationReport validate_synthesis(const measure::ConsolidatedDb& source,
+                                    const measure::ConsolidatedDb& synth,
+                                    const SynthProfile& profile);
+
+/// Render the per-stream KS table with a PASS/FAIL verdict line.
+void print_validation(std::ostream& os, const ValidationReport& report,
+                      double gate);
+
+}  // namespace wheels::synth

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "analysis/coverage.hpp"
 #include "analysis/correlations.hpp"
@@ -89,6 +90,43 @@ TEST(Stats, MedianOfEvenOdd) {
   EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
   EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 2.0, 3.0}), 2.5);
   EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+}
+
+TEST(Stats, KsDistanceIdenticalAndDisjoint) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ks_distance(a, a), 0.0);
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(ks_distance(b, a), 1.0);
+}
+
+TEST(Stats, KsDistanceHandComputed) {
+  // CDFs diverge most after x = 2: F_a = 1/2, F_b = 0 -> D = 1/2, and the
+  // shared values 3 and 4 must advance both CDFs together (tie handling).
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{3.0, 4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.5);
+  // Unequal sizes: after x = 1, F_a = 1/2 vs F_b = 0.
+  const std::vector<double> c{1.0, 3.0};
+  const std::vector<double> d{2.0};
+  EXPECT_DOUBLE_EQ(ks_distance(c, d), 0.5);
+  // Duplicates inside both samples: after the 1s, F_a = 2/3 vs F_b = 1/3.
+  const std::vector<double> e{1.0, 1.0, 2.0};
+  const std::vector<double> f{1.0, 2.0, 2.0};
+  EXPECT_NEAR(ks_distance(e, f), 1.0 / 3.0, 1e-15);
+}
+
+TEST(Stats, KsDistanceIgnoresInputOrder) {
+  const std::vector<double> a{5.0, 1.0, 3.0, 2.0, 4.0};
+  const std::vector<double> a_sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> b{2.5, 4.5, 0.5};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), ks_distance(a_sorted, b));
+}
+
+TEST(Stats, KsDistanceRejectsEmptySamples) {
+  const std::vector<double> a{1.0};
+  EXPECT_THROW((void)ks_distance({}, a), std::invalid_argument);
+  EXPECT_THROW((void)ks_distance(a, {}), std::invalid_argument);
 }
 
 TEST(Coverage, SegmentsShareSumToOne) {
