@@ -19,6 +19,7 @@
 #include "core/obs/trace_export.hpp"
 #include "core/thread_pool.hpp"
 #include "geo/drive_trace.hpp"
+#include "measure/csv_export.hpp"
 #include "geo/scaled_route.hpp"
 #include "measure/log_sync.hpp"
 #include "measure/logfile.hpp"
@@ -963,6 +964,16 @@ class CampaignRunner {
 ConsolidatedDb DriveCampaign::run() const {
   CampaignRunner runner{config_};
   return runner.run();
+}
+
+core::obs::RunManifest run_to_bundle(const CampaignConfig& cfg,
+                                     const std::string& directory,
+                                     bool canonical_provenance) {
+  core::obs::RunManifest manifest = make_manifest(cfg);
+  if (canonical_provenance) core::obs::canonicalize_provenance(manifest);
+  const ConsolidatedDb db = DriveCampaign{cfg}.run();
+  measure::write_dataset(db, directory, manifest);
+  return manifest;
 }
 
 }  // namespace wheels::campaign

@@ -83,6 +83,16 @@ CampaignConfig config_from_env(double default_scale = 0.08);
 /// measure::write_dataset so the bundle's manifest.json identifies the run.
 core::obs::RunManifest make_manifest(const CampaignConfig& cfg);
 
+/// Run the campaign and write the resulting dataset bundle into `directory`
+/// (the callable job entry point wheelsd schedules). Returns the manifest
+/// the bundle was written with. With `canonical_provenance`, the manifest's
+/// wall-clock/threads fields are pinned (core::obs::canonicalize_provenance)
+/// so identical configs produce byte-identical bundles — the result-cache
+/// contract.
+core::obs::RunManifest run_to_bundle(const CampaignConfig& cfg,
+                                     const std::string& directory,
+                                     bool canonical_provenance = false);
+
 class DriveCampaign {
  public:
   explicit DriveCampaign(CampaignConfig config) : config_(config) {}

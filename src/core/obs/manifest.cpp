@@ -47,6 +47,11 @@ RunManifest make_run_manifest() {
   return m;
 }
 
+void canonicalize_provenance(RunManifest& manifest) {
+  manifest.started_utc = kCanonicalStartedUtc;
+  manifest.threads = 1;
+}
+
 std::string RunManifest::to_json() const {
   char scale_buf[64];
   std::snprintf(scale_buf, sizeof(scale_buf), "%.17g", scale);

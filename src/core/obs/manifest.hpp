@@ -47,6 +47,16 @@ std::string hex64(std::uint64_t v);
 /// the producer fills the rest.
 RunManifest make_run_manifest();
 
+/// The pinned started_utc of a canonical-provenance bundle (the Unix epoch).
+inline constexpr const char* kCanonicalStartedUtc = "1970-01-01 00:00:00.000";
+
+/// Pin the two provenance fields that vary between byte-identical runs —
+/// started_utc (wall clock) and threads (machine-dependent resolution) — to
+/// fixed values (kCanonicalStartedUtc, 1). The wheelsd result cache writes
+/// every bundle through this, so an identical (config, seed, input) request
+/// reproduces the cached bundle byte for byte.
+void canonicalize_provenance(RunManifest& manifest);
+
 /// Write `manifest.to_json()` to `path`. Throws std::runtime_error when the
 /// file cannot be opened.
 void write_manifest(const RunManifest& manifest, const std::string& path);

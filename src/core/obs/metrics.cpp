@@ -41,6 +41,12 @@ struct MetricsRegistry::HistogramDef {
 };
 
 struct MetricsRegistry::Shard {
+  /// Guards the two tables below. Only the owning thread writes, so the hot
+  /// path (add/observe) takes an uncontended lock; cross-thread readers —
+  /// snapshot() and reset() — contend only for the duration of one merge.
+  /// This is what lets wheelsd stream progress snapshots while jobs are
+  /// still incrementing counters on pool workers.
+  std::mutex mu;
   std::vector<std::uint64_t> counters;
   /// Indexed by histogram id; inner vector sized upper_bounds.size() + 1.
   std::vector<std::vector<std::uint64_t>> histograms;
@@ -108,6 +114,7 @@ MetricsRegistry::HistogramHandle MetricsRegistry::histogram(
 
 void MetricsRegistry::add(MetricId counter, std::uint64_t delta) {
   Shard& s = local_shard();
+  std::lock_guard sl{s.mu};
   if (s.counters.size() <= counter) s.counters.resize(counter + 1, 0);
   s.counters[counter] += delta;
 }
@@ -120,6 +127,7 @@ void MetricsRegistry::observe(const HistogramHandle& histogram, double value) {
   const auto bucket = static_cast<std::size_t>(
       std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
   Shard& s = local_shard();
+  std::lock_guard sl{s.mu};
   if (s.histograms.size() <= histogram.id) {
     s.histograms.resize(histogram.id + 1);
   }
@@ -132,13 +140,36 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   std::lock_guard lk{mu_};
   Snapshot out;
 
+  // Merge each shard once under its own lock, so a snapshot taken while
+  // other threads are still incrementing (a wheelsd progress poll) sees a
+  // consistent per-shard view instead of racing the vectors.
+  std::vector<std::uint64_t> counter_totals(counter_names_.size(), 0);
+  std::vector<std::vector<std::uint64_t>> histogram_totals(
+      histogram_defs_.size());
+  for (MetricId id = 0; id < histogram_defs_.size(); ++id) {
+    histogram_totals[id].assign(histogram_defs_[id]->upper_bounds.size() + 1,
+                                0);
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard sl{shard->mu};
+    const std::size_t n =
+        std::min(shard->counters.size(), counter_totals.size());
+    for (MetricId id = 0; id < n; ++id) {
+      counter_totals[id] += shard->counters[id];
+    }
+    const std::size_t m =
+        std::min(shard->histograms.size(), histogram_totals.size());
+    for (MetricId id = 0; id < m; ++id) {
+      const auto& counts = shard->histograms[id];
+      for (std::size_t b = 0; b < counts.size(); ++b) {
+        histogram_totals[id][b] += counts[b];
+      }
+    }
+  }
+
   std::map<std::string, std::uint64_t> counters;
   for (MetricId id = 0; id < counter_names_.size(); ++id) {
-    std::uint64_t total = 0;
-    for (const auto& shard : shards_) {
-      if (id < shard->counters.size()) total += shard->counters[id];
-    }
-    counters.emplace(counter_names_[id], total);
+    counters.emplace(counter_names_[id], counter_totals[id]);
   }
   out.counters.assign(counters.begin(), counters.end());
 
@@ -146,12 +177,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   for (MetricId id = 0; id < histogram_defs_.size(); ++id) {
     HistogramSnapshot h;
     h.upper_bounds = histogram_defs_[id]->upper_bounds;
-    h.counts.assign(h.upper_bounds.size() + 1, 0);
-    for (const auto& shard : shards_) {
-      if (id >= shard->histograms.size()) continue;
-      const auto& counts = shard->histograms[id];
-      for (std::size_t b = 0; b < counts.size(); ++b) h.counts[b] += counts[b];
-    }
+    h.counts = histogram_totals[id];
     for (const std::uint64_t c : h.counts) h.total += c;
     histograms.emplace(histogram_defs_[id]->name, std::move(h));
   }
@@ -163,6 +189,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
 void MetricsRegistry::reset() {
   std::lock_guard lk{mu_};
   for (const auto& shard : shards_) {
+    std::lock_guard sl{shard->mu};
     std::fill(shard->counters.begin(), shard->counters.end(), 0);
     for (auto& counts : shard->histograms) {
       std::fill(counts.begin(), counts.end(), 0);
@@ -172,6 +199,14 @@ void MetricsRegistry::reset() {
 
 std::span<const double> MetricsRegistry::default_ms_bounds() {
   return kDefaultMsBounds;
+}
+
+const std::uint64_t* MetricsRegistry::Snapshot::find_counter(
+    std::string_view name) const {
+  for (const auto& [counter_name, value] : counters) {
+    if (counter_name == name) return &value;
+  }
+  return nullptr;
 }
 
 std::string MetricsRegistry::Snapshot::to_json(bool include_runtime) const {

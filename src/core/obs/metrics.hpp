@@ -9,10 +9,13 @@
 // prefixed "rt." — is byte-identical for any WHEELS_THREADS (enforced by
 // tests/test_obs.cpp, the same gate pattern as test_campaign_parallel.cpp).
 //
-// Cost model: an increment is one thread-local lookup plus a vector index —
-// always on, cheap enough for per-tick call sites. Wall-clock reads and
-// anything else that varies run-to-run must be filed under an "rt." name so
-// the deterministic snapshot stays exact.
+// Cost model: an increment is one thread-local lookup, an uncontended
+// per-shard lock, and a vector index — always on, cheap enough for per-tick
+// call sites. The shard lock is what makes snapshot() safe to call *while*
+// instrumented work runs (wheelsd streams job progress from mid-run
+// snapshots); it is only ever contended by such a concurrent snapshot.
+// Wall-clock reads and anything else that varies run-to-run must be filed
+// under an "rt." name so the deterministic snapshot stays exact.
 #pragma once
 
 #include <cstddef>
@@ -81,11 +84,18 @@ class MetricsRegistry {
     /// Stable JSON rendering; with include_runtime=false, "rt." metrics are
     /// dropped and the result is byte-identical across thread counts.
     std::string to_json(bool include_runtime = false) const;
+    /// The named counter's merged value, or nullptr when it never fired —
+    /// the progress-snapshot hook wheelsd streams job progress from (and
+    /// tests assert cache behaviour with) without parsing to_json().
+    const std::uint64_t* find_counter(std::string_view name) const;
   };
 
-  /// Merge every thread's shard. Call after concurrent instrumented work has
-  /// joined (e.g. after DriveCampaign::run returned); a batch completion on
-  /// core::ThreadPool establishes the needed happens-before edge.
+  /// Merge every thread's shard. Safe to call while instrumented work is
+  /// still running (each shard is merged under its own lock) — a mid-run
+  /// snapshot is a consistent progress view. For an *exact* total, call
+  /// after the concurrent work has joined (e.g. after DriveCampaign::run
+  /// returned); a batch completion on core::ThreadPool establishes the
+  /// needed happens-before edge.
   Snapshot snapshot() const;
 
   /// Zero every shard's totals (the name table survives, ids stay valid).

@@ -20,7 +20,9 @@
 #include "core/obs/trace_export.hpp"
 #include "core/thread_pool.hpp"
 #include "geo/latlon.hpp"
+#include "measure/csv_export.hpp"
 #include "measure/enum_names.hpp"
+#include "replay/fleet.hpp"
 #include "measure/shard.hpp"
 #include "net/latency.hpp"
 #include "radio/band_plan.hpp"
@@ -572,6 +574,39 @@ class ReplayRunner {
 ConsolidatedDb ReplayCampaign::run() const {
   ReplayRunner runner{bundle_, config_};
   return runner.run();
+}
+
+core::obs::RunManifest make_replay_manifest(
+    const ReplayConfig& config, const core::obs::RunManifest& source) {
+  core::obs::RunManifest m = core::obs::make_run_manifest();
+  m.seed = config.seed;
+  m.scale = source.scale;
+  m.threads = core::resolve_threads(config.threads);
+  // Canonical rendering of everything that shapes the replayed data: the
+  // knob cell (cell_label's fixed axis order), the hold policy, and the
+  // source bundle's identity. Mirrors campaign::make_manifest's discipline:
+  // threads is recorded but excluded — it never changes a byte.
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "replay;src=%s;srcseed=%llu;srcscale=%.17g;knobs=%s;interp=%s",
+                source.config_digest.c_str(),
+                static_cast<unsigned long long>(source.seed), source.scale,
+                cell_label(config.knobs).c_str(),
+                config.policy == HoldPolicy::Hold ? "hold" : "linear");
+  m.config_digest = core::obs::hex64(core::obs::fnv1a64(buf));
+  return m;
+}
+
+core::obs::RunManifest replay_to_bundle(const ReplayBundle& bundle,
+                                        const ReplayConfig& config,
+                                        const std::string& directory,
+                                        bool canonical_provenance) {
+  core::obs::RunManifest manifest =
+      make_replay_manifest(config, bundle.manifest);
+  if (canonical_provenance) core::obs::canonicalize_provenance(manifest);
+  const ConsolidatedDb db = ReplayCampaign{bundle, config}.run();
+  measure::write_dataset(db, directory, manifest);
+  return manifest;
 }
 
 }  // namespace wheels::replay

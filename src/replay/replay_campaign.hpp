@@ -57,6 +57,25 @@ struct ReplayConfig {
 /// stderr and keep the default, like campaign::config_from_env.
 ReplayConfig replay_config_from_env();
 
+/// The provenance manifest of a replay about to run: seed = the replay's
+/// own seed, scale carried over from the source, and a config digest over
+/// everything that shapes the replayed data — the knob cell, the hold
+/// policy, and the source bundle's identity (config digest, seed, scale).
+/// Computable before the replay runs, so wheelsd keys its result cache on
+/// it; written into every bundle replay_to_bundle produces.
+core::obs::RunManifest make_replay_manifest(
+    const ReplayConfig& config, const core::obs::RunManifest& source);
+
+/// Replay `bundle` under `config` and write the resulting dataset bundle
+/// into `directory` (the callable job entry point wheelsd schedules).
+/// Returns the manifest the bundle was written with; `canonical_provenance`
+/// pins its wall-clock/threads fields (core::obs::canonicalize_provenance)
+/// so identical requests produce byte-identical bundles.
+core::obs::RunManifest replay_to_bundle(const ReplayBundle& bundle,
+                                        const ReplayConfig& config,
+                                        const std::string& directory,
+                                        bool canonical_provenance = false);
+
 class ReplayCampaign {
  public:
   ReplayCampaign(const ReplayBundle& bundle, ReplayConfig config)

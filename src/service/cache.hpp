@@ -1,0 +1,90 @@
+// ResultCache: the digest-keyed, disk-backed bundle cache behind wheelsd.
+//
+// Layout under the cache root:
+//   index.txt              one JSON line per entry (the journal)
+//   <kind>-<cfg>-<seed>-<in>/   the published bundle (atomic rename target)
+//   stage-<job id>/        in-flight output, renamed on publish
+//
+// Durability contract: entries are appended to index.txt as they publish,
+// and the whole file is rewritten (tmp + rename) only on eviction or
+// compaction. A daemon killed mid-append leaves a torn final line; a daemon
+// killed mid-compute leaves an orphan stage-* directory. On restart the
+// loader rejects every malformed line with an exact "cache index: line N:
+// ..." error (core::json line numbering, N the file line), drops entries
+// whose directory is missing or whose content digest no longer matches its
+// files, removes orphans, and compacts — so a crash costs at most the torn
+// entry's recomputation, never a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/jobs.hpp"
+
+namespace wheels::service {
+
+/// FNV-1a digest of a directory's regular files — name and bytes, in sorted
+/// name order — rendered hex64. Two directories digest equal iff their file
+/// sets are byte-identical.
+std::string digest_directory(const std::string& dir);
+
+struct CacheEntry {
+  CacheKey key;
+  std::uint64_t bytes = 0;      // sum of file sizes
+  std::string content_digest;   // digest_directory at publish time
+  std::string dir;              // directory name under the cache root
+};
+
+class ResultCache {
+ public:
+  /// Opens (creating root if needed), loads and verifies the index, removes
+  /// orphan directories, and compacts when anything was rejected.
+  /// `max_bytes` bounds the summed bundle sizes (0 = unlimited); least
+  /// recently used entries are evicted past it.
+  ResultCache(std::string root, std::uint64_t max_bytes);
+
+  const std::string& root() const { return root_; }
+  std::uint64_t max_bytes() const { return max_bytes_; }
+
+  /// Index lines and entries rejected on load, verbatim ("cache index: line
+  /// N: ...", "cache entry <dir>: ...").
+  std::vector<std::string> warnings() const;
+
+  std::size_t entries() const;
+  std::uint64_t total_bytes() const;
+
+  /// The entry under `key`, with its content re-verified against the files
+  /// on disk. A digest mismatch (torn or tampered object) drops the entry
+  /// and counts as a miss. Bumps service.cache_hits / service.cache_misses.
+  std::optional<CacheEntry> lookup(const CacheKey& key);
+
+  /// Where job `job_id` should write its output before publishing.
+  std::string stage_dir(std::uint64_t job_id) const;
+
+  /// Atomically move `staged_dir` into the cache under `key`, journal the
+  /// entry, and evict past max_bytes. When `key` is already published (a
+  /// concurrent identical job won the race) the staged copy is discarded
+  /// and the existing entry returned.
+  CacheEntry publish(const CacheKey& key, const std::string& staged_dir);
+
+  /// Absolute path of an entry's bundle directory.
+  std::string entry_path(const CacheEntry& entry) const;
+
+ private:
+  void load_index_locked();
+  void append_line_locked(const CacheEntry& entry);
+  void rewrite_index_locked();
+  void evict_to_cap_locked();
+  std::string index_path() const;
+
+  std::string root_;
+  std::uint64_t max_bytes_ = 0;
+  mutable std::mutex mu_;
+  std::vector<CacheEntry> entries_;  // LRU order: front = coldest
+  std::vector<std::string> warnings_;
+};
+
+}  // namespace wheels::service

@@ -1,0 +1,137 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+namespace wheels::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string submit_line(const JobSpec& spec) {
+  return "{\"v\": " + std::to_string(kProtocolVersion) +
+         ", \"op\": \"submit\", \"job\": " + spec.to_json() + "}";
+}
+
+std::string id_line(const char* op, std::uint64_t id) {
+  return "{\"v\": " + std::to_string(kProtocolVersion) + ", \"op\": \"" + op +
+         "\", \"id\": " + std::to_string(id) + "}";
+}
+
+std::string bare_line(const char* op) {
+  return "{\"v\": " + std::to_string(kProtocolVersion) + ", \"op\": \"" + op +
+         "\"}";
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error{"wheelsctl: socket path too long: " +
+                             socket_path};
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error{"wheelsctl: cannot create socket"};
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error{"wheelsctl: cannot connect to " + socket_path +
+                             ": " + std::strerror(errno)};
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::read_line() {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n <= 0) {
+      throw std::runtime_error{"wheelsctl: connection closed by daemon"};
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::request(const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+    if (n <= 0) {
+      throw std::runtime_error{"wheelsctl: connection closed by daemon"};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return read_line();
+}
+
+JobStatus Client::submit(const JobSpec& spec) {
+  return parse_status_response(request(submit_line(spec)));
+}
+
+JobStatus Client::status(std::uint64_t id) {
+  return parse_status_response(request(id_line("status", id)));
+}
+
+JobStatus Client::wait(std::uint64_t id) {
+  std::string line = request(id_line("watch", id));
+  for (;;) {
+    const JobStatus status = parse_status_response(line);
+    if (is_terminal(status.state)) return status;
+    line = read_line();
+  }
+}
+
+JobStatus Client::cancel(std::uint64_t id) {
+  return parse_status_response(request(id_line("cancel", id)));
+}
+
+ResultInfo Client::result(std::uint64_t id, bool* cache_hit) {
+  return parse_result_response(request(id_line("result", id)), cache_hit);
+}
+
+ResultInfo Client::fetch(std::uint64_t id, const std::string& out_dir) {
+  const ResultInfo info = result(id);
+  fs::create_directories(out_dir);
+  for (const std::string& name : info.files) {
+    fs::copy_file(fs::path{info.path} / name, fs::path{out_dir} / name,
+                  fs::copy_options::overwrite_existing);
+  }
+  return info;
+}
+
+StatsInfo Client::stats() {
+  return parse_stats_response(request(bare_line("stats")));
+}
+
+void Client::shutdown_server() {
+  parse_ok_response(request(bare_line("shutdown")));
+}
+
+std::string Client::raw_request(const std::string& line) {
+  return request(line);
+}
+
+}  // namespace wheels::service

@@ -1,0 +1,70 @@
+// Client: the in-process wheelsd client library.
+//
+// One Client holds one connection to a running daemon and turns the wire
+// protocol back into typed calls; it is what wheelsctl and the service test
+// suite drive, so every protocol path the daemon serves is exercisable from
+// a C++ test without shelling out. Server errors arrive as
+// std::runtime_error carrying the daemon's exact error string — the
+// malformed-protocol tests assert on them verbatim (raw_request() sends an
+// arbitrary line for exactly that purpose).
+//
+// A Client is not thread-safe; concurrent test clients each open their own.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace wheels::service {
+
+class Client {
+ public:
+  /// Connect to the daemon at `socket_path`; throws when nothing listens.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Submit a job. The returned status is Done with cache_hit when the
+  /// result was already cached, Queued otherwise.
+  JobStatus submit(const JobSpec& spec);
+
+  JobStatus status(std::uint64_t id);
+
+  /// Block (server-side watch stream) until the job reaches a terminal
+  /// state; returns the final status.
+  JobStatus wait(std::uint64_t id);
+
+  /// Request cancellation; returns the job's status at that moment (a
+  /// running job cancels at its next checkpoint — wait() for the outcome).
+  JobStatus cancel(std::uint64_t id);
+
+  /// The finished job's result. `cache_hit` (optional) reports whether it
+  /// was served from the cache.
+  ResultInfo result(std::uint64_t id, bool* cache_hit = nullptr);
+
+  /// Copy the result's bundle files into `out_dir` (created). The daemon is
+  /// local by construction (AF_UNIX), so the files are read directly.
+  ResultInfo fetch(std::uint64_t id, const std::string& out_dir);
+
+  StatsInfo stats();
+
+  /// Ask the daemon to shut down (it acknowledges, then exits its
+  /// wait_for_shutdown()).
+  void shutdown_server();
+
+  /// Send one raw request line verbatim and return the raw response line —
+  /// the protocol test hook.
+  std::string raw_request(const std::string& line);
+
+ private:
+  std::string request(const std::string& line);
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace wheels::service

@@ -1,0 +1,42 @@
+#include "service/config.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/env.hpp"
+
+namespace wheels::service {
+
+ServiceConfig service_config_from_env() {
+  ServiceConfig cfg;
+  if (const char* v = std::getenv("WHEELS_SERVICE_SOCKET"); v && *v) {
+    cfg.socket_path = v;
+  }
+  if (const char* v = std::getenv("WHEELS_SERVICE_CACHE_DIR"); v && *v) {
+    cfg.cache_dir = v;
+  }
+  if (auto v = core::env_int("WHEELS_SERVICE_QUEUE")) {
+    if (*v >= 1) {
+      cfg.queue_depth = static_cast<int>(*v);
+    } else {
+      std::fprintf(stderr,
+                   "wheels: WHEELS_SERVICE_QUEUE=%lld out of range (>= 1); "
+                   "using %d\n",
+                   *v, cfg.queue_depth);
+    }
+  }
+  if (auto v = core::env_int("WHEELS_SERVICE_CACHE_MAX_BYTES")) {
+    if (*v >= 0) {
+      cfg.cache_max_bytes = static_cast<std::uint64_t>(*v);
+    } else {
+      std::fprintf(stderr,
+                   "wheels: WHEELS_SERVICE_CACHE_MAX_BYTES=%lld out of range "
+                   "(>= 0); using %llu\n",
+                   *v,
+                   static_cast<unsigned long long>(cfg.cache_max_bytes));
+    }
+  }
+  return cfg;
+}
+
+}  // namespace wheels::service

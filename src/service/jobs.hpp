@@ -1,0 +1,45 @@
+// Jobs: the bridge from a wire-level JobSpec to the library's callable
+// entry points (campaign::run_to_bundle, replay::replay_to_bundle,
+// replay::ReplayFleet, synth::sample_to_bundle) and to the result cache's
+// identity space.
+//
+// A job's cache key is computable *before* it runs: (kind, config digest,
+// seed, input digest). The config digest is the same FNV-1a canonical-string
+// digest the bundle manifests record; the input digest pins what the job
+// reads (source-bundle identities for replay/fleet, profile bytes for
+// synth; "-" for the self-contained campaign). Two requests with equal keys
+// produce byte-identical bundles — the contract the cache serves under.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace wheels::service {
+
+struct CacheKey {
+  JobKind kind = JobKind::Campaign;
+  std::string config_digest;  // hex64
+  std::uint64_t seed = 0;
+  std::string input_digest;  // hex64, or "-" for input-free jobs
+
+  /// Directory name of the cached bundle: "<kind>-<config>-<seed>-<input>".
+  std::string dir_name() const;
+
+  bool operator==(const CacheKey& other) const = default;
+};
+
+/// Derive `spec`'s cache key. Reads input identities — source-bundle
+/// manifests, trace/profile file bytes — but runs nothing. Throws
+/// std::runtime_error (naming the offending file or grid axis) when an
+/// input is missing or a spec string is malformed.
+CacheKey cache_key(const JobSpec& spec);
+
+/// Run the job and write its result bundle into `out_dir` (created). Every
+/// inner run is serial (threads = 1) with canonical provenance — wheelsd
+/// spends its parallelism across jobs, never inside one, so concurrent
+/// submission cannot change an output byte. Throws on any failure.
+void run_job(const JobSpec& spec, const std::string& out_dir);
+
+}  // namespace wheels::service

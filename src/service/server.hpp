@@ -1,0 +1,119 @@
+// Server: the wheelsd daemon core — an AF_UNIX line-protocol front end over
+// the job scheduler and the result cache.
+//
+// Threading model: one accept thread, one connection thread per client, one
+// scheduler thread. The scheduler drains admitted jobs in waves through a
+// single core::ThreadPool (the pool's one-batch-at-a-time contract makes it
+// the pool's sole caller); each job runs its library entry point strictly
+// serially inside (threads = 1, the ReplayFleet discipline), so every
+// output byte is independent of how many jobs ran beside it — concurrent
+// submission is byte-identical to serial, at every WHEELS_THREADS.
+//
+// Job lifecycle: submit → cache lookup (hit: Done instantly, the cached
+// bundle is the result) → bounded queue admission (full: rejected with
+// "submit: queue full (depth N)") → Running (cache re-check, compute into a
+// private stage dir, publish) → Done/Failed/Cancelled. Cancellation is
+// cooperative: a queued job is dropped in place; a running one is abandoned
+// at the next checkpoint and never published.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "service/cache.hpp"
+#include "service/config.hpp"
+#include "service/protocol.hpp"
+
+namespace wheels::service {
+
+struct ServerOptions {
+  ServiceConfig config;
+  /// Start with the scheduler paused: jobs are admitted and queued but none
+  /// starts until resume() — deterministic queue-depth and cancel tests.
+  bool start_paused = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket and start the accept/scheduler threads. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Stop accepting, finish running jobs, join every thread, remove the
+  /// socket. Idempotent.
+  void stop();
+
+  /// Release a start_paused scheduler.
+  void resume();
+
+  /// Block until a client sent the shutdown op (or stop() was called).
+  void wait_for_shutdown();
+
+  /// Like wait_for_shutdown, but gives up after `timeout_ms`; true when a
+  /// shutdown was requested — lets a main loop interleave a signal-flag
+  /// check (a signal handler cannot call stop() safely).
+  bool wait_for_shutdown_for(int timeout_ms);
+
+  const ServiceConfig& config() const { return options_.config; }
+  ResultCache& cache() { return cache_; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    CacheKey key;
+    JobState state = JobState::Queued;
+    std::string stage = "queued";
+    std::string error;
+    bool cache_hit = false;
+    std::optional<CacheEntry> result;
+    std::atomic<bool> cancel_requested{false};
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  void accept_loop();
+  void scheduler_loop();
+  void handle_connection(int fd);
+  /// Handle one request line; writes the response (or the watch stream) to
+  /// `fd`. Returns false when the connection should close.
+  bool handle_line(const std::string& line, int fd);
+  void execute_job(Job& job);
+  JobStatus status_of_locked(const Job& job) const;
+  JobPtr find_job(std::uint64_t id);
+
+  ServerOptions options_;
+  ResultCache cache_;
+  core::ThreadPool pool_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;        // scheduler: work or stop
+  std::condition_variable shutdown_cv_;
+  std::map<std::uint64_t, JobPtr> jobs_;
+  std::deque<JobPtr> pending_;
+  std::uint64_t next_id_ = 1;
+  bool paused_ = false;
+  bool stop_ = false;
+  bool shutdown_requested_ = false;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::thread scheduler_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace wheels::service

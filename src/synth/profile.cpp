@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/json.hpp"
 #include "core/obs/metrics.hpp"
 #include "measure/csv_export.hpp"
 #include "measure/enum_names.hpp"
@@ -64,228 +65,41 @@ void write_chain(std::ostream& os, std::string_view indent,
   os << '\n' << indent << '}';
 }
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
 // ---------------------------------------------------------------------------
-// Parser: a strict line-tracking recursive-descent JSON reader. Every error
-// is "profile: line N: ..." with N the 1-based line the offending token
-// starts on — the satellite contract that makes a hand-edited or
-// version-skewed profile debuggable.
+// Parser: the shared strict line-tracking JSON reader (core::json), bound to
+// the "profile: line N: ..." error prefix — the satellite contract that
+// makes a hand-edited or version-skewed profile debuggable. The wrappers
+// below keep the decode code reading like a grammar.
 
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  int line = 0;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;
-  std::vector<JsonValue> items;                          // Array
-  std::vector<std::pair<std::string, JsonValue>> keys;   // Object
-};
+using JsonValue = core::json::Value;
+
+const core::json::Doc& doc() {
+  static const core::json::Doc d{"profile"};
+  return d;
+}
 
 [[noreturn]] void fail(int line, const std::string& msg) {
-  throw std::runtime_error{"profile: line " + std::to_string(line) + ": " +
-                           msg};
+  doc().fail(line, msg);
 }
 
-class JsonReader {
- public:
-  explicit JsonReader(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ < text_.size()) fail(line_, "trailing content after document");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '\n') ++line_;
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail(line_, "unexpected end of profile");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      fail(line_, std::string{"expected '"} + c + "', got '" + text_[pos_] +
-                      "'");
-    }
-    ++pos_;
-  }
-
-  JsonValue value() {
-    const char c = peek();
-    JsonValue v;
-    v.line = line_;
-    switch (c) {
-      case '{': return object(v);
-      case '[': return array(v);
-      case '"':
-        v.kind = JsonValue::Kind::String;
-        v.text = string();
-        return v;
-      case 't':
-      case 'f':
-        v.kind = JsonValue::Kind::Bool;
-        v.boolean = c == 't';
-        literal(c == 't' ? "true" : "false");
-        return v;
-      case 'n':
-        literal("null");
-        return v;
-      default: return number(v);
-    }
-  }
-
-  JsonValue object(JsonValue v) {
-    v.kind = JsonValue::Kind::Object;
-    expect('{');
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      if (peek() != '"') fail(line_, "expected a quoted object key");
-      std::string key = string();
-      expect(':');
-      v.keys.emplace_back(std::move(key), value());
-      const char c = peek();
-      if (c == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array(JsonValue v) {
-    v.kind = JsonValue::Kind::Array;
-    expect('[');
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.items.push_back(value());
-      const char c = peek();
-      if (c == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\n') fail(line_, "unterminated string");
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail(line_, "unterminated escape");
-        out.push_back(text_[pos_++]);
-      } else {
-        out.push_back(c);
-      }
-    }
-    fail(line_, "unterminated string");
-  }
-
-  void literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) {
-      fail(line_, "malformed literal (expected '" + std::string{word} + "')");
-    }
-    pos_ += word.size();
-  }
-
-  JsonValue number(JsonValue v) {
-    v.kind = JsonValue::Kind::Number;
-    const std::size_t start = pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
-          c == 'e' || c == 'E') {
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    const std::string token{text_.substr(start, pos_ - start)};
-    if (token.empty()) fail(line_, "expected a value");
-    char* end = nullptr;
-    v.number = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) {
-      fail(v.line, "malformed number '" + token + "'");
-    }
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  int line_ = 1;
-};
-
-// ---------------------------------------------------------------------------
-// Typed decoding over the value tree.
-
 const JsonValue& get(const JsonValue& obj, std::string_view key) {
-  for (const auto& [k, v] : obj.keys) {
-    if (k == key) return v;
-  }
-  fail(obj.line, "missing key \"" + std::string{key} + "\"");
+  return doc().get(obj, key);
 }
 
 const JsonValue& as(const JsonValue& v, JsonValue::Kind kind,
                     std::string_view what) {
-  if (v.kind != kind) {
-    fail(v.line, "expected " + std::string{what});
-  }
-  return v;
+  return doc().as(v, kind, std::string{what});
 }
 
 double num(const JsonValue& obj, std::string_view key) {
-  return as(get(obj, key), JsonValue::Kind::Number,
-            "a number for \"" + std::string{key} + "\"")
-      .number;
+  return doc().num(obj, key);
 }
 
 std::string str(const JsonValue& obj, std::string_view key) {
-  return as(get(obj, key), JsonValue::Kind::String,
-            "a string for \"" + std::string{key} + "\"")
-      .text;
+  return doc().str(obj, key);
 }
 
-std::vector<double> doubles(const JsonValue& v) {
-  as(v, JsonValue::Kind::Array, "an array of numbers");
-  std::vector<double> out;
-  out.reserve(v.items.size());
-  for (const JsonValue& item : v.items) {
-    out.push_back(
-        as(item, JsonValue::Kind::Number, "a number in the array").number);
-  }
-  return out;
-}
+std::vector<double> doubles(const JsonValue& v) { return doc().doubles(v); }
 
 std::vector<std::vector<double>> matrix(const JsonValue& v, std::size_t rows,
                                         std::size_t cols,
@@ -414,7 +228,8 @@ std::string SynthProfile::to_json() const {
   os << "  \"version\": " << version << ",\n";
   os << "  \"tick_ms\": " << tick_ms << ",\n";
   os << "  \"outage_mbps\": " << measure::csv_double(outage_mbps) << ",\n";
-  os << "  \"source_digest\": \"" << json_escape(source_digest) << "\",\n";
+  os << "  \"source_digest\": \"" << core::json::escape(source_digest)
+     << "\",\n";
   os << "  \"mixes\": [\n";
   for (std::size_t i = 0; i < mixes.size(); ++i) {
     const CarrierMix& m = mixes[i];
@@ -462,8 +277,7 @@ std::string SynthProfile::to_json() const {
 }
 
 SynthProfile parse_profile(std::string_view json) {
-  JsonReader reader{json};
-  const JsonValue root = reader.parse();
+  const JsonValue root = doc().parse(json);
   as(root, JsonValue::Kind::Object, "a profile object");
 
   SynthProfile p;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -11,6 +12,7 @@
 #include "core/obs/metrics.hpp"
 #include "core/obs/trace_export.hpp"
 #include "ingest/join.hpp"
+#include "measure/csv_export.hpp"
 #include "measure/enum_names.hpp"
 
 namespace wheels::synth {
@@ -238,6 +240,26 @@ std::string scenario_summary(const ScenarioSpec& spec, SimMillis tick_ms) {
   return os.str();
 }
 
+std::string scenario_canonical(const ScenarioSpec& spec) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "duration_s=%.17g;route_km=%.17g;speed_kmh=%.17g;load=%.17g;"
+                "outage_factor=%.17g",
+                spec.duration_s, spec.route_km, spec.speed_kmh, spec.load,
+                spec.outage_factor);
+  std::string out{buf};
+  out += ";max_tier=";
+  out += spec.max_tier.has_value()
+             ? std::string{measure::names::to_name(*spec.max_tier)}
+             : "none";
+  out += ";carriers=";
+  for (std::size_t i = 0; i < spec.carriers.size(); ++i) {
+    if (i) out += '+';
+    out += measure::names::to_name(spec.carriers[i]);
+  }
+  return out;
+}
+
 void sample_stream(const SynthProfile& profile, const ScenarioSpec& spec,
                    std::uint64_t seed, radio::Carrier carrier, int first_cycle,
                    int cycles, ingest::PointSink& sink) {
@@ -382,6 +404,21 @@ replay::ReplayBundle sample_bundle(const SynthProfile& profile,
       std::move(sources), join, sample_resample_spec(profile), threads);
   bundle.manifest.seed = seed;
   return bundle;
+}
+
+core::obs::RunManifest sample_to_bundle(const SynthProfile& profile,
+                                        const ScenarioSpec& spec,
+                                        std::uint64_t seed, int first_cycle,
+                                        int cycles, int threads,
+                                        const std::string& directory,
+                                        bool canonical_provenance) {
+  replay::ReplayBundle bundle =
+      sample_bundle(profile, spec, seed, first_cycle, cycles, threads);
+  if (canonical_provenance) {
+    core::obs::canonicalize_provenance(bundle.manifest);
+  }
+  measure::write_dataset(bundle.db, directory, bundle.manifest);
+  return bundle.manifest;
 }
 
 }  // namespace wheels::synth

@@ -56,6 +56,11 @@ ScenarioSpec parse_scenario_spec(const std::string& spec);
 /// One-line human rendering of the resolved spec.
 std::string scenario_summary(const ScenarioSpec& spec, SimMillis tick_ms);
 
+/// Canonical machine rendering of the spec: every field, fixed order,
+/// doubles at %.17g — two specs produce the same string iff they sample the
+/// same cycles. wheelsd hashes this into its synth-job cache key.
+std::string scenario_canonical(const ScenarioSpec& spec);
+
 /// Ticks per cycle under `spec` (>= 1).
 std::int64_t cycle_ticks(const ScenarioSpec& spec, SimMillis tick_ms);
 
@@ -81,5 +86,17 @@ replay::ReplayBundle sample_bundle(const SynthProfile& profile,
                                    const ScenarioSpec& spec,
                                    std::uint64_t seed, int first_cycle,
                                    int cycles, int threads = 1);
+
+/// Sample a bundle and write it into `directory` (the callable job entry
+/// point wheelsd schedules). Returns the manifest the bundle was written
+/// with; `canonical_provenance` pins its wall-clock/threads fields
+/// (core::obs::canonicalize_provenance) so identical requests produce
+/// byte-identical bundles.
+core::obs::RunManifest sample_to_bundle(const SynthProfile& profile,
+                                        const ScenarioSpec& spec,
+                                        std::uint64_t seed, int first_cycle,
+                                        int cycles, int threads,
+                                        const std::string& directory,
+                                        bool canonical_provenance = false);
 
 }  // namespace wheels::synth

@@ -45,6 +45,47 @@ TEST(MetricsRegistry_, MergesThreadShards) {
   EXPECT_EQ(reg.snapshot().counters[0].second, 4001u);
 }
 
+TEST(MetricsRegistry_, FindCounterLocatesMergedValueOrNull) {
+  MetricsRegistry reg;
+  reg.add(reg.counter_id("service.cache_hits"), 7);
+  reg.add(reg.counter_id("service.cache_misses"), 2);
+  const auto snap = reg.snapshot();
+  const std::uint64_t* hits = snap.find_counter("service.cache_hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(*hits, 7u);
+  EXPECT_EQ(snap.find_counter("service.never_fired"), nullptr);
+}
+
+TEST(MetricsRegistry_, SnapshotIsSafeAndConsistentDuringConcurrentAdds) {
+  // wheelsd streams progress snapshots while jobs are still incrementing on
+  // pool workers; snapshot() must be race-free mid-run (TSAN enforces the
+  // "race-free" half under -L tsan_smoke) and every mid-run value must be a
+  // plausible prefix of the final total.
+  MetricsRegistry reg;
+  const MetricId id = reg.counter_id("concurrent.adds");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&reg, id] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) reg.add(id);
+    });
+  }
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto snap = reg.snapshot();
+    if (const std::uint64_t* v = snap.find_counter("concurrent.adds")) {
+      EXPECT_GE(*v, last);  // monotone: shards only grow
+      EXPECT_LE(*v, kThreads * kPerThread);
+      last = *v;
+    }
+  }
+  for (auto& t : writers) t.join();
+  const auto final_snap = reg.snapshot();
+  EXPECT_EQ(*final_snap.find_counter("concurrent.adds"),
+            kThreads * kPerThread);
+}
+
 TEST(MetricsRegistry_, CounterConvenienceReportsToTheGlobalRegistry) {
   const auto value_of = [](std::string_view name) {
     for (const auto& [n, v] : MetricsRegistry::global().snapshot().counters) {

@@ -1,0 +1,694 @@
+// The wheelsd service test harness: every assertion drives a real in-process
+// Server over its AF_UNIX socket through the service::Client library — the
+// same code path wheelsctl uses — so the wire protocol, the scheduler, and
+// the digest-keyed result cache are exercised end to end.
+//
+// Coverage map:
+//   ServiceRoundTrip.*    submit -> progress -> result for all four job kinds
+//   ServiceCache.*        hit/miss semantics, key derivation, eviction,
+//                         restart persistence
+//   ServiceRecovery.*     torn index lines and torn objects after a kill
+//   ServiceProtocol.*     exact error strings for malformed requests
+//   ServiceQueue.*        bounded admission and cancellation (paused server)
+//   ServiceEnv.*          WHEELS_SERVICE_* knob validation
+//   ServiceConcurrency.*  concurrent submission byte-identical to serial
+//                         (in the tsan_smoke ctest filter)
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/obs/manifest.hpp"
+#include "replay/ingest.hpp"
+#include "service/cache.hpp"
+#include "service/client.hpp"
+#include "service/config.hpp"
+#include "service/jobs.hpp"
+#include "service/server.hpp"
+#include "synth/fit.hpp"
+#include "synth/profile.hpp"
+
+namespace wheels::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::string& test_root() {
+  static const std::string dir = [] {
+    const std::string d =
+        "/tmp/wheels-service-test-" + std::to_string(::getpid());
+    fs::remove_all(d);
+    fs::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string d = test_root() + "/" + name;
+  fs::remove_all(d);
+  fs::create_directories(d);
+  return d;
+}
+
+/// A campaign spec small enough to compute in ~a second: golden scale, no
+/// apps, no static battery.
+JobSpec quick_campaign(std::uint64_t seed) {
+  JobSpec spec;
+  spec.kind = JobKind::Campaign;
+  spec.seed = seed;
+  spec.scale = 0.02;
+  spec.apps = false;
+  spec.run_static = false;
+  return spec;
+}
+
+const std::string& golden_bundle() {
+  static const std::string dir = WHEELS_GOLDEN_DIR "/bundle";
+  return dir;
+}
+
+/// A synth profile fitted from the golden bundle, written once per process.
+const std::string& profile_path() {
+  static const std::string path = [] {
+    const synth::SynthProfile profile =
+        synth::fit_profile(replay::read_dataset(golden_bundle()));
+    const std::string p = test_root() + "/profile.json";
+    synth::write_profile(profile, p);
+    return p;
+  }();
+  return path;
+}
+
+JobSpec quick_replay(std::uint64_t seed) {
+  JobSpec spec;
+  spec.kind = JobKind::Replay;
+  spec.seed = seed;
+  spec.bundles = {golden_bundle()};
+  spec.knobs.cc = transport::CcAlgo::Bbr;
+  return spec;
+}
+
+JobSpec quick_synth(std::uint64_t seed) {
+  JobSpec spec;
+  spec.kind = JobKind::Synth;
+  spec.seed = seed;
+  spec.profile = profile_path();
+  spec.cycles = 1;
+  spec.scenario = "duration_s=30";
+  return spec;
+}
+
+/// An in-process daemon bound to a unique socket under the test root.
+struct Daemon {
+  explicit Daemon(const std::string& name, int threads = 2,
+                  int queue_depth = 64, bool paused = false,
+                  std::string cache_dir = {}) {
+    ServerOptions options;
+    options.config.socket_path = test_root() + "/" + name + ".sock";
+    options.config.cache_dir =
+        cache_dir.empty() ? fresh_dir(name + "-cache") : std::move(cache_dir);
+    options.config.queue_depth = queue_depth;
+    options.config.cache_max_bytes = 0;  // unlimited unless a test caps it
+    options.config.threads = threads;
+    options.start_paused = paused;
+    server = std::make_unique<Server>(std::move(options));
+    server->start();
+  }
+  Client connect() { return Client{server->config().socket_path}; }
+  std::unique_ptr<Server> server;
+};
+
+std::uint64_t counter(
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters,
+    std::string_view name) {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::string file_bytes(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// The daemon-side error string of a call expected to fail.
+std::string thrown(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "<no error>";
+}
+
+// --- ServiceRoundTrip -----------------------------------------------------
+
+TEST(ServiceRoundTrip, CampaignSubmitProgressResult) {
+  Daemon d{"campaign-rt"};
+  Client c = d.connect();
+  const JobStatus ack = c.submit(quick_campaign(1));
+  EXPECT_GE(counter(ack.counters, "service.jobs_submitted"), 1u);
+  const JobStatus done = c.wait(ack.id);
+  EXPECT_EQ(done.state, JobState::Done);
+  EXPECT_FALSE(done.cache_hit);
+  ASSERT_TRUE(done.result.has_value());
+  EXPECT_EQ(done.result->content_digest.size(), 16u);
+
+  bool cache_hit = true;
+  const ResultInfo info = c.result(ack.id, &cache_hit);
+  EXPECT_FALSE(cache_hit);
+  EXPECT_NE(std::find(info.files.begin(), info.files.end(), "manifest.json"),
+            info.files.end());
+  EXPECT_GE(info.files.size(), 10u);
+
+  // The fetched bundle is a valid dataset with canonical provenance.
+  const std::string out = test_root() + "/campaign-rt-out";
+  c.fetch(ack.id, out);
+  const replay::ReplayBundle bundle = replay::read_dataset(out);
+  EXPECT_EQ(bundle.manifest.seed, 1u);
+  EXPECT_EQ(bundle.manifest.started_utc, core::obs::kCanonicalStartedUtc);
+  EXPECT_EQ(bundle.manifest.threads, 1);
+}
+
+TEST(ServiceRoundTrip, ReplaySubmitRoundTrip) {
+  Daemon d{"replay-rt"};
+  Client c = d.connect();
+  const JobStatus done = c.wait(c.submit(quick_replay(3)).id);
+  ASSERT_EQ(done.state, JobState::Done) << done.error;
+  const std::string out = test_root() + "/replay-rt-out";
+  c.fetch(done.id, out);
+  const replay::ReplayBundle replayed = replay::read_dataset(out);
+  EXPECT_EQ(replayed.manifest.seed, 3u);
+  // The replay's digest is its own (knob cell + source identity), not the
+  // source bundle's.
+  const replay::ReplayBundle source = replay::read_dataset(golden_bundle());
+  EXPECT_NE(replayed.manifest.config_digest, source.manifest.config_digest);
+}
+
+TEST(ServiceRoundTrip, FleetSubmitRoundTrip) {
+  Daemon d{"fleet-rt"};
+  Client c = d.connect();
+  JobSpec spec;
+  spec.kind = JobKind::Fleet;
+  spec.seed = 4;
+  spec.bundles = {golden_bundle()};
+  spec.grid = {"cc=cubic,bbr"};
+  spec.ci_iterations = 50;
+  const JobStatus done = c.wait(c.submit(spec).id);
+  ASSERT_EQ(done.state, JobState::Done) << done.error;
+  const ResultInfo info = c.result(done.id);
+  EXPECT_EQ(info.files, (std::vector<std::string>{"fleet.csv",
+                                                  "manifest.json"}));
+  const std::string out = test_root() + "/fleet-rt-out";
+  c.fetch(done.id, out);
+  const std::string csv = file_bytes(fs::path{out} / "fleet.csv");
+  EXPECT_EQ(csv.rfind("cell,carrier,metric", 0), 0u);
+}
+
+TEST(ServiceRoundTrip, SynthSubmitRoundTrip) {
+  Daemon d{"synth-rt"};
+  Client c = d.connect();
+  const JobStatus done = c.wait(c.submit(quick_synth(5)).id);
+  ASSERT_EQ(done.state, JobState::Done) << done.error;
+  const std::string out = test_root() + "/synth-rt-out";
+  c.fetch(done.id, out);
+  const replay::ReplayBundle bundle = replay::read_dataset(out);
+  EXPECT_EQ(bundle.manifest.seed, 5u);
+  EXPECT_EQ(bundle.manifest.started_utc, core::obs::kCanonicalStartedUtc);
+}
+
+// --- ServiceCache ---------------------------------------------------------
+
+TEST(ServiceCache, IdenticalRequestServedFromCacheByteIdentical) {
+  Daemon d{"cache-hit"};
+  Client c = d.connect();
+  const JobStatus first = c.wait(c.submit(quick_campaign(11)).id);
+  ASSERT_EQ(first.state, JobState::Done);
+  const std::uint64_t hits0 =
+      counter(c.stats().counters, "service.cache_hits");
+  const std::uint64_t computed0 =
+      counter(c.stats().counters, "service.jobs_computed");
+  const std::string run1 = test_root() + "/cache-hit-run1";
+  c.fetch(first.id, run1);
+
+  // The identical request completes in the submit fast path: Done, no
+  // recompute, the obs hit counter ticks.
+  const JobStatus second = c.submit(quick_campaign(11));
+  EXPECT_EQ(second.state, JobState::Done);
+  EXPECT_TRUE(second.cache_hit);
+  ASSERT_TRUE(second.result.has_value());
+  EXPECT_EQ(second.result->content_digest, first.result->content_digest);
+  EXPECT_EQ(counter(c.stats().counters, "service.cache_hits"), hits0 + 1);
+  EXPECT_EQ(counter(c.stats().counters, "service.jobs_computed"), computed0);
+
+  // Byte identity, file by file.
+  const std::string run2 = test_root() + "/cache-hit-run2";
+  const ResultInfo info = c.fetch(second.id, run2);
+  for (const std::string& name : info.files) {
+    EXPECT_EQ(file_bytes(fs::path{run1} / name),
+              file_bytes(fs::path{run2} / name))
+        << name;
+  }
+}
+
+TEST(ServiceCache, EveryCampaignKnobChangeMisses) {
+  Daemon d{"cache-knobs"};
+  Client c = d.connect();
+  const JobStatus base = c.wait(c.submit(quick_campaign(31)).id);
+  ASSERT_EQ(base.state, JobState::Done);
+
+  std::vector<JobSpec> variants;
+  variants.push_back(quick_campaign(32));  // seed
+  variants.push_back(quick_campaign(31));
+  variants.back().scale = 0.04;  // scale
+  variants.push_back(quick_campaign(31));
+  variants.back().idle = 2;  // any other digested knob
+  for (const JobSpec& spec : variants) {
+    const JobStatus ack = c.submit(spec);
+    EXPECT_FALSE(ack.cache_hit);
+    const JobStatus done = c.wait(ack.id);
+    EXPECT_EQ(done.state, JobState::Done) << done.error;
+    EXPECT_FALSE(done.cache_hit);
+    EXPECT_NE(done.result->content_digest, base.result->content_digest);
+  }
+  // The unchanged request still hits.
+  EXPECT_TRUE(c.submit(quick_campaign(31)).cache_hit);
+}
+
+TEST(ServiceCache, ReplayKnobChangesMiss) {
+  Daemon d{"cache-replay-knobs"};
+  Client c = d.connect();
+  const JobStatus base = c.wait(c.submit(quick_replay(7)).id);
+  ASSERT_EQ(base.state, JobState::Done) << base.error;
+  EXPECT_TRUE(c.submit(quick_replay(7)).cache_hit);
+
+  JobSpec tier = quick_replay(7);
+  tier.knobs.max_tier = radio::Technology::Lte;  // tier cap
+  const JobStatus tiered = c.wait(c.submit(tier).id);
+  EXPECT_EQ(tiered.state, JobState::Done) << tiered.error;
+  EXPECT_FALSE(tiered.cache_hit);
+  EXPECT_NE(tiered.result->content_digest, base.result->content_digest);
+
+  JobSpec cc = quick_replay(7);
+  cc.knobs.cc = transport::CcAlgo::Cubic;  // congestion control
+  EXPECT_FALSE(c.submit(cc).cache_hit);
+}
+
+TEST(ServiceCache, KeyDerivationPinsConfigSeedAndInput) {
+  const CacheKey base = cache_key(quick_campaign(1));
+  EXPECT_EQ(base.kind, JobKind::Campaign);
+  EXPECT_EQ(base.seed, 1u);
+  EXPECT_EQ(base.input_digest, "-");  // self-contained job
+
+  // Seed moves the seed component but not the config digest (the campaign
+  // digest canonical includes the seed; the key keeps them separable for
+  // the index's sake).
+  const CacheKey seeded = cache_key(quick_campaign(2));
+  EXPECT_EQ(seeded.seed, 2u);
+  EXPECT_NE(seeded.dir_name(), base.dir_name());
+
+  JobSpec scaled = quick_campaign(1);
+  scaled.scale = 0.04;
+  EXPECT_NE(cache_key(scaled).config_digest, base.config_digest);
+
+  // Replay keys pin the *source bundle identity* as input.
+  const CacheKey replay_key = cache_key(quick_replay(7));
+  EXPECT_NE(replay_key.input_digest, "-");
+  JobSpec knobbed = quick_replay(7);
+  knobbed.knobs.max_tier = radio::Technology::Lte;
+  EXPECT_EQ(cache_key(knobbed).input_digest, replay_key.input_digest);
+  EXPECT_NE(cache_key(knobbed).config_digest, replay_key.config_digest);
+
+  // Synth keys pin the profile file bytes: an edited profile is a miss even
+  // with identical knobs.
+  const CacheKey synth_base = cache_key(quick_synth(9));
+  const std::string edited = test_root() + "/edited-profile.json";
+  fs::copy_file(profile_path(), edited,
+                fs::copy_options::overwrite_existing);
+  std::ofstream{edited, std::ios::app} << "\n";
+  JobSpec synth_edited = quick_synth(9);
+  synth_edited.profile = edited;
+  EXPECT_NE(cache_key(synth_edited).input_digest, synth_base.input_digest);
+  EXPECT_EQ(cache_key(synth_edited).config_digest, synth_base.config_digest);
+}
+
+TEST(ServiceCache, EvictsLeastRecentlyUsedPastByteBound) {
+  const std::string root = fresh_dir("evict-cache");
+  const auto staged = [&](const std::string& name, std::size_t bytes) {
+    const std::string dir = root + "/" + name;
+    fs::create_directories(dir);
+    std::ofstream{dir + "/data.csv", std::ios::binary}
+        << std::string(bytes, 'x');
+    return dir;
+  };
+  const auto key_of = [](std::uint64_t seed) {
+    CacheKey key;
+    key.kind = JobKind::Campaign;
+    key.config_digest = "cfg";
+    key.seed = seed;
+    key.input_digest = "-";
+    return key;
+  };
+  ResultCache cache{root, 1000};
+  cache.publish(key_of(1), staged("stage-a", 600));
+  EXPECT_EQ(cache.entries(), 1u);
+  cache.publish(key_of(2), staged("stage-b", 600));
+  // 1200 > 1000: the oldest entry is evicted, its directory removed.
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(2)).has_value());
+  EXPECT_FALSE(fs::exists(root + "/" + key_of(1).dir_name()));
+
+  // The rewritten index survives a restart with only the survivor.
+  ResultCache reopened{root, 1000};
+  EXPECT_EQ(reopened.entries(), 1u);
+  EXPECT_TRUE(reopened.warnings().empty());
+  EXPECT_TRUE(reopened.lookup(key_of(2)).has_value());
+}
+
+TEST(ServiceCache, RestartServesFromDiskByteIdentically) {
+  const std::string cache_dir = fresh_dir("restart-cache");
+  std::string digest;
+  {
+    Daemon d{"restart-a", 2, 64, false, cache_dir};
+    Client c = d.connect();
+    const JobStatus done = c.wait(c.submit(quick_campaign(41)).id);
+    ASSERT_EQ(done.state, JobState::Done);
+    digest = done.result->content_digest;
+    d.server->stop();
+  }
+  Daemon d{"restart-b", 2, 64, false, cache_dir};
+  Client c = d.connect();
+  const JobStatus hit = c.submit(quick_campaign(41));
+  EXPECT_EQ(hit.state, JobState::Done);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.result->content_digest, digest);
+}
+
+// --- ServiceRecovery ------------------------------------------------------
+
+TEST(ServiceRecovery, TornIndexLineIsRejectedAndRecomputed) {
+  const std::string cache_dir = fresh_dir("torn-index-cache");
+  std::string digest;
+  {
+    Daemon d{"torn-index-a", 2, 64, false, cache_dir};
+    Client c = d.connect();
+    const JobStatus done = c.wait(c.submit(quick_campaign(51)).id);
+    ASSERT_EQ(done.state, JobState::Done);
+    digest = done.result->content_digest;
+    d.server->stop();
+  }
+  // A daemon killed mid-append leaves a torn trailing line (and possibly an
+  // orphan stage directory).
+  std::ofstream{cache_dir + "/index.txt", std::ios::app}
+      << R"({"v": 1, "kind": "campaign", "config)";
+  fs::create_directories(cache_dir + "/stage-99");
+
+  Daemon d{"torn-index-b", 2, 64, false, cache_dir};
+  Client c = d.connect();
+  const StatsInfo stats = c.stats();
+  ASSERT_EQ(stats.cache_warnings.size(), 1u);
+  EXPECT_EQ(stats.cache_warnings[0],
+            "cache index: line 2: unterminated string");
+  EXPECT_FALSE(fs::exists(cache_dir + "/stage-99"));  // orphan removed
+  // The intact entry still serves; the torn line cost nothing but itself.
+  const JobStatus hit = c.submit(quick_campaign(51));
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.result->content_digest, digest);
+  // The index was compacted: a re-open reports no warnings.
+  d.server->stop();
+  Daemon d2{"torn-index-c", 2, 64, false, cache_dir};
+  EXPECT_TRUE(d2.server->cache().warnings().empty());
+}
+
+TEST(ServiceRecovery, TornObjectIsDroppedAndRecomputed) {
+  const std::string cache_dir = fresh_dir("torn-object-cache");
+  std::string digest;
+  {
+    Daemon d{"torn-object-a", 2, 64, false, cache_dir};
+    Client c = d.connect();
+    const JobStatus done = c.wait(c.submit(quick_campaign(61)).id);
+    ASSERT_EQ(done.state, JobState::Done);
+    digest = done.result->content_digest;
+    d.server->stop();
+  }
+  // Corrupt one byte of the published object — a torn write the index's
+  // content digest catches on the next lookup.
+  const CacheKey key = cache_key(quick_campaign(61));
+  std::ofstream{cache_dir + "/" + key.dir_name() + "/manifest.json",
+                std::ios::trunc}
+      << "torn";
+
+  Daemon d{"torn-object-b", 2, 64, false, cache_dir};
+  Client c = d.connect();
+  const JobStatus ack = c.submit(quick_campaign(61));
+  EXPECT_FALSE(ack.cache_hit);  // mismatch detected, entry dropped
+  const JobStatus done = c.wait(ack.id);
+  EXPECT_EQ(done.state, JobState::Done) << done.error;
+  EXPECT_FALSE(done.cache_hit);
+  EXPECT_EQ(done.result->content_digest, digest);  // recomputed identically
+  const StatsInfo stats = c.stats();
+  ASSERT_EQ(stats.cache_warnings.size(), 1u);
+  EXPECT_EQ(stats.cache_warnings[0].rfind("cache entry " + key.dir_name() +
+                                              ": content digest mismatch",
+                                          0),
+            0u);
+}
+
+TEST(ServiceRecovery, IndexErrorsCarryExactLineNumbers) {
+  const std::string root = fresh_dir("index-errors");
+  std::ofstream{root + "/index.txt"}
+      << R"({"v": 2, "kind": "campaign", "config": "c", "seed": 1, "input": "-", "bytes": 1, "content": "d", "dir": "x"})"
+      << "\n"
+      << R"({"v": 1, "kind": "frobnicate", "config": "c", "seed": 1, "input": "-", "bytes": 1, "content": "d", "dir": "x"})"
+      << "\n"
+      << "garbage\n"
+      << R"({"v": 1, "kind": "campaign")"
+      << "\n";
+  ResultCache cache{root, 0};
+  EXPECT_EQ(cache.entries(), 0u);
+  const std::vector<std::string> warnings = cache.warnings();
+  ASSERT_EQ(warnings.size(), 4u);
+  EXPECT_EQ(warnings[0],
+            "cache index: line 1: unsupported cache index version 2 (this "
+            "daemon writes 1)");
+  EXPECT_EQ(warnings[1],
+            "cache index: line 2: unknown job kind \"frobnicate\"");
+  EXPECT_EQ(warnings[2], "cache index: line 3: expected a value");
+  EXPECT_EQ(warnings[3], "cache index: line 4: unexpected end of input");
+}
+
+// --- ServiceProtocol ------------------------------------------------------
+
+TEST(ServiceProtocol, MalformedRequestsFailWithExactStrings) {
+  Daemon d{"protocol"};
+  Client c = d.connect();
+  const auto err = [&](const std::string& line) {
+    return thrown([&] { parse_ok_response(c.raw_request(line)); });
+  };
+  EXPECT_EQ(err(R"({"v": 2, "op": "stats"})"),
+            "protocol: line 1: unsupported protocol version 2 (this daemon "
+            "speaks 1)");
+  EXPECT_EQ(err(R"({"v": 1, "op": "frobnicate"})"),
+            "protocol: line 1: unknown op \"frobnicate\"");
+  EXPECT_EQ(
+      err(R"({"v": 1, "op": "submit", "job": {"kind": "frobnicate"}})"),
+      "protocol: line 1: unknown job kind \"frobnicate\"");
+  EXPECT_EQ(err(R"({"v": 1, "op": "submit"})"),
+            "protocol: line 1: missing key \"job\"");
+  EXPECT_EQ(err(R"({"v": 1, "op":)"),
+            "protocol: line 1: unexpected end of input");
+  EXPECT_EQ(err("garbage"), "protocol: line 1: expected a value");
+  EXPECT_EQ(err(R"({"v": 1, "op": "stats", "id": 1})"),
+            "protocol: line 1: unknown key \"id\" for op \"stats\"");
+  EXPECT_EQ(
+      err(R"({"v": 1, "op": "submit", "job": {"kind": "replay", "scale": 2}})"),
+      "protocol: line 1: key \"scale\" does not apply to replay jobs");
+  EXPECT_EQ(
+      err(R"({"v": 1, "op": "submit", "job": {"kind": "replay"}})"),
+      "protocol: line 1: replay job needs \"bundle\"");
+}
+
+TEST(ServiceProtocol, JobAndResultErrorsNameTheJob) {
+  Daemon d{"protocol-jobs", 2, 64, /*paused=*/true};
+  Client c = d.connect();
+  EXPECT_EQ(thrown([&] { c.status(42); }), "status: no such job 42");
+  EXPECT_EQ(thrown([&] { c.result(42); }), "result: no such job 42");
+  EXPECT_EQ(thrown([&] { c.cancel(42); }), "cancel: no such job 42");
+
+  const JobStatus ack = c.submit(quick_campaign(71));
+  EXPECT_EQ(ack.state, JobState::Queued);
+  EXPECT_EQ(thrown([&] { c.result(ack.id); }),
+            "result: job " + std::to_string(ack.id) + " is queued");
+  const JobStatus cancelled = c.cancel(ack.id);
+  EXPECT_EQ(cancelled.state, JobState::Cancelled);
+  EXPECT_EQ(thrown([&] { c.result(ack.id); }),
+            "result: job " + std::to_string(ack.id) + " is cancelled");
+}
+
+TEST(ServiceProtocol, SubmitWithMissingInputFails) {
+  Daemon d{"protocol-input"};
+  Client c = d.connect();
+  JobSpec spec = quick_replay(1);
+  spec.bundles = {test_root() + "/no-such-bundle"};
+  const std::string error = thrown([&] { c.submit(spec); });
+  EXPECT_NE(error.find("no-such-bundle"), std::string::npos) << error;
+}
+
+TEST(ServiceProtocol, SpecJsonRoundTripsForEveryKind) {
+  std::vector<JobSpec> specs;
+  specs.push_back(quick_campaign(7));
+  specs.back().ues = 50;
+  specs.back().scheduler = ran::SchedulerKind::RoundRobin;
+  specs.push_back(quick_replay(8));
+  specs.back().knobs.max_tier = radio::Technology::Lte;
+  specs.back().policy = replay::HoldPolicy::Interpolate;
+  JobSpec fleet;
+  fleet.kind = JobKind::Fleet;
+  fleet.seed = 9;
+  fleet.bundles = {"a", "b"};
+  fleet.grid = {"cc=cubic,bbr", "tier=recorded,LTE"};
+  fleet.ci_iterations = 123;
+  specs.push_back(fleet);
+  specs.push_back(quick_synth(10));
+
+  for (const JobSpec& spec : specs) {
+    const Request req = parse_request(
+        R"({"v": 1, "op": "submit", "job": )" + spec.to_json() + "}");
+    EXPECT_EQ(req.op, Request::Op::Submit);
+    EXPECT_EQ(req.job.to_json(), spec.to_json());
+  }
+}
+
+// --- ServiceQueue ---------------------------------------------------------
+
+TEST(ServiceQueue, BoundedAdmissionRejectsAndCancelFrees) {
+  Daemon d{"queue", 2, /*queue_depth=*/2, /*paused=*/true};
+  Client c = d.connect();
+  const JobStatus j1 = c.submit(quick_campaign(81));
+  const JobStatus j2 = c.submit(quick_campaign(82));
+  EXPECT_EQ(j1.state, JobState::Queued);
+  EXPECT_EQ(j2.state, JobState::Queued);
+  EXPECT_EQ(thrown([&] { c.submit(quick_campaign(83)); }),
+            "submit: queue full (depth 2)");
+
+  // Cancelling a queued job frees its slot immediately.
+  EXPECT_EQ(c.cancel(j1.id).state, JobState::Cancelled);
+  const JobStatus j4 = c.submit(quick_campaign(84));
+  EXPECT_EQ(j4.state, JobState::Queued);
+
+  d.server->resume();
+  EXPECT_EQ(c.wait(j2.id).state, JobState::Done);
+  EXPECT_EQ(c.wait(j4.id).state, JobState::Done);
+  EXPECT_EQ(c.status(j1.id).state, JobState::Cancelled);  // stayed cancelled
+}
+
+// --- ServiceEnv -----------------------------------------------------------
+
+TEST(ServiceEnv, GarbageKnobsWarnAndKeepDefaults) {
+  const auto config_with = [](const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    const ServiceConfig cfg = service_config_from_env();
+    ::unsetenv(name);
+    return cfg;
+  };
+  const ServiceConfig defaults = service_config_from_env();
+  EXPECT_EQ(defaults.socket_path, "wheelsd.sock");
+  EXPECT_EQ(defaults.cache_dir, "wheelsd-cache");
+  EXPECT_EQ(defaults.queue_depth, 64);
+  EXPECT_EQ(defaults.cache_max_bytes, 1ull << 30);
+
+  EXPECT_EQ(config_with("WHEELS_SERVICE_QUEUE", "17").queue_depth, 17);
+  EXPECT_EQ(config_with("WHEELS_SERVICE_QUEUE", "abc").queue_depth, 64);
+  EXPECT_EQ(config_with("WHEELS_SERVICE_QUEUE", "12abc").queue_depth, 64);
+  EXPECT_EQ(config_with("WHEELS_SERVICE_QUEUE", "0").queue_depth, 64);
+  EXPECT_EQ(config_with("WHEELS_SERVICE_QUEUE", "-3").queue_depth, 64);
+
+  EXPECT_EQ(
+      config_with("WHEELS_SERVICE_CACHE_MAX_BYTES", "4096").cache_max_bytes,
+      4096u);
+  EXPECT_EQ(
+      config_with("WHEELS_SERVICE_CACHE_MAX_BYTES", "junk").cache_max_bytes,
+      1ull << 30);
+  EXPECT_EQ(
+      config_with("WHEELS_SERVICE_CACHE_MAX_BYTES", "-1").cache_max_bytes,
+      1ull << 30);
+  EXPECT_EQ(
+      config_with("WHEELS_SERVICE_CACHE_MAX_BYTES", "0").cache_max_bytes,
+      0u);
+
+  EXPECT_EQ(config_with("WHEELS_SERVICE_SOCKET", "/tmp/w.sock").socket_path,
+            "/tmp/w.sock");
+  EXPECT_EQ(config_with("WHEELS_SERVICE_CACHE_DIR", "/tmp/wc").cache_dir,
+            "/tmp/wc");
+}
+
+// --- ServiceConcurrency (tsan_smoke) --------------------------------------
+
+TEST(ServiceConcurrency, MixedBatchByteIdenticalToSerialAtEveryWidth) {
+  // Serial reference: each job's entry point run directly, no daemon.
+  std::vector<JobSpec> specs = {quick_campaign(91), quick_campaign(92),
+                                quick_replay(93), quick_synth(94)};
+  std::vector<std::string> reference;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::string dir =
+        fresh_dir("serial-ref-" + std::to_string(i));
+    run_job(specs[i], dir);
+    reference.push_back(digest_directory(dir));
+  }
+
+  for (const int threads : {1, 2, 4}) {
+    Daemon d{"conc-w" + std::to_string(threads), threads};
+    std::vector<std::string> digests(specs.size());
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      clients.emplace_back([&, i] {
+        Client c = d.connect();
+        const JobStatus done = c.wait(c.submit(specs[i]).id);
+        if (done.state == JobState::Done) {
+          digests[i] = done.result->content_digest;
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    EXPECT_EQ(digests, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ServiceConcurrency, ConcurrentIdenticalSubmissionsShareOneEntry) {
+  Daemon d{"conc-dedupe", 4};
+  constexpr int kClients = 6;
+  std::vector<std::string> digests(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      Client c = d.connect();
+      const JobStatus done = c.wait(c.submit(quick_synth(95)).id);
+      if (done.state == JobState::Done) {
+        digests[i] = done.result->content_digest;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int i = 1; i < kClients; ++i) {
+    EXPECT_EQ(digests[i], digests[0]);
+  }
+  EXPECT_FALSE(digests[0].empty());
+  // However the race resolved, exactly one cache entry exists.
+  EXPECT_EQ(d.server->cache().entries(), 1u);
+}
+
+}  // namespace
+}  // namespace wheels::service
