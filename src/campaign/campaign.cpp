@@ -587,9 +587,28 @@ class CampaignRunner {
       lt.handovers = static_cast<int>(tick.handovers.size());
       lt.tech = tick.tech;
       trace.push_back(lt);
+      record_link_tick(ctx, test_id, s.t, lt);
       record_common(ctx, tick, s, test_id, Direction::Uplink);
     }
     return trace;
+  }
+
+  /// Record the LinkTick an app session consumed this tick — the exact-replay
+  /// table (link_ticks.csv) and the export subsystem's per-run source. Pure
+  /// observation: consumes no randomness and perturbs no other table.
+  static void record_link_tick(CarrierContext& ctx, std::uint32_t test_id,
+                               SimMillis t, const LinkTick& lt) {
+    measure::LinkTickRecord rec;
+    rec.test_id = test_id;
+    rec.t = t;
+    rec.carrier = ctx.carrier;
+    rec.tech = lt.tech;
+    rec.cap_dl = lt.cap_dl;
+    rec.cap_ul = lt.cap_ul;
+    rec.rtt = lt.rtt;
+    rec.interruption = lt.interruption;
+    rec.handovers = lt.handovers;
+    ctx.shard.link_ticks.push_back(rec);
   }
 
   void push_offload_run(CarrierContext& ctx, AppKind kind,
@@ -869,7 +888,7 @@ class CampaignRunner {
 
     if (!cfg_.run_apps) return;
 
-    auto make_trace = [&](int n_ticks) {
+    auto make_trace = [&](std::uint32_t test_id, int n_ticks) {
       LinkTrace trace;
       for (int i = 0; i < n_ticks; ++i) {
         const ran::RadioTick tick = session.tick(kTick);
@@ -883,6 +902,8 @@ class CampaignRunner {
                                          0.0, 0.0);
         lt.tech = tick.tech;
         trace.push_back(lt);
+        record_link_tick(ctx, test_id,
+                         t0 + static_cast<SimMillis>(i * kTick), lt);
       }
       return trace;
     };
@@ -892,7 +913,7 @@ class CampaignRunner {
                                                      : apps::cav_config()};
       for (const bool compressed : {false, true}) {
         const TestRecord& test = plan.tests[ti++];
-        const LinkTrace trace = make_trace(cfg_.offload_ticks);
+        const LinkTrace trace = make_trace(test.id, cfg_.offload_ticks);
         push_offload_run(ctx, kind, test, trace, app.run(trace, compressed));
       }
     }
@@ -900,7 +921,7 @@ class CampaignRunner {
       const TestRecord& test = plan.tests[ti++];
       const int n_ticks =
           kind == AppKind::Video ? cfg_.video_ticks : cfg_.gaming_ticks;
-      const LinkTrace trace = make_trace(n_ticks);
+      const LinkTrace trace = make_trace(test.id, n_ticks);
       push_long_app_run(ctx, kind, test, trace);
     }
   }

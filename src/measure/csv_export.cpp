@@ -57,6 +57,9 @@ constexpr char kAppRunHeader[] =
     "rebuffer_fraction,avg_bitrate,gaming_bitrate,gaming_latency,"
     "gaming_frame_drop,gaming_max_frame_drop";
 
+constexpr char kLinkTickHeader[] =
+    "test_id,t,carrier,tech,cap_dl,cap_ul,rtt,interruption,handovers";
+
 constexpr char kCellLoadHeader[] =
     "carrier,cell_id,tech,ticks,avg_attached,avg_active,avg_demand,"
     "avg_allocated,avg_capacity,utilization,fairness";
@@ -271,6 +274,16 @@ void write_app_runs_csv(std::ostream& os, const ConsolidatedDb& db) {
   }
 }
 
+void write_link_ticks_csv(std::ostream& os, const ConsolidatedDb& db) {
+  LosslessDoubles guard{os};
+  os << kLinkTickHeader << '\n';
+  for (const auto& l : db.link_ticks) {
+    os << l.test_id << ',' << l.t << ',' << names::to_name(l.carrier) << ','
+       << names::to_name(l.tech) << ',' << l.cap_dl << ',' << l.cap_ul << ','
+       << l.rtt << ',' << l.interruption << ',' << l.handovers << '\n';
+  }
+}
+
 void write_cell_load_csv(std::ostream& os, const ConsolidatedDb& db) {
   LosslessDoubles guard{os};
   os << kCellLoadHeader << '\n';
@@ -474,6 +487,26 @@ std::vector<CoverageSegment> read_coverage_csv(std::istream& is,
   return out;
 }
 
+std::vector<LinkTickRecord> read_link_ticks_csv(std::istream& is) {
+  CsvTable table{is, kLinkTickHeader, 9};
+  std::vector<LinkTickRecord> out;
+  std::vector<std::string> cells;
+  while (table.next(cells)) {
+    LinkTickRecord l;
+    l.test_id = table.as_u32(cells[0]);
+    l.t = table.as_i64(cells[1]);
+    l.carrier = table.as_enum(cells[2], names::parse_carrier);
+    l.tech = table.as_enum(cells[3], names::parse_technology);
+    l.cap_dl = table.as_double(cells[4]);
+    l.cap_ul = table.as_double(cells[5]);
+    l.rtt = table.as_double(cells[6]);
+    l.interruption = table.as_double(cells[7]);
+    l.handovers = table.as_int(cells[8]);
+    out.push_back(l);
+  }
+  return out;
+}
+
 std::vector<CellLoadRecord> read_cell_load_csv(std::istream& is) {
   CsvTable table{is, kCellLoadHeader, 11};
   std::vector<CellLoadRecord> out;
@@ -570,6 +603,13 @@ std::vector<std::string> write_dataset(
   emit("handovers.csv",
        [&](std::ostream& os) { write_handovers_csv(os, db); });
   emit("app_runs.csv", [&](std::ostream& os) { write_app_runs_csv(os, db); });
+  // link_ticks.csv exists only when app sessions recorded their per-tick
+  // link state: emitting an empty table unconditionally would change the
+  // byte content of the committed golden bundle and every appless bundle.
+  if (!db.link_ticks.empty()) {
+    emit("link_ticks.csv",
+         [&](std::ostream& os) { write_link_ticks_csv(os, db); });
+  }
   // cell_load.csv exists only for population campaigns: emitting an empty
   // table unconditionally would change the byte content of every seed bundle
   // (and the replay_roundtrip / golden CI gates diff bundles recursively).

@@ -37,6 +37,10 @@ void write_kpis_csv(std::ostream& os, const ConsolidatedDb& db);
 void write_rtts_csv(std::ostream& os, const ConsolidatedDb& db);
 void write_handovers_csv(std::ostream& os, const ConsolidatedDb& db);
 void write_app_runs_csv(std::ostream& os, const ConsolidatedDb& db);
+/// Per-app-session link-state ticks (written into a bundle only when
+/// non-empty, so appless campaigns and pre-existing golden bundles keep
+/// their exact bytes and manifest digest).
+void write_link_ticks_csv(std::ostream& os, const ConsolidatedDb& db);
 /// Per-cell population load (written into a bundle only when non-empty, so
 /// populationless campaigns keep producing byte-identical bundles).
 void write_cell_load_csv(std::ostream& os, const ConsolidatedDb& db);
@@ -56,6 +60,7 @@ std::vector<KpiRecord> read_kpis_csv(std::istream& is);
 std::vector<RttRecord> read_rtts_csv(std::istream& is);
 std::vector<HandoverRecord> read_handovers_csv(std::istream& is);
 std::vector<AppRunRecord> read_app_runs_csv(std::istream& is);
+std::vector<LinkTickRecord> read_link_ticks_csv(std::istream& is);
 std::vector<CellLoadRecord> read_cell_load_csv(std::istream& is);
 /// Also verifies every row matches the expected carrier and view (a bundle
 /// names both in the file name).

@@ -127,6 +127,26 @@ struct AppRunRecord {
   double gaming_max_frame_drop = 0.0;
 };
 
+/// One 500 ms link-state sample recorded alongside an app session: the
+/// exact apps::LinkTick the video/gaming/offload model consumed, keyed by
+/// the owning test. Present only when the campaign ran app sessions —
+/// bundles recorded before this table existed simply lack it, and replay
+/// falls back to the statistical per-carrier timeline (with a warning).
+/// The export subsystem (src/export/) turns these rows into emulator
+/// schedules, and ReplayCampaign replays app sessions from them exactly.
+struct LinkTickRecord {
+  std::uint32_t test_id = 0;
+  SimMillis t = 0;
+  radio::Carrier carrier = radio::Carrier::Verizon;
+  radio::Technology tech = radio::Technology::Lte;
+  Mbps cap_dl = 0.0;
+  Mbps cap_ul = 0.0;
+  Millis rtt = 50.0;
+  /// Handover interruption within this tick.
+  Millis interruption = 0.0;
+  int handovers = 0;
+};
+
 /// A stretch of the route (map km) served by one technology — the unit of
 /// the Fig. 1 coverage maps and all coverage-by-miles statistics.
 struct CoverageSegment {
@@ -171,6 +191,9 @@ struct ConsolidatedDb {
   std::vector<RttRecord> rtts;
   std::vector<HandoverRecord> handovers;
   std::vector<AppRunRecord> app_runs;
+  /// Per-tick link state of every app session (empty unless apps ran; see
+  /// LinkTickRecord).
+  std::vector<LinkTickRecord> link_ticks;
   /// Per-cell population load (empty unless the campaign simulated a UE
   /// population; see CellLoadRecord).
   std::vector<CellLoadRecord> cell_load;

@@ -4,7 +4,8 @@ namespace wheels::measure {
 
 bool RecordShard::empty() const {
   return kpis.empty() && rtts.empty() && handovers.empty() &&
-         app_runs.empty() && rx_bytes == 0.0 && tx_bytes == 0.0;
+         app_runs.empty() && link_ticks.empty() && rx_bytes == 0.0 &&
+         tx_bytes == 0.0;
 }
 
 void RecordShard::clear() {
@@ -12,6 +13,7 @@ void RecordShard::clear() {
   rtts.clear();
   handovers.clear();
   app_runs.clear();
+  link_ticks.clear();
   rx_bytes = 0.0;
   tx_bytes = 0.0;
 }
@@ -23,6 +25,8 @@ void merge_shard_into(ConsolidatedDb& db, RecordShard& shard) {
                       shard.handovers.end());
   db.app_runs.insert(db.app_runs.end(), shard.app_runs.begin(),
                      shard.app_runs.end());
+  db.link_ticks.insert(db.link_ticks.end(), shard.link_ticks.begin(),
+                       shard.link_ticks.end());
   db.rx_bytes += shard.rx_bytes;
   db.tx_bytes += shard.tx_bytes;
   shard.clear();

@@ -21,6 +21,7 @@ struct RecordShard {
   std::vector<RttRecord> rtts;
   std::vector<HandoverRecord> handovers;
   std::vector<AppRunRecord> app_runs;
+  std::vector<LinkTickRecord> link_ticks;
   /// Application-layer bytes moved by this carrier during the fan-out.
   double rx_bytes = 0.0;
   double tx_bytes = 0.0;

@@ -192,6 +192,29 @@ std::vector<std::string> validate(const ConsolidatedDb& db,
     }
   }
 
+  for (std::size_t i = 0; i < db.link_ticks.size() && !out.full(); ++i) {
+    const auto& l = db.link_ticks[i];
+    const TestRecord* t = resolve("link_ticks", i, l.test_id, l.carrier);
+    if (t != nullptr && l.t + kSampleSlackMs < t->start) {
+      out.add("link_ticks[", i, "]: sample at ", l.t, " before test ", t->id,
+              "'s start ", t->start);
+    }
+    if (!std::isfinite(l.cap_dl) || l.cap_dl < 0.0 ||
+        !std::isfinite(l.cap_ul) || l.cap_ul < 0.0) {
+      out.add("link_ticks[", i, "]: bad capacity dl=", l.cap_dl, " ul=",
+              l.cap_ul);
+    }
+    if (!std::isfinite(l.rtt) || l.rtt <= 0.0) {
+      out.add("link_ticks[", i, "]: non-positive rtt ", l.rtt);
+    }
+    if (!std::isfinite(l.interruption) || l.interruption < 0.0) {
+      out.add("link_ticks[", i, "]: bad interruption ", l.interruption);
+    }
+    if (l.handovers < 0) {
+      out.add("link_ticks[", i, "]: negative handovers ", l.handovers);
+    }
+  }
+
   for (std::size_t i = 0; i < db.cell_load.size() && !out.full(); ++i) {
     const auto& c = db.cell_load[i];
     if (c.ticks <= 0) {

@@ -55,6 +55,13 @@ ReplayBundle read_dataset(const std::string& directory,
   db.rtts = read_file(dir, "rtts.csv", measure::read_rtts_csv);
   db.handovers = read_file(dir, "handovers.csv", measure::read_handovers_csv);
   db.app_runs = read_file(dir, "app_runs.csv", measure::read_app_runs_csv);
+  // Optional table: only campaigns that ran app sessions write it, and
+  // older bundles predate it entirely (their app replays fall back to the
+  // statistical carrier timeline).
+  if (fs::exists(dir / "link_ticks.csv")) {
+    db.link_ticks =
+        read_file(dir, "link_ticks.csv", measure::read_link_ticks_csv);
+  }
   // Optional table: only population campaigns (WHEELS_UES > 0) write it, and
   // older bundles predate it entirely.
   if (fs::exists(dir / "cell_load.csv")) {
@@ -98,7 +105,8 @@ ReplayBundle read_dataset(const std::string& directory,
       reg.counter_id("replay.rows_ingested");
   reg.add(bundles);
   reg.add(rows, db.tests.size() + db.kpis.size() + db.rtts.size() +
-                    db.handovers.size() + db.app_runs.size());
+                    db.handovers.size() + db.app_runs.size() +
+                    db.link_ticks.size());
   return bundle;
 }
 

@@ -145,6 +145,7 @@ struct ReplayShard {
   std::vector<std::pair<std::size_t, measure::RttRecord>> rtts;
   std::vector<std::pair<std::size_t, measure::HandoverRecord>> handovers;
   std::vector<std::pair<std::size_t, measure::AppRunRecord>> app_runs;
+  std::vector<std::pair<std::size_t, measure::LinkTickRecord>> link_ticks;
   double rx_bytes = 0.0;
   double tx_bytes = 0.0;
 };
@@ -185,6 +186,9 @@ class ReplayRunner {
       handovers_by_test_[h.test_id].push_back(&h);
     }
     for (const auto& a : rec.app_runs) app_run_by_test_[a.test_id] = &a;
+    for (const auto& l : rec.link_ticks) {
+      link_ticks_by_test_[l.test_id].push_back(&l);
+    }
   }
 
   ConsolidatedDb run() {
@@ -203,6 +207,21 @@ class ReplayRunner {
     db_.tests = rec.tests;
     if (cfg_.knobs.server.has_value()) {
       for (auto& t : db_.tests) t.server = *cfg_.knobs.server;
+    }
+
+    // Bundles written before link_ticks.csv existed cannot replay app
+    // sessions from their recorded per-tick traces; say so once, up front,
+    // rather than silently degrading to the statistical timeline.
+    if (rec.link_ticks.empty()) {
+      for (const auto& t : rec.tests) {
+        if (app_kind_for(t.type).has_value()) {
+          std::fprintf(stderr,
+                       "[wheels] replay: bundle records no link_ticks.csv "
+                       "(written before per-run traces); app sessions replay "
+                       "from the statistical carrier timeline\n");
+          break;
+        }
+      }
     }
 
     std::array<ReplayShard, radio::kCarrierCount> shards;
@@ -224,6 +243,9 @@ class ReplayRunner {
     });
     merge_ordered(shards, db_.app_runs, [](ReplayShard& s) -> auto& {
       return s.app_runs;
+    });
+    merge_ordered(shards, db_.link_ticks, [](ReplayShard& s) -> auto& {
+      return s.link_ticks;
     });
     // Byte counters sum in canonical carrier order — the same fixed
     // floating-point summation order for every thread count.
@@ -435,53 +457,111 @@ class ReplayRunner {
     if (!kind.has_value()) return;
     const Carrier carrier = recorded.carrier;
 
-    int n_ticks = default_app_ticks(recorded.type);
-    if (recorded.end > recorded.start) {
-      n_ticks = static_cast<int>(
-          (recorded.end - recorded.start + static_cast<SimMillis>(kTick) - 1) /
-          static_cast<SimMillis>(kTick));
+    // Bundles that carry link_ticks.csv replay the session from the exact
+    // per-tick trace the recorded app consumed: with every knob unset the
+    // replayed app_runs row is byte-identical to the recorded one. Older
+    // bundles fall back to the statistical carrier timeline.
+    const std::vector<const measure::LinkTickRecord*>* exact = nullptr;
+    if (const auto it = link_ticks_by_test_.find(recorded.id);
+        it != link_ticks_by_test_.end() && !it->second.empty()) {
+      exact = &it->second;
     }
-    if (n_ticks <= 0) return;
-
-    // The session's own recorded handovers re-fire at their original ticks.
-    std::vector<const measure::HandoverRecord*> events;
-    if (const auto it = handovers_by_test_.find(recorded.id);
-        it != handovers_by_test_.end()) {
-      events = it->second;
-    }
-    std::sort(events.begin(), events.end(),
-              [](const measure::HandoverRecord* a,
-                 const measure::HandoverRecord* b) {
-                return a->event.t < b->event.t;
-              });
 
     LinkTrace trace;
-    trace.reserve(static_cast<std::size_t>(n_ticks));
-    std::size_t e = 0;
-    for (int i = 0; i < n_ticks; ++i) {
-      const SimMillis t = recorded.start + static_cast<SimMillis>(i) *
-                                               static_cast<SimMillis>(kTick);
-      const TraceSample s = timeline.at(t);
-      LinkTick lt;
-      lt.tech = effective_tech(s.tech);
-      lt.cap_dl = capped_capacity(s.capacity_dl, carrier, s.tech,
-                                  Direction::Downlink);
-      lt.cap_ul =
-          capped_capacity(s.capacity_ul, carrier, s.tech, Direction::Uplink);
-      const geo::RoutePoint pt = route_.at(s.map_km);
-      const Millis delta = rtt_delta(carrier, s.tech, recorded.server,
-                                     replayed.server, recorded.tz, pt.pos);
-      lt.rtt = delta == 0.0 ? s.rtt : std::max(1.0, s.rtt + delta);
-      const SimMillis window_end = t + static_cast<SimMillis>(kTick);
-      while (e < events.size() && events[e]->event.t < window_end) {
-        if (events[e]->event.t >= t) {
-          ++lt.handovers;
-          lt.interruption =
-              std::min(lt.interruption + events[e]->event.duration, kTick);
-        }
-        ++e;
+    if (exact != nullptr) {
+      trace.reserve(exact->size());
+      for (const measure::LinkTickRecord* r : *exact) {
+        LinkTick lt;
+        lt.tech = effective_tech(r->tech);
+        lt.cap_dl =
+            capped_capacity(r->cap_dl, carrier, r->tech, Direction::Downlink);
+        lt.cap_ul =
+            capped_capacity(r->cap_ul, carrier, r->tech, Direction::Uplink);
+        const geo::RoutePoint pt = point_at(recorded, r->t);
+        const Millis delta = rtt_delta(carrier, r->tech, recorded.server,
+                                       replayed.server, recorded.tz, pt.pos);
+        lt.rtt = delta == 0.0 ? r->rtt : std::max(1.0, r->rtt + delta);
+        lt.interruption = r->interruption;
+        lt.handovers = r->handovers;
+        trace.push_back(lt);
       }
-      trace.push_back(lt);
+    } else {
+      int n_ticks = default_app_ticks(recorded.type);
+      if (recorded.end > recorded.start) {
+        n_ticks = static_cast<int>(
+            (recorded.end - recorded.start +
+             static_cast<SimMillis>(kTick) - 1) /
+            static_cast<SimMillis>(kTick));
+      }
+      if (n_ticks <= 0) return;
+
+      // The session's own recorded handovers re-fire at their original
+      // ticks.
+      std::vector<const measure::HandoverRecord*> events;
+      if (const auto it = handovers_by_test_.find(recorded.id);
+          it != handovers_by_test_.end()) {
+        events = it->second;
+      }
+      std::sort(events.begin(), events.end(),
+                [](const measure::HandoverRecord* a,
+                   const measure::HandoverRecord* b) {
+                  return a->event.t < b->event.t;
+                });
+
+      trace.reserve(static_cast<std::size_t>(n_ticks));
+      std::size_t e = 0;
+      for (int i = 0; i < n_ticks; ++i) {
+        const SimMillis t = recorded.start + static_cast<SimMillis>(i) *
+                                                 static_cast<SimMillis>(kTick);
+        const TraceSample s = timeline.at(t);
+        LinkTick lt;
+        lt.tech = effective_tech(s.tech);
+        lt.cap_dl = capped_capacity(s.capacity_dl, carrier, s.tech,
+                                    Direction::Downlink);
+        lt.cap_ul =
+            capped_capacity(s.capacity_ul, carrier, s.tech, Direction::Uplink);
+        const geo::RoutePoint pt = route_.at(s.map_km);
+        const Millis delta = rtt_delta(carrier, s.tech, recorded.server,
+                                       replayed.server, recorded.tz, pt.pos);
+        lt.rtt = delta == 0.0 ? s.rtt : std::max(1.0, s.rtt + delta);
+        const SimMillis window_end = t + static_cast<SimMillis>(kTick);
+        while (e < events.size() && events[e]->event.t < window_end) {
+          if (events[e]->event.t >= t) {
+            ++lt.handovers;
+            lt.interruption =
+                std::min(lt.interruption + events[e]->event.duration, kTick);
+          }
+          ++e;
+        }
+        trace.push_back(lt);
+      }
+    }
+    if (trace.empty()) return;
+
+    // Re-emit the replayed trace so a replay's own bundle replays exactly
+    // too: recorded rows keep their row indices (and bytes, when no knob
+    // fires); fallback rows sort past the recorded table, grouped by test.
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      measure::LinkTickRecord lrec;
+      lrec.test_id = recorded.id;
+      lrec.carrier = carrier;
+      lrec.tech = trace[i].tech;
+      lrec.cap_dl = trace[i].cap_dl;
+      lrec.cap_ul = trace[i].cap_ul;
+      lrec.rtt = trace[i].rtt;
+      lrec.interruption = trace[i].interruption;
+      lrec.handovers = trace[i].handovers;
+      std::size_t lindex;
+      if (exact != nullptr) {
+        lrec.t = (*exact)[i]->t;
+        lindex = row_index(bundle_.db.link_ticks, (*exact)[i]);
+      } else {
+        lrec.t = recorded.start +
+                 static_cast<SimMillis>(i) * static_cast<SimMillis>(kTick);
+        lindex = bundle_.db.link_ticks.size() +
+                 static_cast<std::size_t>(recorded.id) * 1000000 + i;
+      }
+      shard.link_ticks.emplace_back(lindex, lrec);
     }
 
     measure::AppRunRecord out;
@@ -566,6 +646,9 @@ class ReplayRunner {
       handovers_by_test_;
   std::unordered_map<std::uint32_t, const measure::AppRunRecord*>
       app_run_by_test_;
+  std::unordered_map<std::uint32_t,
+                     std::vector<const measure::LinkTickRecord*>>
+      link_ticks_by_test_;
   core::ThreadPool pool_;
 };
 

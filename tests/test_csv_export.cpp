@@ -139,9 +139,10 @@ TEST(CsvExport, DatasetBundleWritesAllFiles) {
   const std::string dir = "/tmp/wheels-dataset-test";
   std::filesystem::remove_all(dir);
   const auto files = write_dataset(db, dir);
-  // 5 tables + 2 coverage views x 3 carriers + summary.csv + cells.csv +
+  // 5 tables + link_ticks.csv (campaigns record app-session link traces)
+  // + 2 coverage views x 3 carriers + summary.csv + cells.csv +
   // manifest.json.
-  EXPECT_EQ(files.size(), 14u);
+  EXPECT_EQ(files.size(), 15u);
   for (const auto& f : files) {
     EXPECT_TRUE(std::filesystem::exists(f)) << f;
     EXPECT_GT(std::filesystem::file_size(f), 10u) << f;

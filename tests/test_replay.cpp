@@ -101,7 +101,7 @@ TEST(ReplayIngest, RoundTripIsByteIdentical) {
         << name;
     ++files;
   }
-  EXPECT_EQ(files, 14u);
+  EXPECT_EQ(files, 15u);  // incl. link_ticks.csv: the campaign ran apps
   fs::remove_all(out);
 }
 
